@@ -1,0 +1,63 @@
+"""DIAG1 — §III.A narrative: the load-imbalance rule on MSA profiles.
+
+"The load imbalance detection rule is activated when the following facts
+are true": ratio > 0.25, severity > 5%, nested events, strong negative
+correlation.  We assert the rule fires on the static-schedule profile with
+exactly the diagnosis and suggestion the paper describes, stays silent on
+the fixed profile, and that the closed loop converts the recommendation
+into the measured speedup.
+"""
+
+from conftest import print_series
+from repro.apps.msa import run_msa_trial
+from repro.knowledge import (
+    diagnose_load_balance,
+    recommendations_of,
+    summarize_categories,
+)
+from repro.workflows import msa_tuning_loop
+
+N_SEQUENCES = 400
+N_THREADS = 16
+
+
+def test_diag1_rule_fires_on_static(run_once):
+    result = run_once(
+        run_msa_trial,
+        n_sequences=N_SEQUENCES, n_threads=N_THREADS,
+        schedule="static", seed=0,
+    )
+    harness = diagnose_load_balance(result.trial)
+    print("\nDiagnosis output:")
+    for line in harness.output:
+        print(f"  {line}")
+
+    recs = [r for r in recommendations_of(harness)
+            if r.category == "load-imbalance"]
+    assert recs, "the imbalance rule must fire on the static profile"
+    rec = recs[0]
+    assert rec.event == "sw_align_inner_loop"
+    assert rec.details["parent"] == "pairwise_outer_loop"
+    assert rec.details["suggested_schedule"] == "dynamic,1"
+    assert rec.details["imbalance_ratio"] > 0.25
+    # the metadata-context rule corroborates with schedule=static
+    assert any("static" in line for line in harness.output)
+
+
+def test_diag1_silent_after_fix(run_once):
+    result = run_once(
+        run_msa_trial,
+        n_sequences=N_SEQUENCES, n_threads=N_THREADS,
+        schedule="dynamic,1", seed=0,
+    )
+    harness = diagnose_load_balance(result.trial)
+    assert summarize_categories(harness).get("load-imbalance", 0) == 0
+
+
+def test_diag1_closed_loop_speedup(run_once):
+    outcome = run_once(
+        msa_tuning_loop, n_sequences=N_SEQUENCES, n_threads=N_THREADS
+    )
+    print(f"\n{outcome.describe()}")
+    assert outcome.plan.schedule == "dynamic,1"
+    assert outcome.speedup > 1.5

@@ -1,0 +1,62 @@
+"""FIG4A — Fig. 4(a): load imbalance in inner and outer loops, 16 threads.
+
+The paper's figure shows per-thread time in the MSAP inner loop (compute)
+and outer loop (barrier waiting) under the default static schedule: uneven
+inner-loop bars mirrored by opposite outer-loop bars.  We regenerate the
+per-thread series and assert the defining properties:
+
+* the inner loop's imbalance ratio (stddev/mean) exceeds the 0.25 rule
+  threshold,
+* inner and outer per-thread times anti-correlate strongly,
+* a dynamic,1 run of the same workload is balanced.
+"""
+
+import numpy as np
+
+from conftest import print_series
+from repro.apps.msa import run_msa_trial
+from repro.apps.msa.parallel import EVENT_INNER, EVENT_OUTER
+from repro.machine import counters as C
+
+N_SEQUENCES = 400
+N_THREADS = 16
+
+
+def test_fig4a_per_thread_imbalance(run_once):
+    result = run_once(
+        run_msa_trial,
+        n_sequences=N_SEQUENCES,
+        n_threads=N_THREADS,
+        schedule="static",
+        seed=0,
+    )
+    trial = result.trial
+    inner = trial.exclusive_array(C.TIME)[trial.event_index(EVENT_INNER)] / 1e6
+    outer = trial.exclusive_array(C.TIME)[trial.event_index(EVENT_OUTER)] / 1e6
+
+    print_series(
+        "Fig. 4(a): MSAP per-thread loop times, 16 threads, static schedule",
+        [(t, inner[t], outer[t]) for t in range(N_THREADS)],
+        ["thread", "inner (s)", "outer/wait (s)"],
+    )
+
+    ratio = inner.std() / inner.mean()
+    rho = float(np.corrcoef(inner, outer)[0, 1])
+    print(f"  imbalance ratio (stddev/mean): {ratio:.3f}  "
+          f"inner/outer correlation: {rho:.3f}")
+
+    assert ratio > 0.25, "static schedule must exceed the rule threshold"
+    assert rho < -0.8, "threads finishing early must wait at the barrier"
+    # the figure's visual: min and max threads differ by a large factor
+    assert inner.max() > 2.0 * inner.min()
+
+
+def test_fig4a_dynamic_balances(run_once):
+    result = run_once(
+        run_msa_trial,
+        n_sequences=N_SEQUENCES,
+        n_threads=N_THREADS,
+        schedule="dynamic,1",
+        seed=0,
+    )
+    assert result.loop.imbalance_ratio < 0.05

@@ -1,0 +1,73 @@
+"""FIG5A — Fig. 5(a): per-event speedup of unoptimized OpenMP GenIDLEST.
+
+The paper's figure shows, for the 90rib problem, that "the main computation
+procedures bicgstab, diff_coeff, matxvec, pc, pc_jac_glb (among others) do
+not scale", and that exchange_var — 31% of the runtime, sequential — is the
+final major source of degradation.  We regenerate the per-event speedup
+series from 1 to 16 threads and assert those statements.
+"""
+
+from conftest import print_series
+from repro.apps.genidlest import (
+    EVENT_EXCHANGE,
+    EVENT_SENDRECV,
+    KERNEL_EVENTS,
+    RIB90,
+    run_genidlest_scaling,
+)
+from repro.core.script import ScalabilityOperation, TrialResult
+
+THREADS = [1, 2, 4, 8, 16]
+ITERATIONS = 3
+
+
+def test_fig5a_event_speedups(run_once):
+    runs = run_once(
+        run_genidlest_scaling,
+        case=RIB90,
+        version="openmp",
+        optimized=False,
+        proc_counts=THREADS,
+        iterations=ITERATIONS,
+    )
+    results = [TrialResult(r.trial) for r in runs]
+    op = ScalabilityOperation(results)
+    events = [*KERNEL_EVENTS, EVENT_SENDRECV]
+    # the exchange event needs inclusive time: at 1 thread all its cost
+    # lives in the nested ghost_copy body, so its exclusive time is zero
+    series = {
+        e: op.event_series(e, inclusive=(e == EVENT_SENDRECV))
+        for e in events
+    }
+    program = op.program_series()
+
+    rows = []
+    for i, p in enumerate(THREADS):
+        rows.append(
+            tuple([p] + [series[e].speedup[i] for e in events]
+                  + [program.speedup[i]])
+        )
+    print_series(
+        "Fig. 5(a): per-event speedup, unoptimized OpenMP, 90rib",
+        rows,
+        ["threads"] + [e[:10] for e in events] + ["program"],
+    )
+
+    # the computation procedures do not scale: nowhere near ideal at 16
+    for kernel in KERNEL_EVENTS:
+        assert series[kernel].speedup[-1] < 6.0, kernel
+    # the whole program is flat
+    assert program.speedup[-1] < 2.5
+    # exchange_var's copies are sequential: the serial copy work grows
+    # with thread-induced contention rather than shrinking
+    assert series[EVENT_SENDRECV].speedup[-1] < 2.0
+
+    # the paper: exchange_var represented ~31% of the runtime at 16 threads
+    last = runs[-1]
+    share = (
+        last.event_mean_exclusive_seconds(EVENT_SENDRECV)
+        / last.wall_seconds
+    )
+    print(f"  exchange share of runtime at 16 threads: {share:.1%} "
+          "(paper: 31%)")
+    assert 0.15 < share < 0.55

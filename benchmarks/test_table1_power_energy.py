@@ -1,0 +1,90 @@
+"""TAB1 — Table I: GenIDLEST relative differences across O0–O3.
+
+The paper compiles GenIDLEST with OpenUH at each standard level, runs 16
+MPI ranks on the 90rib problem, and reports Time / Instructions / IPC /
+Watts / Joules / FLOP-per-Joule relative to O0.  Headline findings:
+
+* "power dissipation generally increases with higher optimization levels
+  while energy decreases as more aggressive compiler optimizations are
+  applied";
+* instruction count tracks energy; instruction overlap (issued IPC) tracks
+  power;
+* O0 for low power, O3 for low energy, O2 for both.
+
+We compile the IR rendition of the kernel through the real pass pipeline,
+run it through the machine + power models, print the same table, assert
+the orderings, and let the power rules make the same three picks.
+"""
+
+import pytest
+
+from repro.apps.genidlest.compiled import genidlest_compiled_program
+from repro.knowledge import recommend_power_levels, recommendations_of
+from repro.machine import altix_300
+from repro.openuh import OPT_LEVELS, compile_program
+from repro.power import TABLE1_METRICS, measure_signature, relative_table
+
+N_RANKS = 16
+
+
+def _measure_all():
+    machine = altix_300()
+    program = genidlest_compiled_program()
+    return [
+        measure_signature(level, compile_program(program, level).signature(),
+                          machine, n_processors=N_RANKS)
+        for level in OPT_LEVELS
+    ]
+
+
+def test_table1_relative_metrics(run_once):
+    measurements = run_once(_measure_all)
+    table = relative_table(measurements)
+    print("\n" + table.render(
+        title="Table I: GenIDLEST relative differences, 16 MPI ranks, "
+        "90rib kernel (O0 = baseline)"
+    ))
+
+    def row(metric):
+        return [table.value(metric, l) for l in OPT_LEVELS]
+
+    times, joules = row("Time"), row("Joules")
+    inst = row("Instructions Completed")
+    watts = row("Watts")
+    ipc = row("Instructions Completed Per Cycle")
+    fpj = row("FLOP/Joule")
+
+    # energy decreases monotonically with optimization (paper: 1, .35, .07, .05)
+    assert joules == sorted(joules, reverse=True)
+    assert joules[-1] < 0.35
+    # instruction count drops hard at O1 (regalloc) and O2 (CSE/DSE/PRE)
+    assert inst[1] < 0.7 and inst[2] < 0.45 * inst[0]
+    # time tracks instructions
+    assert times == sorted(times, reverse=True)
+    # watts stay within a few percent while energy collapses...
+    assert max(watts) < 1.10 and min(watts) > 0.90
+    # ...and follow the paper's signature: O1 > O0 and O3 > O2 (the levels
+    # that raise instruction overlap raise power)
+    assert watts[1] > watts[0]
+    assert watts[3] > watts[2]
+    # IPC: scheduling helps at O1; O2's leaner instruction stream is more
+    # stall-dominated than O1; O3's overlap recovers it
+    assert ipc[1] > ipc[0]
+    assert ipc[2] < ipc[1]
+    assert ipc[3] > ipc[2]
+    # FLOP/Joule improves monotonically, strongly by O3
+    assert fpj == sorted(fpj)
+    assert fpj[-1] > 3.0
+
+
+def test_table1_rule_recommendations(run_once):
+    measurements = run_once(_measure_all)
+    harness = recommend_power_levels(measurements)
+    picks = {
+        r.details.get("target"): r.details.get("suggested_level")
+        for r in recommendations_of(harness)
+    }
+    print(f"\nrule picks: {picks} (paper: power->O0, energy->O3, both->O2)")
+    assert picks["power"] == "O0"
+    assert picks["energy"] == "O3"
+    assert picks["both"] == "O2"

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Performance assertions + explanation chains over a simulated run.
+
+Two of the library's extensions working together:
+
+1. Encode performance *expectations* for GenIDLEST regions — relative to
+   total runtime, the processor count, and the machine's peak FLOPS — and
+   check them against a profile (Vetter & Worley's performance assertions,
+   discussed in the paper's related work).
+2. Feed the violations into the rule engine alongside the standard
+   diagnosis, and ask the harness *why* a recommendation exists
+   (`harness.why` walks the firing provenance back to the input facts).
+
+Run:  python examples/performance_assertions.py
+"""
+
+from repro.apps.genidlest import RIB90, RunConfig, run_genidlest
+from repro.core import (
+    PerformanceAssertion,
+    assertion_facts,
+    check_assertions,
+    render_assertion_report,
+)
+from repro.knowledge import diagnose_genidlest
+from repro.machine import counters as C
+
+EXPECTATIONS = [
+    PerformanceAssertion(
+        name="ghost exchange under 15% of runtime",
+        event="mpi_send_recv_ko",
+        inclusive=True,
+        expect=lambda ctx: 0.15 * ctx.total(),
+    ),
+    PerformanceAssertion(
+        name="solver achieves >=0.5% of peak FLOPS",
+        event="bicgstab",
+        metric=C.FP_OPS,
+        relation=">=",
+        expect=lambda ctx: 0.005 * ctx.peak_flops
+        * ctx.event_mean("bicgstab") / 1e6,
+    ),
+    PerformanceAssertion(
+        name="initialization under 5% of runtime",
+        event="initialization",
+        inclusive=True,
+        expect=lambda ctx: 0.05 * ctx.total(),
+    ),
+]
+
+
+def main() -> None:
+    print("running GenIDLEST 90rib (OpenMP, unoptimized, 16 threads)...")
+    run = run_genidlest(RunConfig(case=RIB90, version="openmp",
+                                  optimized=False, n_procs=16, iterations=3))
+
+    outcomes = check_assertions(run.trial, EXPECTATIONS)
+    print()
+    print(render_assertion_report(outcomes))
+
+    # violations join the standard diagnosis as facts
+    harness = diagnose_genidlest(run.trial)
+    harness.assertObjects(assertion_facts(outcomes))
+    harness.processRules()
+
+    violations = harness.facts("AssertionViolation")
+    print(f"\n{len(violations)} assertion violations in working memory "
+          "(available to any rule).")
+
+    rec = next(
+        (f for f in harness.recommendations()
+         if f.get("category") == "sequential-bottleneck"),
+        None,
+    )
+    if rec is not None:
+        print("\nWhy does the sequential-bottleneck recommendation exist?")
+        print(harness.why(rec))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's Fig. 1 script + Fig. 2 rule, end to end.
+
+Runs a simulated application, stores its TAU-style profile in PerfDMF,
+then executes (a port of) the paper's sample Jython analysis script: derive
+the stalls-per-cycle metric, compare every event against main, and let the
+"Stalls per Cycle" inference rule explain what it finds.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps.genidlest import RIB45, RunConfig, run_genidlest
+from repro.core.script import (
+    DeriveMetricOperation,
+    MeanEventFact,
+    RuleHarness,
+    TrialMeanResult,
+    Utilities,
+)
+from repro.perfdmf import PerfDMF, set_default_repository
+
+
+def main() -> None:
+    # --- produce a profile: GenIDLEST 45rib, unoptimized OpenMP, 8 threads
+    print("running GenIDLEST 45rib (OpenMP, unoptimized, 8 threads)...")
+    result = run_genidlest(
+        RunConfig(case=RIB45, version="openmp", optimized=False,
+                  n_procs=8, iterations=3)
+    )
+    print(f"  simulated wall time: {result.wall_seconds:.2f} s")
+
+    # --- store it in a PerfDMF repository ------------------------------
+    repo = PerfDMF()  # in-memory; pass a path for a persistent repository
+    set_default_repository(repo)
+    Utilities.saveTrial("Fluid Dynamic", "rib 45", result.trial)
+
+    # --- the paper's Fig. 1 script, ported line for line ------------------
+    ruleHarness = RuleHarness.useGlobalRules("openuh-rules")
+    trial = TrialMeanResult(Utilities.getTrial("Fluid Dynamic", "rib 45",
+                                               result.trial.name))
+    stalls = "BACK_END_BUBBLE_ALL"
+    cycles = "CPU_CYCLES"
+    operator = DeriveMetricOperation(
+        trial, stalls, cycles, DeriveMetricOperation.DIVIDE
+    )
+    derived = operator.processData().get(0)
+    mainEvent = derived.getMainEvent()
+    for event in derived.getEvents():
+        if event == mainEvent:
+            continue
+        ruleHarness.assertObject(
+            MeanEventFact.compareEventToMain(
+                derived, mainEvent, event, operator.derived_name
+            )
+        )
+    fired = ruleHarness.processRules()
+
+    # --- the diagnosis -----------------------------------------------------
+    print(f"\n{fired} rule firings; findings:")
+    for line in ruleHarness.output:
+        print(f"  {line}")
+
+    RuleHarness.clearGlobal()
+    set_default_repository(None)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim: enables `pip install -e . --no-use-pep517` in environments
+without the `wheel` package. All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""repro: reproduction of "Capturing Performance Knowledge for Automated
+Analysis" (Huck et al., SC 2008).
+
+Subpackages (see README.md for the architecture):
+
+* :mod:`repro.perfdmf`   — profile data model + repository + loaders
+* :mod:`repro.rules`     — forward-chaining inference engine + .prl DSL
+* :mod:`repro.core`      — PerfExplorer analysis operations + RuleHarness
+* :mod:`repro.machine`   — Itanium 2 / Altix ccNUMA machine model
+* :mod:`repro.runtime`   — simulated OpenMP/MPI runtimes + TAU profiler
+* :mod:`repro.openuh`    — WHIRL-style compiler, O0-O3, cost models
+* :mod:`repro.apps`      — MSA/ClustalW and GenIDLEST case studies
+* :mod:`repro.power`     — component power model (Eqs. 1-2) + Table I
+* :mod:`repro.knowledge` — the shipped expert rulebase + diagnosis scripts
+* :mod:`repro.workflows` — Fig. 3 pipeline + closed tuning loops
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "apps",
+    "core",
+    "knowledge",
+    "machine",
+    "openuh",
+    "perfdmf",
+    "power",
+    "rules",
+    "runtime",
+    "workflows",
+]

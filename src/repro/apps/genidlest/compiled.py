@@ -1,0 +1,132 @@
+"""IR rendition of the GenIDLEST stencil kernel for the Table I study.
+
+Table I compiles GenIDLEST at O0–O3 and measures time/instructions/IPC/
+power/energy.  For that experiment we express the dominant kernel
+(``diff_coeff``-style coefficient update over a 2-D tile) in the OpenUH IR
+so the optimization pipeline operates on real code structure.
+
+The kernel is written the way naive Fortran lowers at O0 — and the way the
+paper's instruction-count collapse requires:
+
+* **address arithmetic recomputed in every statement** (``i*nj + j`` and
+  neighbour offsets) — integer CSE/LICM fodder; redundancy is deliberately
+  *integer-only* so FP work stays constant across levels, matching the
+  paper's constant-FLOP normalization;
+* **scalar temporaries and copies** everywhere — at O0 each one is a stack
+  load/store (no register allocation), at O1+ they vanish;
+* **loop-invariant grid constants** recomputed per cell (hoisted by LICM);
+* **dead bookkeeping stores** (removed by DSE);
+* an innermost FP-dense loop body that vectorization and software
+  pipelining can overlap at O3.
+"""
+
+from __future__ import annotations
+
+from ...openuh.frontend import (
+    ProgramBuilder,
+    add,
+    aref,
+    const,
+    div,
+    mul,
+    sub,
+    var,
+)
+from ...openuh.ir import Program, ScalarType
+
+I64 = ScalarType.I64
+
+
+def _ivar(name: str):
+    return var(name, I64)
+
+
+def _iconst(v: float):
+    return const(v, I64)
+
+
+def _imul(a, b):
+    from ...openuh.ir import BinOp
+
+    return BinOp("*", a, b)
+
+
+def _iadd(a, b):
+    from ...openuh.ir import BinOp
+
+    return BinOp("+", a, b)
+
+
+def genidlest_compiled_program(ni: int = 96, nj: int = 96) -> Program:
+    """The Table I workload: one tile of the coefficient-update kernel."""
+    if ni < 2 or nj < 2:
+        raise ValueError("tile must be at least 2x2")
+    pb = ProgramBuilder("genidlest_kernel")
+    f = pb.function("diff_coeff", reuse=0.85)
+    cells = ni * nj
+    f.array("u", cells)
+    f.array("c", cells)
+    f.array("vol", cells)
+    f.array("out", cells)
+
+    # naive index expression, rebuilt wherever it is used
+    def idx():
+        return _iadd(_imul(_ivar("i"), _ivar("nj_stride")), _ivar("j"))
+
+    def idx_off(delta: int):
+        return _iadd(idx(), _iconst(delta))
+
+    with f.loop("i", ni):
+        with f.loop("j", nj):
+            # loop-invariant grid constants, recomputed per cell (LICM bait;
+            # integer so hoisting does not change the FP count)
+            f.assign("nj_stride", _imul(_ivar("nj_const"), _iconst(1)), I64)
+            f.assign("row_base", _imul(_ivar("i"), _ivar("nj_stride")), I64)
+            f.assign("inv_dx2", _imul(_ivar("rdx"), _ivar("rdx")), I64)
+
+            # redundant address arithmetic: the same linear index, five times
+            f.assign("a0", idx(), I64)
+            f.assign("a1", idx_off(1), I64)
+            f.assign("a2", idx_off(-1), I64)
+            f.assign("a3", idx(), I64)  # copy-prop/CSE fodder
+            f.assign("a4", idx(), I64)
+
+            # scalar copies that O0 spills to the stack (naive Fortran
+            # lowering materializes long temp chains like these)
+            f.assign("t_u", aref("u", "i", "j"))
+            f.assign("t_c", aref("c", "i", "j"))
+            f.assign("t_u2", var("t_u"))
+            f.assign("t_c2", var("t_c"))
+            f.assign("t_u3", var("t_u2"))
+            f.assign("t_c3", var("t_c2"))
+            f.assign("t_v", aref("vol", "i", "j"))
+            f.assign("t_v2", var("t_v"))
+
+            # dead bookkeeping (flags never read again)
+            f.assign("dbg_flag", _iadd(_ivar("a0"), _iconst(0)), I64)
+            f.assign("dbg_cells", _iadd(_ivar("a1"), _ivar("a2")), I64)
+
+            # the FP work: a harmonic-mean coefficient + stencil update.
+            # The array operands repeat (redundant-load CSE fodder) but the
+            # FP operation count itself is irreducible, so FLOPs stay
+            # constant across levels as in the paper's normalization.
+            f.assign(
+                "hm",
+                div(
+                    mul(mul(aref("u", "i", "j"), aref("c", "i", "j")), const(2.0)),
+                    add(aref("u", "i", "j"), add(aref("c", "i", "j"), const(1e-30))),
+                ),
+            )
+            f.assign(
+                "upd",
+                add(
+                    mul(var("hm"), aref("vol", "i", "j")),
+                    mul(sub(aref("u", "i", "j"), aref("c", "i", "j")), const(0.5)),
+                ),
+            )
+            f.assign(
+                "upd2",
+                add(var("upd"), mul(aref("vol", "i", "j"), const(0.25))),
+            )
+            f.store("out", ("i", "j"), var("upd2"))
+    return pb.build(entry="diff_coeff")

@@ -1,0 +1,548 @@
+"""GenIDLEST performance simulation: MPI vs OpenMP, unoptimized vs optimized.
+
+Reproduces the §III.B experiment end to end.  One *iteration* of the
+pressure solve executes, per block: the ghost-cell update
+(``exchange_var`` → ``mpi_send_recv_ko``), the stencil/preconditioner
+kernels (``diff_coeff``, ``matxvec`` ×2, ``pc`` ×2, ``pc_jac_glb``), and
+the solver's vector algebra (``bicgstab``).
+
+The four configurations differ exactly where the paper says they do:
+
+* **MPI** — each rank owns blocks, initializes them (first touch → local
+  pages), and exchanges ghost faces with nonblocking sends/receives that
+  overlap the two on-rank buffer copies.
+* **OpenMP unoptimized** — the master thread initializes *all* blocks
+  (first touch → every page on node 0) and performs all ghost copies
+  sequentially inside ``exchange_var`` (the legacy buffered path: 30
+  copies for 45rib, 126 for 90rib).  All threads then hammer node 0's
+  memory controller: remote latency plus controller contention.
+* **OpenMP optimized** — initialization loops are parallelized (pages land
+  on the owning thread's node) and the ghost copies become a parallel
+  loop of direct copies (no intermediate buffers).
+* **MPI optimized** — same kernels; the exchange uses direct copies too
+  (the paper notes both baselines improved after optimization).
+
+Memory-controller contention model: when a phase's concurrently-accessed
+block regions concentrate on one NUMA node, every access to that node's
+memory pays ``1 + CONTENTION_BETA × (pressure − cpus_per_node)`` extra
+latency, where pressure = number of threads whose working block lives
+there.  This is the saturation effect that makes first-touch pathology an
+order-of-magnitude problem on real Altix systems rather than a mere
+local/remote latency delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...machine import Machine, PageTable, altix_300, altix_3600
+from ...perfdmf import Trial
+from ...runtime import (
+    LoopTask,
+    MPIRuntime,
+    OpenMPRuntime,
+    Profiler,
+    RegionAccess,
+    Schedule,
+)
+from .kernels import (
+    bicgstab_vector_signature,
+    copy_signature,
+    diff_coeff_signature,
+    init_signature,
+    matxvec_signature,
+    pc_jac_glb_signature,
+    pc_signature,
+)
+from .mesh import CaseConfig, MultiBlockMesh, RIB45, RIB90
+
+#: Controller-saturation latency slope per excess concurrent accessor.
+CONTENTION_BETA = 0.22
+
+#: Ghost updates per solver iteration (one before every stencil/
+#: preconditioner application, as in the real code).
+EXCHANGES_PER_ITERATION = 4
+
+EVENT_MAIN = "main"
+EVENT_INIT = "initialization"
+EVENT_EXCHANGE = "exchange_var__"
+EVENT_SENDRECV = "mpi_send_recv_ko"
+EVENT_BICGSTAB = "bicgstab"
+EVENT_DIFF = "diff_coeff"
+EVENT_MATXVEC = "matxvec"
+EVENT_PC = "pc"
+EVENT_PCJAC = "pc_jac_glb"
+
+KERNEL_EVENTS = (EVENT_BICGSTAB, EVENT_DIFF, EVENT_MATXVEC, EVENT_PC, EVENT_PCJAC)
+
+#: (event, signature factory, calls per iteration)
+_KERNEL_SCHEDULE = (
+    (EVENT_DIFF, diff_coeff_signature, 1),
+    (EVENT_MATXVEC, matxvec_signature, 2),
+    (EVENT_PC, pc_signature, 2),
+    (EVENT_PCJAC, pc_jac_glb_signature, 1),
+)
+
+
+class SimulationError(Exception):
+    """Raised for invalid run configurations."""
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One GenIDLEST execution configuration.
+
+    ``optimized`` applies both of the paper's fixes.  For ablations the two
+    fixes toggle independently: ``parallel_init`` (first-touch placement)
+    and ``parallel_exchange`` (direct parallel ghost copies); ``None``
+    means "follow ``optimized``".
+    """
+
+    case: CaseConfig = RIB90
+    version: str = "openmp"  # 'openmp' | 'mpi'
+    optimized: bool = False
+    n_procs: int = 16
+    iterations: int = 5
+    cache_blocked: bool = True
+    parallel_init: bool | None = None
+    parallel_exchange: bool | None = None
+
+    def __post_init__(self) -> None:
+        if self.version not in ("openmp", "mpi"):
+            raise SimulationError(f"unknown version {self.version!r}")
+        if self.n_procs < 1:
+            raise SimulationError("need at least one processor")
+        if self.n_procs > self.case.n_blocks:
+            raise SimulationError(
+                f"{self.case.name} has {self.case.n_blocks} blocks; "
+                f"cannot use {self.n_procs} processors"
+            )
+        if self.iterations < 1:
+            raise SimulationError("need at least one iteration")
+
+    @property
+    def use_parallel_init(self) -> bool:
+        return self.optimized if self.parallel_init is None else self.parallel_init
+
+    @property
+    def use_parallel_exchange(self) -> bool:
+        return (
+            self.optimized
+            if self.parallel_exchange is None
+            else self.parallel_exchange
+        )
+
+    @property
+    def label(self) -> str:
+        if self.parallel_init is None and self.parallel_exchange is None:
+            opt = "opt" if self.optimized else "unopt"
+        else:
+            opt = (
+                f"init{'P' if self.use_parallel_init else 'S'}"
+                f"_exch{'P' if self.use_parallel_exchange else 'S'}"
+            )
+        return f"{self.version}_{opt}_{self.n_procs}"
+
+
+@dataclass
+class GenidlestResult:
+    """One simulated run's profile and bookkeeping."""
+
+    trial: Trial
+    config: RunConfig
+
+    @property
+    def wall_seconds(self) -> float:
+        e = self.trial.event_index(EVENT_MAIN)
+        return float(self.trial.inclusive_array("TIME")[e].mean() / 1e6)
+
+    def event_mean_exclusive_seconds(self, event: str) -> float:
+        e = self.trial.event_index(event)
+        return float(self.trial.exclusive_array("TIME")[e].mean() / 1e6)
+
+
+def default_machine(n_procs: int) -> Machine:
+    """Altix 300 for characterization scale, Altix 3600 beyond 16 CPUs."""
+    return altix_300() if n_procs <= 16 else altix_3600()
+
+
+def _block_region(b: int) -> str:
+    return f"block{b}"
+
+
+def _blocks_of(owner: int, n_owners: int, n_blocks: int) -> list[int]:
+    """Contiguous block partition (block ↔ owner mapping)."""
+    per = n_blocks // n_owners
+    extra = n_blocks % n_owners
+    start = owner * per + min(owner, extra)
+    count = per + (1 if owner < extra else 0)
+    return list(range(start, start + count))
+
+
+def _node_pressure(
+    page_table: PageTable, mesh: MultiBlockMesh, owners: list[list[int]],
+    machine: Machine, cpus: list[int],
+) -> dict[int, int]:
+    """threads-per-node pressure: how many workers' current blocks live on
+    each NUMA node (drives the contention factor)."""
+    workers_on_node: dict[int, set[int]] = {}
+    for worker, blocks in enumerate(owners):
+        for b in blocks:
+            hist = page_table.region(_block_region(b)).node_histogram(
+                machine.n_nodes
+            )
+            if hist.sum() == 0:
+                continue
+            node = int(np.argmax(hist))
+            workers_on_node.setdefault(node, set()).add(worker)
+    return {node: len(ws) for node, ws in workers_on_node.items()}
+
+
+def _contention_factor(
+    page_table: PageTable, machine: Machine, block: int,
+    pressure: dict[int, int],
+) -> float:
+    hist = page_table.region(_block_region(block)).node_histogram(machine.n_nodes)
+    if hist.sum() == 0:
+        return 1.0
+    node = int(np.argmax(hist))
+    concentration = float(hist[node]) / float(hist.sum())
+    if concentration < 0.75:
+        return 1.0
+    excess = max(0, pressure.get(node, 0) - machine.topology.cpus_per_node)
+    return 1.0 + CONTENTION_BETA * excess * concentration
+
+
+def run_genidlest(
+    config: RunConfig, *, machine: Machine | None = None
+) -> GenidlestResult:
+    """Simulate one configuration; returns the trial-bearing result."""
+    machine = machine or default_machine(config.n_procs)
+    if machine.n_cpus < config.n_procs:
+        raise SimulationError(
+            f"machine has {machine.n_cpus} cpus; need {config.n_procs}"
+        )
+    mesh = MultiBlockMesh(config.case)
+    page_table = machine.new_page_table()
+    for block in mesh.blocks:
+        page_table.allocate(_block_region(block.id), block.bytes)
+    profiler = Profiler(machine)
+
+    if config.version == "mpi":
+        _run_mpi(config, machine, mesh, page_table, profiler)
+    else:
+        _run_openmp(config, machine, mesh, page_table, profiler)
+
+    trial = profiler.to_trial(
+        config.label,
+        {
+            "application": "GenIDLEST",
+            "case": config.case.name,
+            "version": config.version,
+            "optimized": config.optimized,
+            "parallel_init": config.use_parallel_init,
+            "parallel_exchange": config.use_parallel_exchange,
+            "procs": config.n_procs,
+            "iterations": config.iterations,
+            "on_processor_copies": mesh.on_processor_copies(
+                buffered=not config.use_parallel_exchange
+            ),
+        },
+    )
+    return GenidlestResult(trial, config)
+
+
+# ---------------------------------------------------------------------------
+# OpenMP
+# ---------------------------------------------------------------------------
+
+
+def _run_openmp(
+    config: RunConfig,
+    machine: Machine,
+    mesh: MultiBlockMesh,
+    page_table: PageTable,
+    profiler: Profiler,
+) -> None:
+    n = config.n_procs
+    cpus = list(range(n))
+    omp = OpenMPRuntime(machine, profiler, page_table)
+    owners = [_blocks_of(t, n, mesh.n_blocks) for t in range(n)]
+
+    for cpu in cpus:
+        profiler.enter(cpu, EVENT_MAIN)
+
+    # --- initialization: where first-touch placement happens -------------
+    if config.use_parallel_init:
+        init_tasks = [
+            LoopTask(
+                init_signature(mesh.blocks[b]),
+                RegionAccess(_block_region(b)),
+            )
+            for b in range(mesh.n_blocks)
+        ]
+        omp.parallel_for(
+            region_event=EVENT_INIT,
+            loop_event="init_loop",
+            tasks=init_tasks,
+            n_threads=n,
+            schedule=Schedule("static"),
+            cpus=cpus,
+        )
+    else:
+        # master-thread initialization: every page first-touched on node 0
+        omp.single(
+            region_event=EVENT_INIT,
+            body_event="init_loop",
+            work_items=[
+                LoopTask(
+                    init_signature(mesh.blocks[b]),
+                    RegionAccess(_block_region(b)),
+                )
+                for b in range(mesh.n_blocks)
+            ],
+            n_threads=n,
+            cpus=cpus,
+        )
+
+    pressure = _node_pressure(page_table, mesh, owners, machine, cpus)
+
+    for _ in range(config.iterations):
+        # --- ghost-cell update -------------------------------------------
+        # The sequential (single-thread) exchange sees no controller
+        # contention — only the concurrent parallel-copy path does.
+        copies_each = 2 if not config.use_parallel_exchange else 1
+        copy_items = [
+            LoopTask(
+                copy_signature(mesh.blocks[src].face_bytes * copies_each),
+                RegionAccess(
+                    _block_region(dest),
+                    latency_multiplier=(
+                        _contention_factor(page_table, machine, dest, pressure)
+                        if config.use_parallel_exchange
+                        else 1.0
+                    ),
+                ),
+            )
+            for src, dest in mesh.exchange_pairs()
+        ]
+        for _exchange in range(EXCHANGES_PER_ITERATION):
+            for cpu in cpus:
+                profiler.enter(cpu, EVENT_EXCHANGE)
+            if config.use_parallel_exchange:
+                omp.parallel_for(
+                    region_event=EVENT_SENDRECV,
+                    loop_event="ghost_copy",
+                    tasks=copy_items,
+                    n_threads=n,
+                    schedule=Schedule("static"),
+                    cpus=cpus,
+                )
+            else:
+                # sequential master-thread copies (the §III.B bottleneck)
+                omp.single(
+                    region_event=EVENT_SENDRECV,
+                    body_event="ghost_copy",
+                    work_items=copy_items,
+                    n_threads=n,
+                    cpus=cpus,
+                )
+            for cpu in cpus:
+                profiler.exit(cpu, EVENT_EXCHANGE)
+
+        # --- kernels -----------------------------------------------------
+        for event, factory, calls in _KERNEL_SCHEDULE:
+            for _ in range(calls):
+                tasks = [
+                    LoopTask(
+                        factory(
+                            mesh.blocks[b], cache_blocked=config.cache_blocked
+                        ),
+                        RegionAccess(
+                            _block_region(b),
+                            latency_multiplier=_contention_factor(
+                                page_table, machine, b, pressure
+                            ),
+                        ),
+                    )
+                    for b in range(mesh.n_blocks)
+                ]
+                omp.parallel_for(
+                    region_event=f"omp_region_{event}",
+                    loop_event=event,
+                    tasks=tasks,
+                    n_threads=n,
+                    schedule=Schedule("static"),
+                    cpus=cpus,
+                )
+        # solver vector algebra
+        vec_tasks = [
+            LoopTask(
+                bicgstab_vector_signature(mesh.blocks[b]),
+                RegionAccess(
+                    _block_region(b),
+                    latency_multiplier=_contention_factor(
+                        page_table, machine, b, pressure
+                    ),
+                ),
+            )
+            for b in range(mesh.n_blocks)
+        ]
+        omp.parallel_for(
+            region_event=f"omp_region_{EVENT_BICGSTAB}",
+            loop_event=EVENT_BICGSTAB,
+            tasks=vec_tasks,
+            n_threads=n,
+            schedule=Schedule("static"),
+            cpus=cpus,
+        )
+
+    end = max(profiler.clock(c) for c in cpus)
+    for cpu in cpus:
+        profiler.advance_clock_to(cpu, end)
+        profiler.exit(cpu, EVENT_MAIN)
+
+
+# ---------------------------------------------------------------------------
+# MPI
+# ---------------------------------------------------------------------------
+
+
+def _run_mpi(
+    config: RunConfig,
+    machine: Machine,
+    mesh: MultiBlockMesh,
+    page_table: PageTable,
+    profiler: Profiler,
+) -> None:
+    n = config.n_procs
+    mpi = MPIRuntime(machine, profiler, n)
+    owners = [_blocks_of(r, n, mesh.n_blocks) for r in range(n)]
+    owner_of = {b: r for r, blocks in enumerate(owners) for b in blocks}
+
+    for r in range(n):
+        profiler.enter(mpi.cpu_of(r), EVENT_MAIN)
+
+    # initialization: each rank first-touches its own blocks → local pages
+    for r in range(n):
+        cpu = mpi.cpu_of(r)
+        profiler.enter(cpu, EVENT_INIT)
+        for b in owners[r]:
+            from ...runtime import execute_work
+
+            execute_work(
+                machine, profiler, cpu,
+                init_signature(mesh.blocks[b]),
+                page_table=page_table,
+                access=RegionAccess(_block_region(b)),
+            )
+        profiler.exit(cpu, EVENT_INIT)
+
+    def ghost_exchange() -> None:
+        """One ghost update: nonblocking faces + overlapped on-rank copies."""
+        from ...runtime import execute_work
+
+        recvs: dict[int, list] = {r: [] for r in range(n)}
+        for r in range(n):
+            cpu = mpi.cpu_of(r)
+            profiler.enter(cpu, EVENT_EXCHANGE)
+            profiler.enter(cpu, EVENT_SENDRECV)
+            # the two inter-rank faces of this rank's block range
+            lo_block, hi_block = owners[r][0], owners[r][-1]
+            prev_rank = owner_of[mesh.neighbors(lo_block)[0]]
+            next_rank = owner_of[mesh.neighbors(hi_block)[1]]
+            face = mesh.blocks[lo_block].face_bytes
+            copies = 2 if not config.use_parallel_exchange else 1
+            if prev_rank != r:
+                mpi.isend(r, prev_rank, face, tag=0)
+                recvs[r].append(mpi.irecv(r, prev_rank, face, tag=1))
+            if next_rank != r:
+                mpi.isend(r, next_rank, face, tag=1)
+                recvs[r].append(mpi.irecv(r, next_rank, face, tag=0))
+            # on-rank copies between interior blocks overlap the transfer
+            interior_pairs = max(len(owners[r]) - 1, 0) * 2
+            for _copy in range(interior_pairs):
+                execute_work(
+                    machine, profiler, cpu, copy_signature(face * copies),
+                    page_table=page_table,
+                    access=RegionAccess(_block_region(owners[r][0])),
+                )
+            profiler.exit(cpu, EVENT_SENDRECV)
+        for r in range(n):
+            cpu = mpi.cpu_of(r)
+            if recvs[r]:
+                mpi.waitall(r, recvs[r])
+            profiler.exit(cpu, EVENT_EXCHANGE)
+
+    for _ in range(config.iterations):
+        for _exchange in range(EXCHANGES_PER_ITERATION):
+            ghost_exchange()
+
+        # --- kernels ---------------------------------------------------
+        for event, factory, calls in _KERNEL_SCHEDULE:
+            for _ in range(calls):
+                for r in range(n):
+                    cpu = mpi.cpu_of(r)
+                    profiler.enter(cpu, event)
+                    for b in owners[r]:
+                        from ...runtime import execute_work
+
+                        execute_work(
+                            machine, profiler, cpu,
+                            factory(mesh.blocks[b],
+                                    cache_blocked=config.cache_blocked),
+                            page_table=page_table,
+                            access=RegionAccess(_block_region(b)),
+                        )
+                    profiler.exit(cpu, event)
+        for r in range(n):
+            cpu = mpi.cpu_of(r)
+            profiler.enter(cpu, EVENT_BICGSTAB)
+            for b in owners[r]:
+                from ...runtime import execute_work
+
+                execute_work(
+                    machine, profiler, cpu,
+                    bicgstab_vector_signature(mesh.blocks[b]),
+                    page_table=page_table,
+                    access=RegionAccess(_block_region(b)),
+                )
+            profiler.exit(cpu, EVENT_BICGSTAB)
+        # dot products synchronize the solver every iteration
+        mpi.allreduce(8)
+
+    for r in range(n):
+        profiler.exit(mpi.cpu_of(r), EVENT_MAIN)
+
+
+# ---------------------------------------------------------------------------
+# Sweeps
+# ---------------------------------------------------------------------------
+
+
+def run_genidlest_scaling(
+    *,
+    case: CaseConfig = RIB90,
+    version: str = "openmp",
+    optimized: bool = False,
+    proc_counts: list[int] | None = None,
+    iterations: int = 3,
+) -> list[GenidlestResult]:
+    """A scaling sweep of one configuration family (Fig. 5 inputs)."""
+    proc_counts = proc_counts or [1, 2, 4, 8, 16]
+    out = []
+    for p in proc_counts:
+        out.append(
+            run_genidlest(
+                RunConfig(
+                    case=case,
+                    version=version,
+                    optimized=optimized,
+                    n_procs=p,
+                    iterations=iterations,
+                )
+            )
+        )
+    return out

@@ -1,0 +1,348 @@
+"""Command-line interface: ``repro-perf``.
+
+Subcommands::
+
+    repro-perf reproduce {fig4a,fig4b,fig5a,fig5b,table1}
+        Regenerate one of the paper's figures/tables and print its series.
+
+    repro-perf run-msa [--sequences N] [--threads N] [--schedule S] [--db F]
+        Simulate one MSAP configuration; optionally store the profile.
+
+    repro-perf run-genidlest [--case {45rib,90rib}] [--version {openmp,mpi}]
+                             [--procs N] [--optimized] [--db F]
+        Simulate one GenIDLEST configuration; optionally store the profile.
+
+    repro-perf diagnose --db F --app A --exp E --trial T [--rules FILE.prl]
+        Run the knowledge-based diagnosis over a stored trial.
+
+    repro-perf tune {msa,genidlest}
+        Run the closed diagnose→plan→apply→verify loop and report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    target = args.target
+    if target == "fig4a":
+        from repro.apps.msa import run_msa_trial
+        from repro.machine import counters as C
+
+        r = run_msa_trial(n_sequences=args.sequences, n_threads=16,
+                          schedule="static", seed=0)
+        t = r.trial
+        inner = t.exclusive_array(C.TIME)[t.event_index("sw_align_inner_loop")] / 1e6
+        outer = t.exclusive_array(C.TIME)[t.event_index("pairwise_outer_loop")] / 1e6
+        print("Fig. 4(a): per-thread loop seconds (static, 16 threads)")
+        print(f"{'thread':>8}{'inner':>12}{'outer/wait':>12}")
+        for i in range(16):
+            print(f"{i:>8}{inner[i]:>12.3f}{outer[i]:>12.3f}")
+        print(f"imbalance ratio: {r.loop.imbalance_ratio:.3f}")
+        return 0
+    if target == "fig4b":
+        from repro.apps.msa import relative_efficiency, run_msa_scaling
+
+        schedules = ["static", "dynamic,16", "dynamic,4", "dynamic,1"]
+        sweeps = run_msa_scaling(n_sequences=args.sequences,
+                                 schedules=schedules,
+                                 thread_counts=[1, 2, 4, 8, 16])
+        eff = {s: dict(relative_efficiency(r)) for s, r in sweeps.items()}
+        print("Fig. 4(b): MSAP relative efficiency")
+        print(f"{'threads':>8}" + "".join(s.rjust(12) for s in schedules))
+        for p in (1, 2, 4, 8, 16):
+            print(f"{p:>8}" + "".join(f"{eff[s][p]:>12.2%}" for s in schedules))
+        from repro.core.charts import line_chart
+
+        print()
+        print(line_chart(
+            {s: sorted(eff[s].items()) for s in schedules},
+            title="relative efficiency vs threads",
+            x_label="threads", y_label="efficiency",
+        ))
+        return 0
+    if target in ("fig5a", "fig5b"):
+        from repro.apps.genidlest import RIB90, run_genidlest_scaling
+        from repro.core.script import ScalabilityOperation, TrialResult
+
+        counts = [1, 2, 4, 8, 16]
+        if target == "fig5a":
+            runs = run_genidlest_scaling(case=RIB90, version="openmp",
+                                         optimized=False, proc_counts=counts,
+                                         iterations=3)
+            op = ScalabilityOperation([TrialResult(r.trial) for r in runs])
+            events = ["bicgstab", "diff_coeff", "matxvec", "pc",
+                      "pc_jac_glb", "mpi_send_recv_ko"]
+            series = {
+                e: op.event_series(e, inclusive=(e == "mpi_send_recv_ko"))
+                for e in events
+            }
+            print("Fig. 5(a): per-event speedup, unoptimized OpenMP 90rib")
+            print(f"{'procs':>6}" + "".join(e[:11].rjust(12) for e in events))
+            for i, p in enumerate(counts):
+                print(f"{p:>6}" + "".join(
+                    f"{series[e].speedup[i]:>12.2f}" for e in events))
+            return 0
+        variants = {
+            "MPI": dict(version="mpi", optimized=True),
+            "OpenMP opt": dict(version="openmp", optimized=True),
+            "OpenMP unopt": dict(version="openmp", optimized=False),
+        }
+        print("Fig. 5(b): GenIDLEST 90rib whole-app speedup")
+        print(f"{'procs':>6}" + "".join(k.rjust(14) for k in variants))
+        all_runs = {
+            k: run_genidlest_scaling(case=RIB90, proc_counts=counts,
+                                     iterations=3, **kw)
+            for k, kw in variants.items()
+        }
+        series = {}
+        for k in variants:
+            base = all_runs[k][0].wall_seconds
+            series[k] = [
+                (p, base / all_runs[k][i].wall_seconds)
+                for i, p in enumerate(counts)
+            ]
+        for i, p in enumerate(counts):
+            row = f"{p:>6}"
+            for k in variants:
+                row += f"{series[k][i][1]:>14.2f}"
+            print(row)
+        from repro.core.charts import line_chart
+
+        print()
+        print(line_chart(series, title="speedup vs processors",
+                         x_label="procs", y_label="speedup"))
+        return 0
+    if target == "table1":
+        from repro.apps.genidlest.compiled import genidlest_compiled_program
+        from repro.knowledge import recommend_power_levels
+        from repro.machine import altix_300
+        from repro.openuh import OPT_LEVELS, compile_program
+        from repro.power import measure_signature, relative_table
+
+        machine = altix_300()
+        program = genidlest_compiled_program()
+        meas = [
+            measure_signature(l, compile_program(program, l).signature(),
+                              machine, n_processors=16)
+            for l in OPT_LEVELS
+        ]
+        print(relative_table(meas).render(
+            title="Table I: relative differences, 16 MPI ranks (O0 baseline)"
+        ))
+        harness = recommend_power_levels(meas)
+        print()
+        for line in harness.output:
+            print(line)
+        return 0
+    print(f"unknown reproduction target {target!r}", file=sys.stderr)
+    return 2
+
+
+def _cmd_run_msa(args: argparse.Namespace) -> int:
+    from repro.apps.msa import run_msa_trial
+
+    result = run_msa_trial(
+        n_sequences=args.sequences, n_threads=args.threads,
+        schedule=args.schedule, seed=args.seed,
+    )
+    print(f"trial {result.trial.name}: wall {result.wall_seconds:.3f} s, "
+          f"imbalance {result.loop.imbalance_ratio:.3f}")
+    if args.db:
+        from repro.perfdmf import PerfDMF
+
+        with PerfDMF(args.db) as repo:
+            repo.save_trial("MSAP", f"{args.schedule}", result.trial,
+                            replace=True)
+        print(f"stored as MSAP/{args.schedule}/{result.trial.name} in {args.db}")
+    return 0
+
+
+def _cmd_run_genidlest(args: argparse.Namespace) -> int:
+    from repro.apps.genidlest import RIB45, RIB90, RunConfig, run_genidlest
+
+    case = RIB45 if args.case == "45rib" else RIB90
+    result = run_genidlest(RunConfig(
+        case=case, version=args.version, optimized=args.optimized,
+        n_procs=args.procs, iterations=args.iterations,
+    ))
+    print(f"trial {result.trial.name}: wall {result.wall_seconds:.3f} s")
+    if args.db:
+        from repro.perfdmf import PerfDMF
+
+        with PerfDMF(args.db) as repo:
+            repo.save_trial("GenIDLEST", case.name, result.trial, replace=True)
+        print(f"stored as GenIDLEST/{case.name}/{result.trial.name} "
+              f"in {args.db}")
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.core.harness import RuleHarness
+    from repro.knowledge import render_report
+    from repro.knowledge.rulebase import diagnose_genidlest, diagnose_load_balance
+    from repro.perfdmf import PerfDMF
+
+    with PerfDMF(args.db) as repo:
+        trial = repo.load_trial(args.app, args.exp, args.trial)
+    harness = None
+    if args.rules:
+        harness = RuleHarness(args.rules)
+    diagnose = (
+        diagnose_load_balance if args.script == "load-balance"
+        else diagnose_genidlest
+    )
+    harness = diagnose(trial, harness=harness)
+    print(render_report(harness, title=f"Diagnosis of {args.app}/{args.trial}"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """The §III.B comparison workflow: ratio of two stored trials."""
+    from repro.core.script import (
+        BasicStatisticsOperation,
+        TrialRatioOperation,
+        TrialResult,
+    )
+    from repro.perfdmf import PerfDMF
+
+    with PerfDMF(args.db) as repo:
+        a = repo.load_trial(args.app, args.exp, args.trial_a)
+        b = repo.load_trial(args.app, args.exp, args.trial_b)
+    mean_a = BasicStatisticsOperation(TrialResult(a)).mean()
+    mean_b = BasicStatisticsOperation(TrialResult(b)).mean()
+    ratio = TrialRatioOperation(mean_a, mean_b).process_data()[0]
+    metric = args.metric
+    if not ratio.has_metric(metric):
+        print(f"no shared metric {metric!r}; have {ratio.metrics}",
+              file=sys.stderr)
+        return 2
+    print(f"{args.trial_a} / {args.trial_b} per-event {metric} ratio "
+          "(>1 means the first trial is slower):")
+    rows = sorted(
+        ((float(ratio.event_row(e, metric, inclusive=True)[0]), e)
+         for e in ratio.events),
+        reverse=True,
+    )
+    for value, event in rows:
+        print(f"  {value:10.2f}  {event}")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.perfdmf import PerfDMF
+
+    with PerfDMF(args.db) as repo:
+        apps = repo.applications()
+        if not apps:
+            print("(repository is empty)")
+            return 0
+        for app in apps:
+            print(app)
+            for exp in repo.experiments(app):
+                print(f"  {exp}")
+                for trial in repo.trials(app, exp):
+                    meta = repo.trial_metadata(app, exp, trial)
+                    extras = ", ".join(
+                        f"{k}={meta[k]}"
+                        for k in ("procs", "threads", "schedule", "case")
+                        if k in meta
+                    )
+                    print(f"    {trial}" + (f"  ({extras})" if extras else ""))
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    if args.app == "msa":
+        from repro.workflows import msa_tuning_loop
+
+        outcome = msa_tuning_loop(n_sequences=args.sequences,
+                                  n_threads=args.threads)
+    else:
+        from repro.apps.genidlest import RIB45, RIB90
+        from repro.workflows import genidlest_tuning_loop
+
+        case = RIB45 if args.case == "45rib" else RIB90
+        outcome = genidlest_tuning_loop(case=case, n_procs=args.procs,
+                                        iterations=args.iterations)
+    print(outcome.describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-perf",
+        description="Capturing Performance Knowledge for Automated Analysis "
+        "(SC 2008) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("reproduce", help="regenerate a paper figure/table")
+    p.add_argument("target",
+                   choices=["fig4a", "fig4b", "fig5a", "fig5b", "table1"])
+    p.add_argument("--sequences", type=int, default=400)
+    p.set_defaults(func=_cmd_reproduce)
+
+    p = sub.add_parser("run-msa", help="simulate one MSAP configuration")
+    p.add_argument("--sequences", type=int, default=400)
+    p.add_argument("--threads", type=int, default=16)
+    p.add_argument("--schedule", default="static")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--db", help="PerfDMF sqlite file to store the trial in")
+    p.set_defaults(func=_cmd_run_msa)
+
+    p = sub.add_parser("run-genidlest",
+                       help="simulate one GenIDLEST configuration")
+    p.add_argument("--case", choices=["45rib", "90rib"], default="90rib")
+    p.add_argument("--version", choices=["openmp", "mpi"], default="openmp")
+    p.add_argument("--procs", type=int, default=16)
+    p.add_argument("--iterations", type=int, default=3)
+    p.add_argument("--optimized", action="store_true")
+    p.add_argument("--db", help="PerfDMF sqlite file to store the trial in")
+    p.set_defaults(func=_cmd_run_genidlest)
+
+    p = sub.add_parser("diagnose", help="diagnose a stored trial")
+    p.add_argument("--db", required=True)
+    p.add_argument("--app", required=True)
+    p.add_argument("--exp", required=True)
+    p.add_argument("--trial", required=True)
+    p.add_argument("--script", choices=["load-balance", "genidlest"],
+                   default="genidlest")
+    p.add_argument("--rules", help="extra .prl rule file to load")
+    p.set_defaults(func=_cmd_diagnose)
+
+    p = sub.add_parser("list", help="browse a PerfDMF repository")
+    p.add_argument("--db", required=True)
+    p.set_defaults(func=_cmd_list)
+
+    p = sub.add_parser("compare",
+                       help="per-event ratio of two stored trials")
+    p.add_argument("--db", required=True)
+    p.add_argument("--app", required=True)
+    p.add_argument("--exp", required=True)
+    p.add_argument("trial_a")
+    p.add_argument("trial_b")
+    p.add_argument("--metric", default="TIME")
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("tune", help="run a closed tuning loop")
+    p.add_argument("app", choices=["msa", "genidlest"])
+    p.add_argument("--sequences", type=int, default=200)
+    p.add_argument("--threads", type=int, default=16)
+    p.add_argument("--case", choices=["45rib", "90rib"], default="90rib")
+    p.add_argument("--procs", type=int, default=16)
+    p.add_argument("--iterations", type=int, default=3)
+    p.set_defaults(func=_cmd_tune)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""PerfExplorer 2.0: performance data mining with knowledge-based diagnosis.
+
+The paper's primary contribution.  Submodules:
+
+* :mod:`~repro.core.result` — the PerformanceResult datatype;
+* :mod:`~repro.core.operations` — derive/statistics/correlation/scaling/
+  top-X/difference/merge/k-means/PCA operations;
+* :mod:`~repro.core.facts` — fact generation (MeanEventFact & friends);
+* :mod:`~repro.core.harness` — RuleHarness over the inference engine;
+* :mod:`~repro.core.script` — the flat scripting facade Fig. 1 scripts use.
+"""
+
+from .assertions import (
+    AssertionContext,
+    AssertionOutcome,
+    PerformanceAssertion,
+    assertion_facts,
+    check_assertions,
+    render_assertion_report,
+)
+from .facts import MeanEventFact, callgraph_facts, severity_of, trial_metadata_facts
+from .harness import RuleHarness, register_rulebase, registered_rulebases
+from .result import AnalysisError, PerformanceResult, trial_result
+
+__all__ = [
+    "AnalysisError",
+    "AssertionContext",
+    "AssertionOutcome",
+    "PerformanceAssertion",
+    "assertion_facts",
+    "check_assertions",
+    "render_assertion_report",
+    "MeanEventFact",
+    "PerformanceResult",
+    "RuleHarness",
+    "callgraph_facts",
+    "register_rulebase",
+    "registered_rulebases",
+    "severity_of",
+    "trial_metadata_facts",
+    "trial_result",
+]

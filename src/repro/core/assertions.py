@@ -1,0 +1,183 @@
+"""Performance assertions (Vetter & Worley, discussed in §IV).
+
+"Performance Assertions have been developed to confirm that the empirical
+performance data of an application or code region meets or exceeds that of
+the expected performance.  By using the assertions, the programmer can
+relate expected performance results to variables in the application, the
+execution configuration (i.e. number of processors), and pre-evaluated
+variables (i.e. peak FLOPS for this machine)."
+
+This module implements that contract over PerfDMF trials: an assertion
+names a region and a metric, and its expectation is an expression over an
+:class:`AssertionContext` exposing exactly those three variable classes.
+Violations can be rendered as a report or asserted into a rule harness as
+``AssertionViolation`` facts, so knowledge rules can react to broken
+expectations (the paper's "runtime decisions about component selection").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..machine import counters as C
+from ..perfdmf import Trial
+from ..rules import Fact
+from .result import AnalysisError, PerformanceResult
+
+#: Itanium 2 Madison: 4 FP ops/cycle × 1.5 GHz.
+DEFAULT_PEAK_FLOPS = 6.0e9
+
+_RELATIONS: dict[str, Callable[[float, float], bool]] = {
+    "<=": lambda a, b: a <= b,
+    "<": lambda a, b: a < b,
+    ">=": lambda a, b: a >= b,
+    ">": lambda a, b: a > b,
+    "==": lambda a, b: abs(a - b) <= 1e-9 * max(abs(a), abs(b), 1.0),
+}
+
+
+class AssertionContext:
+    """The variables an expectation expression may reference."""
+
+    def __init__(
+        self,
+        result: PerformanceResult,
+        *,
+        peak_flops: float = DEFAULT_PEAK_FLOPS,
+        variables: Mapping[str, float] | None = None,
+    ) -> None:
+        self._result = result
+        #: Execution configuration.
+        self.processors = result.thread_count
+        self.metadata = dict(result.metadata)
+        #: Pre-evaluated machine variables.
+        self.peak_flops = peak_flops
+        #: Application variables supplied by the developer.
+        self.variables = dict(variables or {})
+
+    def total(self, metric: str = C.TIME) -> float:
+        """Main event's mean inclusive value of ``metric``."""
+        main = self._result.main_event()
+        return float(
+            self._result.event_row(main, metric, inclusive=True).mean()
+        )
+
+    def event_mean(self, event: str, metric: str = C.TIME, *,
+                   inclusive: bool = False) -> float:
+        if not self._result.has_event(event):
+            raise AnalysisError(f"assertion context: unknown event {event!r}")
+        return float(
+            self._result.event_row(event, metric, inclusive=inclusive).mean()
+        )
+
+    def var(self, name: str) -> float:
+        if name in self.variables:
+            return float(self.variables[name])
+        if name in self.metadata and isinstance(
+            self.metadata[name], (int, float)
+        ):
+            return float(self.metadata[name])
+        raise AnalysisError(
+            f"assertion references unknown variable {name!r}; "
+            f"available: {sorted(self.variables) + sorted(self.metadata)}"
+        )
+
+
+@dataclass(frozen=True)
+class PerformanceAssertion:
+    """One expectation about a region's measured performance.
+
+    ``expect`` computes the bound from the context; ``relation`` compares
+    the measured value against it (``measured <relation> bound``).
+    """
+
+    name: str
+    event: str
+    metric: str = C.TIME
+    relation: str = "<="
+    expect: Callable[[AssertionContext], float] = lambda ctx: 0.0
+    inclusive: bool = False
+
+    def __post_init__(self) -> None:
+        if self.relation not in _RELATIONS:
+            raise AnalysisError(
+                f"assertion {self.name!r}: unknown relation {self.relation!r}"
+            )
+
+    def evaluate(self, ctx: AssertionContext) -> "AssertionOutcome":
+        measured = ctx.event_mean(self.event, self.metric,
+                                  inclusive=self.inclusive)
+        bound = float(self.expect(ctx))
+        holds = _RELATIONS[self.relation](measured, bound)
+        return AssertionOutcome(self, measured, bound, holds)
+
+
+@dataclass(frozen=True)
+class AssertionOutcome:
+    assertion: PerformanceAssertion
+    measured: float
+    bound: float
+    holds: bool
+
+    @property
+    def violation_ratio(self) -> float:
+        """How far past the bound the measurement landed (0 when holding)."""
+        if self.holds or self.bound == 0:
+            return 0.0 if self.holds else float("inf")
+        return abs(self.measured - self.bound) / abs(self.bound)
+
+    def describe(self) -> str:
+        state = "OK  " if self.holds else "FAIL"
+        a = self.assertion
+        return (
+            f"[{state}] {a.name}: {a.event}.{a.metric} = {self.measured:.6g} "
+            f"{a.relation} {self.bound:.6g}"
+        )
+
+
+def check_assertions(
+    trial: Trial | PerformanceResult,
+    assertions: list[PerformanceAssertion],
+    *,
+    peak_flops: float = DEFAULT_PEAK_FLOPS,
+    variables: Mapping[str, float] | None = None,
+) -> list[AssertionOutcome]:
+    """Evaluate every assertion; returns outcomes in input order."""
+    if not assertions:
+        raise AnalysisError("no assertions to check")
+    result = (
+        trial if isinstance(trial, PerformanceResult)
+        else PerformanceResult(trial)
+    )
+    ctx = AssertionContext(result, peak_flops=peak_flops, variables=variables)
+    return [a.evaluate(ctx) for a in assertions]
+
+
+def assertion_facts(outcomes: list[AssertionOutcome]) -> list[Fact]:
+    """``AssertionViolation`` facts for the outcomes that failed."""
+    facts = []
+    for o in outcomes:
+        if o.holds:
+            continue
+        facts.append(
+            Fact(
+                "AssertionViolation",
+                name=o.assertion.name,
+                event=o.assertion.event,
+                metric=o.assertion.metric,
+                measured=o.measured,
+                bound=o.bound,
+                relation=o.assertion.relation,
+                violation_ratio=o.violation_ratio,
+            )
+        )
+    return facts
+
+
+def render_assertion_report(outcomes: list[AssertionOutcome]) -> str:
+    failed = sum(1 for o in outcomes if not o.holds)
+    lines = [f"Performance assertions: {len(outcomes) - failed}/{len(outcomes)} hold"]
+    for o in outcomes:
+        lines.append("  " + o.describe())
+    return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Terminal chart rendering for figure-shaped results.
+
+The paper's evaluation is figures; a terminal-first reproduction should be
+able to *show* them.  Two renderers, both pure text:
+
+* :func:`line_chart` — multi-series scatter/line plot on a character grid
+  (used for the Fig. 4(b)/5(a)/5(b) speedup and efficiency curves);
+* :func:`bar_chart` — horizontal labelled bars (used for Fig. 4(a)'s
+  per-thread times and Table I's relative metrics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+class ChartError(Exception):
+    """Raised for unplottable inputs."""
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000 or abs(v) < 0.01:
+        return f"{v:.2g}"
+    return f"{v:.2f}".rstrip("0").rstrip(".")
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render (x, y) series on a character grid with a shared legend."""
+    if not series:
+        raise ChartError("no series to plot")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ChartError("series contain no points")
+    if width < 10 or height < 4:
+        raise ChartError("chart too small")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    y_lo = min(y_lo, 0.0) if y_lo > 0 else y_lo
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    legend = []
+    for i, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[i % len(_MARKERS)]
+        legend.append(f"{marker} {name}")
+        for x, y in pts:
+            place(x, y, marker)
+
+    y_top, y_bottom = _fmt(y_hi), _fmt(y_lo)
+    gutter = max(len(y_top), len(y_bottom)) + 1
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = y_top
+        elif r == height - 1:
+            label = y_bottom
+        else:
+            label = ""
+        lines.append(f"{label:>{gutter}} |" + "".join(row))
+    lines.append(" " * gutter + " +" + "-" * width)
+    x_axis = f"{_fmt(x_lo)}{' ' * max(width - len(_fmt(x_lo)) - len(_fmt(x_hi)), 1)}{_fmt(x_hi)}"
+    lines.append(" " * (gutter + 2) + x_axis)
+    footer = "   ".join(legend)
+    if x_label or y_label:
+        footer += f"   [{x_label}{' vs ' if x_label and y_label else ''}{y_label}]"
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    *,
+    width: int = 50,
+    title: str = "",
+    reference: float | None = None,
+) -> str:
+    """Render labelled horizontal bars (optionally with a reference tick).
+
+    ``reference`` draws a ``|`` marker at that value on every bar's scale —
+    e.g. the 1.0 baseline of Table I's relative metrics.
+    """
+    if not values:
+        raise ChartError("no bars to plot")
+    if width < 10:
+        raise ChartError("chart too small")
+    peak = max(list(values.values()) + ([reference] if reference else []))
+    if peak <= 0:
+        raise ChartError("bar values must include a positive maximum")
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    ref_col = (
+        round(reference / peak * (width - 1)) if reference is not None else -1
+    )
+    for name, value in values.items():
+        if value < 0:
+            raise ChartError(f"bar {name!r}: negative values unsupported")
+        filled = round(value / peak * (width - 1))
+        bar = ["█" if c <= filled and value > 0 else " " for c in range(width)]
+        if 0 <= ref_col < width and bar[ref_col] == " ":
+            bar[ref_col] = "|"
+        lines.append(f"{name:>{label_w}} {''.join(bar)} {_fmt(value)}")
+    return "\n".join(lines)

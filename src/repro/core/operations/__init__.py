@@ -1,0 +1,52 @@
+"""PerfExplorer analysis operations.
+
+Each module provides one family of transformations over
+:class:`~repro.core.result.PerformanceResult` objects; see
+:mod:`repro.core.script` for the flat scripting facade.
+"""
+
+from .base import PerformanceAnalysisOperation
+from .clustering import KMeansOperation, PCAOperation, kmeans
+from .comparison import DifferenceOperation, MergeTrialsOperation, TrialRatioOperation
+from .correlation import CorrelationOperation, event_correlation
+from .derive import DeriveMetricOperation, ScaleMetricOperation, derive_chain
+from .extract import (
+    ExtractEventOperation,
+    ExtractMetricOperation,
+    ExtractRankOperation,
+    TopXEvents,
+    TopXPercentEvents,
+)
+from .scalability import ScalabilityOperation, ScalingSeries
+from .statistics import (
+    BasicStatisticsOperation,
+    RatioOperation,
+    trial_mean_result,
+    trial_total_result,
+)
+
+__all__ = [
+    "BasicStatisticsOperation",
+    "CorrelationOperation",
+    "DeriveMetricOperation",
+    "DifferenceOperation",
+    "ExtractEventOperation",
+    "ExtractMetricOperation",
+    "ExtractRankOperation",
+    "KMeansOperation",
+    "MergeTrialsOperation",
+    "PCAOperation",
+    "PerformanceAnalysisOperation",
+    "RatioOperation",
+    "ScalabilityOperation",
+    "ScaleMetricOperation",
+    "ScalingSeries",
+    "TopXEvents",
+    "TopXPercentEvents",
+    "TrialRatioOperation",
+    "derive_chain",
+    "event_correlation",
+    "kmeans",
+    "trial_mean_result",
+    "trial_total_result",
+]

@@ -1,0 +1,64 @@
+"""Operation base class (PerfExplorer's ``PerformanceAnalysisOperation``).
+
+Operations are small, composable transformations over
+:class:`~repro.core.result.PerformanceResult` lists.  The contract mirrors
+PerfExplorer 2.0's scripting interface: construct with inputs, call
+``process_data()`` (alias ``processData()``), receive a list of results.
+Each concrete operation documents what it appends to that list.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Sequence
+
+from ..result import AnalysisError, PerformanceResult
+
+
+class PerformanceAnalysisOperation(ABC):
+    """Base class for all analysis operations."""
+
+    def __init__(self, inputs: PerformanceResult | Sequence[PerformanceResult]) -> None:
+        if isinstance(inputs, PerformanceResult):
+            inputs = [inputs]
+        inputs = list(inputs)
+        if not inputs:
+            raise AnalysisError(f"{type(self).__name__}: no input results")
+        for r in inputs:
+            if not isinstance(r, PerformanceResult):
+                raise AnalysisError(
+                    f"{type(self).__name__}: inputs must be PerformanceResult, "
+                    f"got {type(r).__name__}"
+                )
+        self.inputs: list[PerformanceResult] = inputs
+        self.outputs: list[PerformanceResult] = []
+
+    @abstractmethod
+    def process_data(self) -> list[PerformanceResult]:
+        """Run the operation; returns (and stores in ``outputs``) results."""
+
+    # camelCase alias used by ported PerfExplorer scripts
+    def processData(self) -> "_ResultList":
+        return _ResultList(self.process_data())
+
+    def _require_metric(self, result: PerformanceResult, metric: str) -> None:
+        if not result.has_metric(metric):
+            raise AnalysisError(
+                f"{type(self).__name__}: result {result.name!r} has no metric "
+                f"{metric!r}; available: {result.metrics}"
+            )
+
+    def _require_same_shape(self, a: PerformanceResult, b: PerformanceResult) -> None:
+        if a.events != b.events or a.thread_count != b.thread_count:
+            raise AnalysisError(
+                f"{type(self).__name__}: results {a.name!r} and {b.name!r} "
+                "have different event sets or thread counts"
+            )
+
+
+class _ResultList(list):
+    """List with Java-style ``.get(i)`` so Fig. 1's
+    ``operator.processData().get(0)`` works unchanged."""
+
+    def get(self, index: int) -> PerformanceResult:
+        return self[index]

@@ -1,0 +1,110 @@
+"""Across-thread statistics (PerfExplorer's ``BasicStatisticsOperation``).
+
+Collapses the thread axis to a single synthetic thread per statistic —
+mean, standard deviation, min, max, total — returning one result per
+statistic in that order.  The mean result is what the paper's
+``TrialMeanResult`` loads directly.
+
+Also provides :class:`RatioOperation` (stddev/mean per event — the
+imbalance statistic of §III.A) and the :func:`trial_mean_result` /
+:func:`trial_total_result` conveniences used by the script API.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...perfdmf import Trial
+from ..result import AnalysisError, PerformanceResult
+from .base import PerformanceAnalysisOperation
+
+STAT_MEAN = "mean"
+STAT_STDDEV = "stddev"
+STAT_MIN = "min"
+STAT_MAX = "max"
+STAT_TOTAL = "total"
+STAT_ORDER = (STAT_MEAN, STAT_STDDEV, STAT_MIN, STAT_MAX, STAT_TOTAL)
+
+_REDUCERS = {
+    STAT_MEAN: lambda a: a.mean(axis=1, keepdims=True),
+    STAT_STDDEV: lambda a: a.std(axis=1, keepdims=True),
+    STAT_MIN: lambda a: a.min(axis=1, keepdims=True),
+    STAT_MAX: lambda a: a.max(axis=1, keepdims=True),
+    STAT_TOTAL: lambda a: a.sum(axis=1, keepdims=True),
+}
+
+
+class BasicStatisticsOperation(PerformanceAnalysisOperation):
+    """Reduce across threads; returns [mean, stddev, min, max, total]."""
+
+    def process_data(self) -> list[PerformanceResult]:
+        src = self.inputs[0]
+        outputs = []
+        for stat in STAT_ORDER:
+            reduce = _REDUCERS[stat]
+            builder = PerformanceResult.like(
+                src, name=f"{src.name}:{stat}", n_threads=1
+            )
+            for metric in src.metrics:
+                builder.set_metric(
+                    metric,
+                    reduce(src.exclusive(metric)),
+                    reduce(src.inclusive(metric)),
+                )
+            builder.set_calls(reduce(src.calls()))
+            outputs.append(builder.build())
+        self.outputs = outputs
+        return outputs
+
+    def mean(self) -> PerformanceResult:
+        if not self.outputs:
+            self.process_data()
+        return self.outputs[STAT_ORDER.index(STAT_MEAN)]
+
+    def stddev(self) -> PerformanceResult:
+        if not self.outputs:
+            self.process_data()
+        return self.outputs[STAT_ORDER.index(STAT_STDDEV)]
+
+    def total(self) -> PerformanceResult:
+        if not self.outputs:
+            self.process_data()
+        return self.outputs[STAT_ORDER.index(STAT_TOTAL)]
+
+
+class RatioOperation(PerformanceAnalysisOperation):
+    """Per-event stddev/mean across threads, per metric.
+
+    The output has one synthetic thread and the same metric names; a value
+    of 0 means perfectly balanced, values above ~0.25 indicate the load
+    imbalance the paper's rule fires on.  Events whose mean is zero get
+    ratio 0 (no work, no imbalance).
+    """
+
+    def process_data(self) -> list[PerformanceResult]:
+        src = self.inputs[0]
+        builder = PerformanceResult.like(
+            src, name=f"{src.name}:stddev/mean", n_threads=1
+        )
+        for metric in src.metrics:
+            ratios = []
+            for arr in (src.exclusive(metric), src.inclusive(metric)):
+                mean = arr.mean(axis=1, keepdims=True)
+                std = arr.std(axis=1, keepdims=True)
+                ratios.append(
+                    np.divide(std, mean, out=np.zeros_like(std), where=mean != 0)
+                )
+            builder.set_metric(metric, ratios[0], ratios[1], derived=True)
+        self.outputs = [builder.build()]
+        return self.outputs
+
+
+def trial_mean_result(trial: Trial) -> PerformanceResult:
+    """Load a trial and reduce to the across-thread mean (the paper's
+    ``TrialMeanResult(Utilities.getTrial(...))``)."""
+    return BasicStatisticsOperation(PerformanceResult(trial)).mean()
+
+
+def trial_total_result(trial: Trial) -> PerformanceResult:
+    """Across-thread totals of a trial."""
+    return BasicStatisticsOperation(PerformanceResult(trial)).total()

@@ -1,0 +1,66 @@
+"""The performance-knowledge layer: the paper's expert rules, the analysis
+scripts that feed them, and recommendation reporting."""
+
+from .facts_gen import (
+    INEFFICIENCY_METRIC,
+    STALL_RATE_METRIC,
+    imbalance_facts,
+    inefficiency_facts,
+    locality_facts,
+    power_level_facts,
+    serialization_facts,
+    stall_decomposition_facts,
+    stall_rate_facts,
+    thread_cluster_facts,
+)
+from .recommendations import (
+    Recommendation,
+    recommendations_of,
+    render_report,
+    summarize_categories,
+)
+from .rulebase import (
+    RULEBASE_NAME,
+    diagnose_genidlest,
+    diagnose_load_balance,
+    diagnose_locality,
+    diagnose_stalls,
+    openuh_rules,
+    prl_rules,
+    recommend_power_levels,
+)
+from .rules_def import (
+    IMBALANCE_RATIO_THRESHOLD,
+    IMBALANCE_SEVERITY_THRESHOLD,
+    STALL_COVERAGE_THRESHOLD,
+    STALL_RATE_SEVERITY_THRESHOLD,
+)
+
+__all__ = [
+    "IMBALANCE_RATIO_THRESHOLD",
+    "IMBALANCE_SEVERITY_THRESHOLD",
+    "INEFFICIENCY_METRIC",
+    "RULEBASE_NAME",
+    "Recommendation",
+    "STALL_COVERAGE_THRESHOLD",
+    "STALL_RATE_METRIC",
+    "STALL_RATE_SEVERITY_THRESHOLD",
+    "diagnose_genidlest",
+    "diagnose_load_balance",
+    "diagnose_locality",
+    "diagnose_stalls",
+    "imbalance_facts",
+    "inefficiency_facts",
+    "locality_facts",
+    "openuh_rules",
+    "power_level_facts",
+    "prl_rules",
+    "recommend_power_levels",
+    "recommendations_of",
+    "render_report",
+    "serialization_facts",
+    "stall_decomposition_facts",
+    "stall_rate_facts",
+    "summarize_categories",
+    "thread_cluster_facts",
+]

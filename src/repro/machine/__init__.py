@@ -1,0 +1,63 @@
+"""Simulated hardware substrate: Itanium 2 + SGI Altix ccNUMA.
+
+Replaces the paper's physical testbed (see DESIGN.md, "Substitutions").
+Provides:
+
+* :mod:`~repro.machine.counters` — the hardware-counter vocabulary and
+  :class:`~repro.machine.counters.CounterVector`;
+* :mod:`~repro.machine.cache` — analytical L1D/L2/L3 model;
+* :mod:`~repro.machine.topology` — NUMAlink fabric hop/latency geometry;
+* :mod:`~repro.machine.numa` — first-touch page placement and local/remote
+  access accounting;
+* :mod:`~repro.machine.processor` — work-signature → counter synthesis
+  honouring Jarp's stall identity;
+* :mod:`~repro.machine.machines` — Altix 300 / Altix 3600 / UMA configs.
+"""
+
+from . import counters
+from .cache import (
+    AccessSummary,
+    CacheHierarchy,
+    CacheLevel,
+    CacheResult,
+    LevelResult,
+    itanium2_hierarchy,
+)
+from .counters import ALL_COUNTERS, STALL_COMPONENTS, CounterVector
+from .machines import Machine, altix_300, altix_3600, uniform_machine
+from .numa import (
+    PAGE_SIZE,
+    AccessCost,
+    MemoryRegion,
+    PageTable,
+    PlacementError,
+)
+from .processor import MemoryPlacementCost, ProcessorModel, WorkSignature
+from .topology import LatencyModel, NUMATopology
+
+__all__ = [
+    "ALL_COUNTERS",
+    "AccessCost",
+    "AccessSummary",
+    "CacheHierarchy",
+    "CacheLevel",
+    "CacheResult",
+    "CounterVector",
+    "LatencyModel",
+    "LevelResult",
+    "Machine",
+    "MemoryPlacementCost",
+    "MemoryRegion",
+    "NUMATopology",
+    "PAGE_SIZE",
+    "PageTable",
+    "PlacementError",
+    "ProcessorModel",
+    "STALL_COMPONENTS",
+    "WorkSignature",
+    "altix_300",
+    "altix_3600",
+    "counters",
+    "itanium2_hierarchy",
+    "uniform_machine",
+]

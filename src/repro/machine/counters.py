@@ -1,0 +1,178 @@
+"""Hardware counter vocabulary and counter-vector arithmetic.
+
+The paper's diagnosis formulas are written over the Itanium 2 (Madison)
+performance-monitoring events, following Jarp's bottleneck methodology:
+
+* ``CPU_CYCLES`` — total cycles,
+* ``BACK_END_BUBBLE_ALL`` — total back-end stall ("bubble") cycles,
+* the stall *decomposition* counters (L1D misses, branch mispredictions,
+  instruction misses, stack-engine stalls, floating-point stalls, pipeline
+  inter-register dependencies, front-end flushes),
+* the memory-hierarchy counters (L2/L3 references and misses, TLB misses,
+  local/remote memory access counts).
+
+This module names those counters and provides :class:`CounterVector`, a
+small additive record the simulated runtime accumulates per code region and
+per thread.  Vectors support ``+``/scalar ``*`` so callers can aggregate
+per-chunk costs without per-key loops.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+# -- counter names (the subset of the Itanium 2 PMU the paper uses) -------
+
+CPU_CYCLES = "CPU_CYCLES"
+BACK_END_BUBBLE_ALL = "BACK_END_BUBBLE_ALL"
+
+INSTRUCTIONS_COMPLETED = "INSTRUCTIONS_COMPLETED"
+INSTRUCTIONS_ISSUED = "INSTRUCTIONS_ISSUED"
+FP_OPS = "FP_OPS"
+
+# Jarp stall decomposition (Total Stall Cycles = sum of these)
+L1D_CACHE_MISS_STALLS = "L1D_CACHE_MISS_STALLS"
+BRANCH_MISPREDICT_STALLS = "BRANCH_MISPREDICT_STALLS"
+INSTRUCTION_MISS_STALLS = "INSTRUCTION_MISS_STALLS"
+STACK_ENGINE_STALLS = "STACK_ENGINE_STALLS"
+FP_STALLS = "FP_STALLS"
+PIPELINE_REGISTER_DEP_STALLS = "PIPELINE_REGISTER_DEP_STALLS"
+FRONTEND_FLUSH_STALLS = "FRONTEND_FLUSH_STALLS"
+
+STALL_COMPONENTS = (
+    L1D_CACHE_MISS_STALLS,
+    BRANCH_MISPREDICT_STALLS,
+    INSTRUCTION_MISS_STALLS,
+    STACK_ENGINE_STALLS,
+    FP_STALLS,
+    PIPELINE_REGISTER_DEP_STALLS,
+    FRONTEND_FLUSH_STALLS,
+)
+
+# Memory hierarchy counters (inputs to the paper's Memory Stalls formula)
+L2_DATA_REFERENCES = "L2_DATA_REFERENCES"
+L2_MISSES = "L2_MISSES"
+L3_MISSES = "L3_MISSES"
+L3_REFERENCES = "L3_REFERENCES"
+TLB_MISSES = "TLB_MISSES"
+LOCAL_MEMORY_ACCESSES = "LOCAL_MEMORY_ACCESSES"
+REMOTE_MEMORY_ACCESSES = "REMOTE_MEMORY_ACCESSES"
+
+MEMORY_COUNTERS = (
+    L2_DATA_REFERENCES,
+    L2_MISSES,
+    L3_REFERENCES,
+    L3_MISSES,
+    TLB_MISSES,
+    LOCAL_MEMORY_ACCESSES,
+    REMOTE_MEMORY_ACCESSES,
+)
+
+#: Wall-clock time in microseconds (TAU's TIME metric).
+TIME = "TIME"
+
+ALL_COUNTERS = (
+    TIME,
+    CPU_CYCLES,
+    BACK_END_BUBBLE_ALL,
+    INSTRUCTIONS_COMPLETED,
+    INSTRUCTIONS_ISSUED,
+    FP_OPS,
+    *STALL_COMPONENTS,
+    *MEMORY_COUNTERS,
+)
+
+
+class CounterVector:
+    """An additive bundle of named counter values.
+
+    Missing counters read as 0.0, so vectors of different shapes combine
+    cleanly (e.g. a compute chunk has no remote accesses; a barrier has no
+    FP ops).
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Mapping[str, float] | None = None, /, **kw: float) -> None:
+        self._values: dict[str, float] = {}
+        for source in (values or {}), kw:
+            for k, v in source.items():
+                fv = float(v)
+                if fv:
+                    self._values[k] = self._values.get(k, 0.0) + fv
+
+    def __getitem__(self, name: str) -> float:
+        return self._values.get(name, 0.0)
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self._values.get(name, default)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def items(self):
+        return self._values.items()
+
+    def keys(self):
+        return self._values.keys()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __bool__(self) -> bool:
+        return bool(self._values)
+
+    # -- arithmetic ---------------------------------------------------------
+    def __add__(self, other: "CounterVector") -> "CounterVector":
+        if not isinstance(other, CounterVector):
+            return NotImplemented
+        out = dict(self._values)
+        for k, v in other._values.items():
+            out[k] = out.get(k, 0.0) + v
+        result = CounterVector()
+        result._values = {k: v for k, v in out.items() if v}
+        return result
+
+    def __iadd__(self, other: "CounterVector") -> "CounterVector":
+        if not isinstance(other, CounterVector):
+            return NotImplemented
+        for k, v in other._values.items():
+            nv = self._values.get(k, 0.0) + v
+            if nv:
+                self._values[k] = nv
+            elif k in self._values:
+                del self._values[k]
+        return self
+
+    def __mul__(self, factor: float) -> "CounterVector":
+        result = CounterVector()
+        result._values = {k: v * factor for k, v in self._values.items() if v * factor}
+        return result
+
+    __rmul__ = __mul__
+
+    def copy(self) -> "CounterVector":
+        result = CounterVector()
+        result._values = dict(self._values)
+        return result
+
+    # -- derived views ----------------------------------------------------
+    def total_stalls(self) -> float:
+        """Jarp's identity: the sum of the seven stall components."""
+        return sum(self._values.get(c, 0.0) for c in STALL_COMPONENTS)
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(
+            f"{k}={v:.4g}" for k, v in sorted(self._values.items())
+        )
+        return f"CounterVector({inner})"
+
+    @classmethod
+    def sum(cls, vectors: Iterable["CounterVector"]) -> "CounterVector":
+        total = cls()
+        for v in vectors:
+            total += v
+        return total

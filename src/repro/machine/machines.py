@@ -1,0 +1,82 @@
+"""Preconfigured machine models: the paper's SGI Altix systems.
+
+A :class:`Machine` bundles a processor model, a NUMA topology, and a fresh
+page table per run.  Two configurations match Section III:
+
+* **Altix 300** — 8 nodes × 2 Itanium 2 (Madison 1.5 GHz) = 16 CPUs; the
+  paper's performance-characterization machine.
+* **Altix 3600** — 256 nodes × 2 = 512 CPUs; the production machine (the
+  paper says 3600; SGI marketing called it 3700 — we keep the paper's name).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cache import CacheHierarchy, itanium2_hierarchy
+from .numa import PageTable
+from .processor import ProcessorModel
+from .topology import LatencyModel, NUMATopology
+
+
+@dataclass
+class Machine:
+    """A complete simulated platform."""
+
+    name: str
+    topology: NUMATopology
+    processor: ProcessorModel
+
+    @property
+    def n_cpus(self) -> int:
+        return self.topology.n_cpus
+
+    @property
+    def n_nodes(self) -> int:
+        return self.topology.n_nodes
+
+    def node_of_cpu(self, cpu: int) -> int:
+        return self.topology.node_of_cpu(cpu)
+
+    def new_page_table(self) -> PageTable:
+        """A fresh address space (one per application run)."""
+        return PageTable(self.topology)
+
+    def metadata(self) -> dict:
+        """Performance-context entries recorded into trial metadata."""
+        return {
+            "machine": self.name,
+            "nodes": self.n_nodes,
+            "cpus": self.n_cpus,
+            "cpus_per_node": self.topology.cpus_per_node,
+            "clock_hz": self.processor.clock_hz,
+            "local_latency_cycles": self.topology.latency.local_cycles,
+            "worst_case_remote_latency_cycles": self.topology.worst_case_remote_latency(),
+        }
+
+
+def altix_300(*, latency: LatencyModel | None = None) -> Machine:
+    """The 16-CPU Altix 300 used for performance characterization."""
+    lat = latency or LatencyModel()
+    topo = NUMATopology(8, cpus_per_node=2, latency=lat)
+    return Machine("SGI Altix 300", topo, ProcessorModel(latency=lat))
+
+
+def altix_3600(*, latency: LatencyModel | None = None) -> Machine:
+    """The 512-CPU Altix 3600 production machine."""
+    lat = latency or LatencyModel()
+    topo = NUMATopology(256, cpus_per_node=2, latency=lat)
+    return Machine("SGI Altix 3600", topo, ProcessorModel(latency=lat))
+
+
+def uniform_machine(n_cpus: int, *, name: str = "uniform") -> Machine:
+    """A single-node (UMA) machine with ``n_cpus`` processors.
+
+    Useful for isolating algorithmic load imbalance from NUMA effects — the
+    MSA case study runs here, since its diagnosis is about scheduling, not
+    locality.
+    """
+    if n_cpus < 1:
+        raise ValueError("need at least one cpu")
+    topo = NUMATopology(1, cpus_per_node=n_cpus)
+    return Machine(name, topo, ProcessorModel(latency=topo.latency))

@@ -1,0 +1,184 @@
+"""Code generation: lowering optimized IR to work signatures.
+
+The final compilation step walks a function's tree, multiplies statement
+costs by enclosing trip counts and branch probabilities, and emits the
+:class:`~repro.machine.WorkSignature` the runtime simulator executes.  This
+is where the optimization levels become performance:
+
+* **register allocation** (O1+) — scalar reads/writes stop being memory
+  traffic; at O0 every ``Var`` read is a stack load and every ``Assign`` a
+  stack store (the dominant share of O0's instruction count, as in
+  Table I);
+* **vectorized loops** — loop-control overhead divides by the width;
+* **pipelined loops / scheduling** — the function's tuning knobs scale
+  ``fp_dependency`` down and ``issue_inflation`` up;
+* **calls** — either expanded transitively (whole-program signature) or
+  charged as call overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine import WorkSignature
+from .ir import (
+    ArrayRef,
+    ArrayStore,
+    Assign,
+    Block,
+    CallStmt,
+    Expr,
+    Function,
+    If,
+    IRError,
+    Loop,
+    Program,
+    Stmt,
+    Var,
+    count_expr_ops,
+    stmt_exprs,
+)
+from .passes.loopnest import TuningKnobs, tuning_of
+
+
+@dataclass(frozen=True)
+class CodegenOptions:
+    """Lowering configuration, set by the optimization level."""
+
+    register_allocation: bool = False
+    #: Baseline FP dependency exposure of unscheduled code.
+    base_fp_dependency: float = 0.5
+    #: Baseline issue inflation (predication/nops even at O0).
+    base_issue_inflation: float = 1.05
+    #: Stack frame traffic per scalar access when not register-allocated.
+    mispredict_rate: float = 0.04
+
+
+@dataclass
+class _Tally:
+    flops: float = 0.0
+    int_ops: float = 0.0
+    loads: float = 0.0
+    stores: float = 0.0
+    branches: float = 0.0
+
+
+def lower_function(
+    program: Program,
+    fn: Function,
+    options: CodegenOptions,
+    *,
+    expand_calls: bool = True,
+    _depth: int = 0,
+) -> WorkSignature:
+    """Work signature of one invocation of ``fn``."""
+    if _depth > 16:
+        raise IRError(f"call cycle while lowering {fn.name!r}")
+    tally = _Tally()
+    _lower_block(program, fn, fn.body, options, tally, 1.0, 1,
+                 expand_calls, _depth)
+    knobs: TuningKnobs = tuning_of(fn)
+    fp_dep = min(max(options.base_fp_dependency * knobs.fp_dependency_scale, 0.0), 1.0)
+    reuse = min(fn.reuse + knobs.reuse_bonus, 1.0)
+    return WorkSignature(
+        flops=tally.flops,
+        int_ops=tally.int_ops,
+        loads=tally.loads,
+        stores=tally.stores,
+        branches=tally.branches,
+        footprint_bytes=float(fn.footprint_bytes()),
+        reuse=reuse,
+        mispredict_rate=options.mispredict_rate,
+        fp_dependency=fp_dep,
+        issue_inflation=options.base_issue_inflation + knobs.issue_inflation_bonus,
+    )
+
+
+def _expr_cost(expr: Expr, options: CodegenOptions, tally: _Tally, weight: float) -> None:
+    flops, int_ops, loads = count_expr_ops(expr)
+    if options.register_allocation:
+        # Var reads live in registers; only array reads hit memory.
+        array_loads = sum(
+            1 for node in expr.walk() if isinstance(node, ArrayRef)
+        )
+        loads = array_loads
+    tally.flops += flops * weight
+    tally.int_ops += int_ops * weight
+    tally.loads += loads * weight
+
+
+def _lower_block(
+    program: Program,
+    fn: Function,
+    block: Block,
+    options: CodegenOptions,
+    tally: _Tally,
+    weight: float,
+    vector_width: int,
+    expand_calls: bool,
+    depth: int,
+) -> None:
+    for stmt in block.stmts:
+        _lower_stmt(program, fn, stmt, options, tally, weight, vector_width,
+                    expand_calls, depth)
+
+
+def _lower_stmt(
+    program: Program,
+    fn: Function,
+    stmt: Stmt,
+    options: CodegenOptions,
+    tally: _Tally,
+    weight: float,
+    vector_width: int,
+    expand_calls: bool,
+    depth: int,
+) -> None:
+    if isinstance(stmt, Assign):
+        _expr_cost(stmt.value, options, tally, weight)
+        if not options.register_allocation:
+            tally.stores += weight  # scalar spills to the stack frame
+    elif isinstance(stmt, ArrayStore):
+        _expr_cost(stmt.value, options, tally, weight)
+        tally.stores += weight
+        tally.int_ops += weight  # address computation
+    elif isinstance(stmt, CallStmt):
+        for arg in stmt.args:
+            _expr_cost(arg, options, tally, weight)
+        callee = program.functions.get(stmt.callee)
+        if callee is not None and expand_calls and callee.name != fn.name:
+            sub = lower_function(program, callee, options,
+                                 expand_calls=True, _depth=depth + 1)
+            tally.flops += sub.flops * weight
+            tally.int_ops += sub.int_ops * weight
+            tally.loads += sub.loads * weight
+            tally.stores += sub.stores * weight
+            tally.branches += sub.branches * weight
+        cost = callee.call_cost_int_ops if callee is not None else 12
+        tally.int_ops += cost * weight
+        tally.branches += weight  # call/return
+    elif isinstance(stmt, If):
+        _expr_cost(stmt.cond, options, tally, weight)
+        tally.branches += weight
+        _lower_block(program, fn, stmt.then_body, options, tally,
+                     weight * stmt.taken_probability, vector_width,
+                     expand_calls, depth)
+        if stmt.else_body is not None:
+            _lower_block(program, fn, stmt.else_body, options, tally,
+                         weight * (1.0 - stmt.taken_probability),
+                         vector_width, expand_calls, depth)
+    elif isinstance(stmt, Loop):
+        trips = stmt.trip_count
+        width = max(stmt.vector_width, 1)
+        # loop control: one counter increment + one back-edge branch per
+        # (vectorized) iteration
+        control_iters = weight * (trips / width)
+        tally.int_ops += control_iters
+        tally.branches += control_iters
+        _lower_block(program, fn, stmt.body, options, tally,
+                     weight * trips, width, expand_calls, depth)
+    elif isinstance(stmt, Block):
+        _lower_block(program, fn, stmt, options, tally, weight,
+                     vector_width, expand_calls, depth)
+    else:  # pragma: no cover - future node kinds
+        raise IRError(f"cannot lower {type(stmt).__name__}")

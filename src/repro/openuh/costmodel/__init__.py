@@ -1,0 +1,38 @@
+"""OpenUH static cost models (processor, cache, parallel) + feedback hooks."""
+
+from .cache import CacheCostModel, LoopCachePrediction
+from .model import (
+    GOAL_CACHE,
+    GOAL_LOW_POWER,
+    GOAL_SPEED,
+    CostModel,
+    OptimizationGoal,
+    VariantScore,
+)
+from .parallel import (
+    LevelEstimate,
+    ParallelCostModel,
+    ParallelOverheads,
+    ParallelPlan,
+    perfect_nest_of,
+)
+from .processor import CycleEstimate, ProcessorCostModel, StaticAssumptions
+
+__all__ = [
+    "CacheCostModel",
+    "CostModel",
+    "CycleEstimate",
+    "GOAL_CACHE",
+    "GOAL_LOW_POWER",
+    "GOAL_SPEED",
+    "LevelEstimate",
+    "LoopCachePrediction",
+    "OptimizationGoal",
+    "ParallelCostModel",
+    "ParallelOverheads",
+    "ParallelPlan",
+    "ProcessorCostModel",
+    "StaticAssumptions",
+    "VariantScore",
+    "perfect_nest_of",
+]

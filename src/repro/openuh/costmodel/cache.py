@@ -1,0 +1,160 @@
+"""Static cache cost model (Wolf/Maydan/Chen-style LNO model).
+
+Predicts, per loop nest, the cache misses and the "cycles required to start
+up inner loops" from static footprints — using the same analytical
+hierarchy as the machine model but with *compile-time* reuse guesses
+instead of measured behaviour.  Evaluates candidate loop transformations
+(fusion, tiling via footprint reduction) by comparing predicted miss
+totals, using constraints to avoid exhaustive search (we simply cap the
+candidate list, which is what the constraint system achieves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...machine import AccessSummary, CacheHierarchy, itanium2_hierarchy
+from ..ir import ArrayRef, ArrayStore, Block, Function, Loop, stmt_exprs
+
+
+@dataclass(frozen=True)
+class LoopCachePrediction:
+    """Predicted memory behaviour of one loop nest."""
+
+    loop_var: str
+    trip_count: int
+    footprint_bytes: float
+    accesses_per_full_nest: float
+    predicted_l2_misses: float
+    predicted_l3_misses: float
+    predicted_memory_accesses: float
+    startup_cycles: float
+
+    @property
+    def miss_cycles(self) -> float:
+        """Weighted miss cost (the model's objective function)."""
+        return (
+            self.predicted_l2_misses * 5.0
+            + self.predicted_l3_misses * 14.0
+            + self.predicted_memory_accesses * 210.0
+            + self.startup_cycles
+        )
+
+
+class CacheCostModel:
+    """Per-loop static cache prediction over the Itanium 2 geometry."""
+
+    #: Cycles to warm the pipeline + prefetch streams per loop entry.
+    LOOP_STARTUP_CYCLES = 40.0
+
+    def __init__(
+        self,
+        hierarchy: CacheHierarchy | None = None,
+        *,
+        assumed_reuse: float = 0.8,
+    ) -> None:
+        if not 0.0 <= assumed_reuse <= 1.0:
+            raise ValueError("assumed_reuse must be in [0,1]")
+        self.hierarchy = hierarchy or itanium2_hierarchy()
+        self.assumed_reuse = assumed_reuse
+
+    def predict_loop(self, fn: Function, loop: Loop) -> LoopCachePrediction:
+        footprint = self._loop_footprint(fn, loop)
+        accesses = self._loop_accesses(loop) * max(loop.trip_count, 1)
+        result = self.hierarchy.access(
+            AccessSummary(
+                accesses=max(accesses, 1.0),
+                footprint_bytes=max(footprint, 1.0),
+                reuse=self.assumed_reuse,
+            )
+        )
+        return LoopCachePrediction(
+            loop_var=loop.var,
+            trip_count=loop.trip_count,
+            footprint_bytes=footprint,
+            accesses_per_full_nest=accesses,
+            predicted_l2_misses=result.level("L2").misses,
+            predicted_l3_misses=result.level("L3").misses,
+            predicted_memory_accesses=result.memory_accesses,
+            startup_cycles=self.LOOP_STARTUP_CYCLES,
+        )
+
+    def predict_function(self, fn: Function) -> list[LoopCachePrediction]:
+        """Predictions for every loop in the function, outermost first."""
+        out = []
+
+        def visit(block: Block) -> None:
+            for stmt in block.stmts:
+                if isinstance(stmt, Loop):
+                    out.append(self.predict_loop(fn, stmt))
+                    visit(stmt.body)
+                elif hasattr(stmt, "then_body"):
+                    visit(stmt.then_body)
+                    if stmt.else_body is not None:
+                        visit(stmt.else_body)
+
+        visit(fn.body)
+        return out
+
+    def _loop_footprint(self, fn: Function, loop: Loop) -> float:
+        """Bytes of the arrays referenced inside the loop."""
+        arrays = set()
+
+        def visit(block: Block) -> None:
+            for stmt in block.stmts:
+                if isinstance(stmt, ArrayStore):
+                    arrays.add(stmt.array)
+                for e in stmt_exprs(stmt):
+                    for node in e.walk():
+                        if isinstance(node, ArrayRef):
+                            arrays.add(node.array)
+                if isinstance(stmt, Loop):
+                    visit(stmt.body)
+                elif hasattr(stmt, "then_body"):
+                    visit(stmt.then_body)
+                    if stmt.else_body is not None:
+                        visit(stmt.else_body)
+
+        visit(loop.body)
+        return float(
+            sum(fn.arrays[a].size_bytes for a in arrays if a in fn.arrays)
+        )
+
+    def _loop_accesses(self, loop: Loop) -> float:
+        """Array accesses per iteration of this loop (nested trips included)."""
+        def block_accesses(block: Block) -> float:
+            total = 0.0
+            for stmt in block.stmts:
+                if isinstance(stmt, ArrayStore):
+                    total += 1
+                for e in stmt_exprs(stmt):
+                    total += sum(
+                        1 for n in e.walk() if isinstance(n, ArrayRef)
+                    )
+                if isinstance(stmt, Loop):
+                    total += stmt.trip_count * block_accesses(stmt.body)
+                elif hasattr(stmt, "then_body"):
+                    t = block_accesses(stmt.then_body)
+                    if stmt.else_body is not None:
+                        t = max(t, block_accesses(stmt.else_body))
+                    total += t
+            return total
+
+        return block_accesses(loop.body)
+
+    def compare_variants(
+        self, variants: list[tuple[str, Function]]
+    ) -> list[tuple[str, float]]:
+        """Rank function variants by total predicted miss cycles (best first).
+
+        The candidate list is the caller's constraint set — LNO evaluates
+        "different combinations of loop optimizations, using constraints to
+        avoid an exhaustive search".
+        """
+        if not variants:
+            raise ValueError("no variants to compare")
+        scored = []
+        for label, fn in variants:
+            cost = sum(p.miss_cycles for p in self.predict_function(fn))
+            scored.append((label, cost))
+        return sorted(scored, key=lambda t: t[1])

@@ -1,0 +1,145 @@
+"""The combined, goal-weighted cost model.
+
+"The cost model can be customized for specific optimization goals.
+Currently, it can focus on reducing cache misses, register pressure,
+instruction scheduling, pipeline stalls and parallel overheads."
+
+:class:`CostModel` bundles the processor, cache, and parallel models under
+an :class:`OptimizationGoal` that weights their objectives, and exposes the
+feedback entry point: :meth:`calibrate` replaces static assumptions with
+measured counter ratios from a PerfExplorer trial — the integration the
+paper's Fig. 3 marks as *future* for the real system and which we close in
+:mod:`repro.workflows`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...machine import WorkSignature
+from ...machine import counters as C
+from ..ir import Function, Program
+from .cache import CacheCostModel
+from .parallel import ParallelCostModel
+from .processor import ProcessorCostModel
+
+
+@dataclass(frozen=True)
+class OptimizationGoal:
+    """Relative weights of the model objectives."""
+
+    name: str
+    cycles_weight: float = 1.0
+    cache_weight: float = 0.0
+    power_weight: float = 0.0
+
+    def __post_init__(self) -> None:
+        if min(self.cycles_weight, self.cache_weight, self.power_weight) < 0:
+            raise ValueError("goal weights must be non-negative")
+        if self.cycles_weight + self.cache_weight + self.power_weight == 0:
+            raise ValueError("at least one goal weight must be positive")
+
+
+GOAL_SPEED = OptimizationGoal("speed", cycles_weight=1.0)
+GOAL_CACHE = OptimizationGoal("cache", cycles_weight=0.3, cache_weight=1.0)
+GOAL_LOW_POWER = OptimizationGoal("low-power", cycles_weight=0.4, power_weight=1.0)
+
+
+@dataclass
+class VariantScore:
+    label: str
+    cycles: float
+    miss_cycles: float
+    overlap_proxy: float  # issued-per-cycle proxy for power
+    weighted: float
+
+
+class CostModel:
+    """Processor + cache + parallel models under one goal."""
+
+    def __init__(
+        self,
+        *,
+        goal: OptimizationGoal = GOAL_SPEED,
+        processor: ProcessorCostModel | None = None,
+        cache: CacheCostModel | None = None,
+        parallel: ParallelCostModel | None = None,
+    ) -> None:
+        self.goal = goal
+        self.processor = processor or ProcessorCostModel()
+        self.cache = cache or CacheCostModel()
+        self.parallel = parallel or ParallelCostModel()
+
+    # -- evaluation ---------------------------------------------------------
+    def score_signature(self, label: str, work: WorkSignature, fn: Function | None = None) -> VariantScore:
+        est = self.processor.predict(work)
+        miss_cycles = 0.0
+        if fn is not None:
+            miss_cycles = sum(
+                p.miss_cycles for p in self.cache.predict_function(fn)
+            )
+        overlap = (
+            work.instructions * work.issue_inflation / est.total
+            if est.total > 0
+            else 0.0
+        )
+        weighted = (
+            self.goal.cycles_weight * est.total
+            + self.goal.cache_weight * miss_cycles
+            + self.goal.power_weight * overlap * est.total * 0.1
+        )
+        return VariantScore(label, est.total, miss_cycles, overlap, weighted)
+
+    def choose_variant(
+        self, scored: list[VariantScore]
+    ) -> VariantScore:
+        if not scored:
+            raise ValueError("no variants scored")
+        return min(scored, key=lambda v: v.weighted)
+
+    # -- feedback -----------------------------------------------------------
+    def calibrate(self, counters: dict[str, float]) -> "CostModel":
+        """Return a copy whose static assumptions match measured counters.
+
+        ``counters`` is a plain metric→value mapping (typically the mean
+        exclusive counters of the region being tuned).  Calibrations:
+
+        * measured memory penalty per access replaces the static guess
+          (L1D-miss stall cycles / memory accesses),
+        * measured stall fraction replaces the assumed one
+          (BACK_END_BUBBLE_ALL / CPU_CYCLES, mapped onto the FP term),
+        * measured imbalance (if provided under ``"imbalance_ratio"``)
+          updates the parallel model.
+        """
+        processor = self.processor
+        accesses = counters.get(C.L2_DATA_REFERENCES, 0.0)
+        l1d_stalls = counters.get(C.L1D_CACHE_MISS_STALLS, 0.0)
+        if accesses > 0 and l1d_stalls > 0:
+            processor = processor.with_assumptions(
+                assumed_miss_penalty_cycles=l1d_stalls / accesses
+            )
+        cycles = counters.get(C.CPU_CYCLES, 0.0)
+        stalls = counters.get(C.BACK_END_BUBBLE_ALL, 0.0)
+        if cycles > 0:
+            fraction = min(max(stalls / cycles, 0.0), 1.0)
+            processor = processor.with_assumptions(
+                assumed_stall_fraction=fraction
+            )
+        parallel = self.parallel
+        imbalance = counters.get("imbalance_ratio", 0.0)
+        if imbalance > 0:
+            parallel = parallel.with_imbalance(1.0 + imbalance)
+        return CostModel(
+            goal=self.goal,
+            processor=processor,
+            cache=self.cache,
+            parallel=parallel,
+        )
+
+    def with_goal(self, goal: OptimizationGoal) -> "CostModel":
+        return CostModel(
+            goal=goal,
+            processor=self.processor,
+            cache=self.cache,
+            parallel=self.parallel,
+        )

@@ -1,0 +1,157 @@
+"""Static parallel cost model (the LNO auto-parallelizer's model).
+
+"The parallel model was designed to support automatic parallelization by
+evaluating the cost involved in parallelizing a loop, and to decide which
+loop level to parallelize. The parallel model accounts for threaded
+fork-join and reduction overhead."
+
+Given a loop nest and a thread count, the model predicts parallel time at
+each candidate nesting level:
+
+    T(level, p) = serial_body_cycles / p * imbalance_factor
+                  + fork_join_cycles + reduction_cycles(p)
+                  + per_chunk_overhead * chunks(level, p)
+
+and recommends the level minimizing predicted time.  The imbalance factor
+defaults to 1 (the static model cannot see data-dependent skew — exactly
+why the MSA case needed runtime feedback); the feedback optimizer replaces
+it with the measured stddev/mean ratio.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..ir import Block, Function, Loop
+
+
+@dataclass(frozen=True)
+class ParallelOverheads:
+    """Runtime overhead constants (cycles at 1.5 GHz)."""
+
+    fork_join_cycles: float = 9000.0  # ~6 µs
+    reduction_cycles_per_thread: float = 400.0
+    dynamic_dispatch_cycles: float = 1500.0  # ~1 µs per chunk
+
+
+@dataclass(frozen=True)
+class LevelEstimate:
+    """Prediction for parallelizing one loop level."""
+
+    level: int  # 0 = outermost
+    loop_var: str
+    trip_count: int
+    predicted_cycles: float
+    parallel_fraction: float  # share of nest work inside this level
+
+
+@dataclass(frozen=True)
+class ParallelPlan:
+    """The model's recommendation for one nest."""
+
+    estimates: tuple[LevelEstimate, ...]
+    best_level: int
+    serial_cycles: float
+
+    @property
+    def best(self) -> LevelEstimate:
+        return self.estimates[self.best_level]
+
+    @property
+    def predicted_speedup(self) -> float:
+        best = self.best.predicted_cycles
+        return self.serial_cycles / best if best > 0 else float("inf")
+
+
+class ParallelCostModel:
+    """Chooses which loop level of a nest to parallelize."""
+
+    def __init__(
+        self,
+        *,
+        overheads: ParallelOverheads | None = None,
+        imbalance_factor: float = 1.0,
+        has_reduction: bool = False,
+    ) -> None:
+        if imbalance_factor < 1.0:
+            raise ValueError("imbalance_factor must be >= 1 (1 = perfectly even)")
+        self.overheads = overheads or ParallelOverheads()
+        self.imbalance_factor = imbalance_factor
+        self.has_reduction = has_reduction
+
+    def evaluate_nest(
+        self,
+        nest: list[Loop],
+        *,
+        n_threads: int,
+        cycles_per_innermost_iteration: float,
+    ) -> ParallelPlan:
+        """Evaluate parallelizing each level of a perfect nest.
+
+        ``nest`` is outermost-to-innermost; body cost is expressed per
+        innermost iteration (the codegen signature supplies it).
+        """
+        if not nest:
+            raise ValueError("empty loop nest")
+        if n_threads < 1:
+            raise ValueError("need at least one thread")
+        total_iters = math.prod(max(l.trip_count, 1) for l in nest)
+        serial = total_iters * cycles_per_innermost_iteration
+        ov = self.overheads
+        estimates = []
+        for level, loop in enumerate(nest):
+            outer_iters = math.prod(
+                max(l.trip_count, 1) for l in nest[:level]
+            )
+            # the parallel region forks once per enclosing iteration
+            fork_cost = ov.fork_join_cycles * outer_iters
+            reduction = (
+                ov.reduction_cycles_per_thread * n_threads * outer_iters
+                if self.has_reduction
+                else 0.0
+            )
+            par_trips = max(loop.trip_count, 1)
+            usable = min(n_threads, par_trips)
+            body = serial / usable * self.imbalance_factor
+            estimates.append(
+                LevelEstimate(
+                    level=level,
+                    loop_var=loop.var,
+                    trip_count=loop.trip_count,
+                    predicted_cycles=body + fork_cost + reduction,
+                    parallel_fraction=1.0,
+                )
+            )
+        best = min(range(len(estimates)), key=lambda i: estimates[i].predicted_cycles)
+        return ParallelPlan(tuple(estimates), best, serial)
+
+    def worth_parallelizing(self, plan: ParallelPlan, *, threshold: float = 1.2) -> bool:
+        """Is the predicted speedup worth the transformation?"""
+        return plan.predicted_speedup >= threshold
+
+    def with_imbalance(self, factor: float) -> "ParallelCostModel":
+        """Copy with a measured imbalance factor (feedback hook)."""
+        return ParallelCostModel(
+            overheads=self.overheads,
+            imbalance_factor=factor,
+            has_reduction=self.has_reduction,
+        )
+
+
+def perfect_nest_of(fn: Function) -> list[Loop]:
+    """Extract the outermost perfect loop nest of a function (may be 1 deep).
+
+    Returns [] when the body does not start with a loop.
+    """
+    nest: list[Loop] = []
+    block: Block = fn.body
+    while True:
+        loops = [s for s in block.stmts if isinstance(s, Loop)]
+        if len(loops) != 1 or len(block.stmts) != 1:
+            if not nest and loops:
+                nest.append(loops[0])
+            break
+        nest.append(loops[0])
+        block = loops[0].body
+    return nest

@@ -1,0 +1,98 @@
+"""Static processor cost model (the LNO's "explicit processor model").
+
+Predicts cycles for a work signature from static assumptions — issue
+resources, operation latencies, register pressure — *without* running
+anything.  This is the model whose inaccuracy motivates the paper's
+feedback loop: it must assume locality and stall behaviour that only
+runtime data can supply, so it exposes exactly the assumption knobs the
+feedback optimizer later replaces with measured values
+(``assumed_miss_penalty_cycles``, ``assumed_stall_fraction``...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ...machine import WorkSignature
+
+
+@dataclass(frozen=True)
+class StaticAssumptions:
+    """What the compiler guesses about runtime behaviour."""
+
+    #: Average memory penalty per load/store (cycles) — static guess that
+    #: collapses the whole hierarchy + NUMA into one number.
+    assumed_miss_penalty_cycles: float = 2.0
+    #: Fraction of FP latency the schedule fails to cover.
+    assumed_stall_fraction: float = 0.25
+    #: Branch mispredict penalty (cycles).
+    branch_penalty_cycles: float = 12.0
+    #: Spill traffic multiplier when register pressure exceeds the file.
+    register_pressure_factor: float = 1.0
+
+
+@dataclass(frozen=True)
+class CycleEstimate:
+    """Predicted cycle breakdown for one signature."""
+
+    issue_cycles: float
+    memory_cycles: float
+    fp_stall_cycles: float
+    branch_cycles: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.issue_cycles
+            + self.memory_cycles
+            + self.fp_stall_cycles
+            + self.branch_cycles
+        )
+
+
+class ProcessorCostModel:
+    """Itanium-2-shaped static cycle estimator.
+
+    Parameters
+    ----------
+    peak_ipc:
+        Issue width (6 on Itanium 2).
+    fp_latency:
+        FP result latency in cycles.
+    """
+
+    def __init__(
+        self,
+        *,
+        peak_ipc: float = 6.0,
+        fp_latency: float = 4.0,
+        assumptions: StaticAssumptions | None = None,
+    ) -> None:
+        if peak_ipc <= 0:
+            raise ValueError("peak_ipc must be positive")
+        self.peak_ipc = peak_ipc
+        self.fp_latency = fp_latency
+        self.assumptions = assumptions or StaticAssumptions()
+
+    def predict(self, work: WorkSignature) -> CycleEstimate:
+        a = self.assumptions
+        issue = (
+            work.instructions
+            * work.issue_inflation
+            * a.register_pressure_factor
+            / self.peak_ipc
+        )
+        memory = work.memory_accesses * a.assumed_miss_penalty_cycles
+        fp = work.flops * work.fp_dependency * self.fp_latency * (
+            a.assumed_stall_fraction / 0.25
+        )
+        branch = work.branches * work.mispredict_rate * a.branch_penalty_cycles
+        return CycleEstimate(issue, memory, fp, branch)
+
+    def with_assumptions(self, **overrides) -> "ProcessorCostModel":
+        """A copy with some static assumptions replaced (feedback hook)."""
+        return ProcessorCostModel(
+            peak_ipc=self.peak_ipc,
+            fp_latency=self.fp_latency,
+            assumptions=replace(self.assumptions, **overrides),
+        )

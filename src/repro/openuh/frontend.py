@@ -1,0 +1,184 @@
+"""Front-end builder: constructing WHIRL programs from Python.
+
+OpenUH's front ends parse C/C++/Fortran into VERY_HIGH WHIRL.  Our
+"source language" is a fluent Python builder — the application modules
+describe their kernels with it, and tests build small programs to exercise
+individual passes::
+
+    p = ProgramBuilder("stencil")
+    f = p.function("diff_coeff", reuse=0.85)
+    f.array("u", 128 * 128)
+    with f.loop("i", 128):
+        with f.loop("j", 128):
+            f.store("u", ("i", "j"),
+                    add(mul(aref("u", "i", "j"), const(0.5)),
+                        var("coef")))
+    program = p.build()
+
+Expression helpers (:func:`var`, :func:`aref`, :func:`const`, :func:`add`,
+:func:`sub`, :func:`mul`, :func:`div`, :func:`intrinsic`) build the
+immutable expression nodes directly.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from .ir import (
+    ArrayStore,
+    Assign,
+    BinOp,
+    Block,
+    CallStmt,
+    Const,
+    Expr,
+    Function,
+    If,
+    Intrinsic,
+    IRError,
+    Loop,
+    Program,
+    ScalarType,
+    Var,
+)
+
+# -- expression helpers -----------------------------------------------------
+
+
+def const(value: float, type: ScalarType = ScalarType.F64) -> Const:
+    return Const(float(value), type)
+
+
+def var(name: str, type: ScalarType = ScalarType.F64) -> Var:
+    return Var(name, type)
+
+
+def aref(array: str, *index: str, type: ScalarType = ScalarType.F64) -> ArrayRef:
+    from .ir import ArrayRef
+
+    return ArrayRef(array, tuple(index), type)
+
+
+def add(a: Expr, b: Expr) -> BinOp:
+    return BinOp("+", a, b)
+
+
+def sub(a: Expr, b: Expr) -> BinOp:
+    return BinOp("-", a, b)
+
+
+def mul(a: Expr, b: Expr) -> BinOp:
+    return BinOp("*", a, b)
+
+
+def div(a: Expr, b: Expr) -> BinOp:
+    return BinOp("/", a, b)
+
+
+def intrinsic(name: str, *args: Expr, cost_flops: int = 8) -> Intrinsic:
+    return Intrinsic(name, tuple(args), cost_flops)
+
+
+# -- builders ---------------------------------------------------------------
+
+
+class FunctionBuilder:
+    """Builds one function's body through a block stack."""
+
+    def __init__(self, name: str, *, reuse: float = 0.9) -> None:
+        self._fn = Function(name, Block(), reuse=reuse)
+        self._stack: list[Block] = [self._fn.body]
+
+    # -- declarations ----------------------------------------------------
+    def array(self, name: str, elements: int, type: ScalarType = ScalarType.F64) -> "FunctionBuilder":
+        self._fn.declare_array(name, elements, type)
+        return self
+
+    # -- statements ----------------------------------------------------------
+    @property
+    def _top(self) -> Block:
+        return self._stack[-1]
+
+    def assign(self, target: str, value: Expr, type: ScalarType = ScalarType.F64) -> "FunctionBuilder":
+        self._top.stmts.append(Assign(target, value, type))
+        return self
+
+    def store(
+        self, array: str, index: tuple[str, ...] | str, value: Expr
+    ) -> "FunctionBuilder":
+        if isinstance(index, str):
+            index = (index,)
+        self._top.stmts.append(ArrayStore(array, tuple(index), value))
+        return self
+
+    def call(self, callee: str, *args: Expr) -> "FunctionBuilder":
+        self._top.stmts.append(CallStmt(callee, tuple(args)))
+        return self
+
+    @contextmanager
+    def loop(self, loop_var: str, trip_count: int) -> Iterator["FunctionBuilder"]:
+        loop = Loop(loop_var, trip_count, Block())
+        self._top.stmts.append(loop)
+        self._stack.append(loop.body)
+        try:
+            yield self
+        finally:
+            self._stack.pop()
+
+    @contextmanager
+    def if_(
+        self, cond: Expr, *, taken_probability: float = 0.5
+    ) -> Iterator["FunctionBuilder"]:
+        node = If(cond, Block(), None, taken_probability)
+        self._top.stmts.append(node)
+        self._stack.append(node.then_body)
+        try:
+            yield self
+        finally:
+            self._stack.pop()
+
+    @contextmanager
+    def else_(self) -> Iterator["FunctionBuilder"]:
+        last = self._top.stmts[-1] if self._top.stmts else None
+        if not isinstance(last, If):
+            raise IRError("else_() must directly follow an if_() block")
+        if last.else_body is not None:
+            raise IRError("if already has an else block")
+        last.else_body = Block()
+        self._stack.append(last.else_body)
+        try:
+            yield self
+        finally:
+            self._stack.pop()
+
+    def build(self) -> Function:
+        if len(self._stack) != 1:
+            raise IRError(
+                f"function {self._fn.name!r} has unclosed blocks"
+            )
+        return self._fn
+
+
+class ProgramBuilder:
+    """Builds a whole program."""
+
+    def __init__(self, name: str) -> None:
+        self._program = Program(name)
+        self._pending: list[FunctionBuilder] = []
+
+    def function(self, name: str, *, reuse: float = 0.9) -> FunctionBuilder:
+        fb = FunctionBuilder(name, reuse=reuse)
+        self._pending.append(fb)
+        return fb
+
+    def build(self, *, entry: str | None = None) -> Program:
+        for fb in self._pending:
+            self._program.add_function(fb.build())
+        self._pending.clear()
+        if entry is not None:
+            self._program.function(entry)  # validates
+            self._program.entry = entry
+        if not self._program.functions:
+            raise IRError("program has no functions")
+        return self._program

@@ -1,0 +1,403 @@
+"""WHIRL-like intermediate representation.
+
+OpenUH (an Open64 branch) lowers programs through five levels of the WHIRL
+tree IR, running each optimization at the level where it is natural.  We
+reproduce the tree IR with the node kinds the paper's pass inventory needs:
+
+Expressions (pure):
+    ``Const``, ``Var`` (scalar read), ``ArrayRef`` (array element read),
+    ``BinOp``, ``Call`` (pure intrinsic call).
+
+Statements:
+    ``Assign`` (scalar target), ``ArrayStore``, ``CallStmt`` (procedure
+    call site), ``If``, ``Loop`` (counted loop with trip count), ``Block``.
+
+A ``Function`` owns a body block plus parameter/local declarations; a
+``Program`` owns functions.  Expression nodes are immutable and hashable so
+CSE/PRE can key on structural identity.
+
+The IR is deliberately *costed*: scalar FP/INT types drive operation
+classification during lowering (:mod:`repro.openuh.codegen`), and arrays
+carry element sizes so loop footprints can be computed by the cache cost
+model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Sequence, Union
+
+
+class WhirlLevel(enum.Enum):
+    """The five WHIRL levels (used to tag where a pass runs)."""
+
+    VERY_HIGH = 5
+    HIGH = 4
+    MID = 3
+    LOW = 2
+    VERY_LOW = 1
+
+
+class ScalarType(enum.Enum):
+    F64 = "f64"
+    I64 = "i64"
+
+    @property
+    def is_float(self) -> bool:
+        return self is ScalarType.F64
+
+    @property
+    def size_bytes(self) -> int:
+        return 8
+
+
+class IRError(Exception):
+    """Raised for malformed IR."""
+
+
+# ---------------------------------------------------------------------------
+# Expressions (immutable, hashable)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for expression nodes."""
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+    @property
+    def dtype(self) -> ScalarType:  # pragma: no cover - abstract-ish
+        raise NotImplementedError
+
+    def walk(self) -> Iterator["Expr"]:
+        yield self
+        for c in self.children():
+            yield from c.walk()
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: float
+    type: ScalarType = ScalarType.F64
+
+    @property
+    def dtype(self) -> ScalarType:
+        return self.type
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """Scalar variable read."""
+
+    name: str
+    type: ScalarType = ScalarType.F64
+
+    @property
+    def dtype(self) -> ScalarType:
+        return self.type
+
+
+@dataclass(frozen=True)
+class ArrayRef(Expr):
+    """Array element read ``array[index expr...]``.
+
+    ``index`` is symbolic (a tuple of loop-variable names / affine strings);
+    only its structure matters for CSE, not its value.
+    """
+
+    array: str
+    index: tuple[str, ...]
+    type: ScalarType = ScalarType.F64
+
+    @property
+    def dtype(self) -> ScalarType:
+        return self.type
+
+
+_FP_OPS = frozenset({"+", "-", "*", "/", "min", "max"})
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _FP_OPS and self.op not in ("<", ">", "<=", ">=", "==", "!="):
+            raise IRError(f"unknown binary op {self.op!r}")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    @property
+    def dtype(self) -> ScalarType:
+        if self.op in ("<", ">", "<=", ">=", "==", "!="):
+            return ScalarType.I64
+        if self.left.dtype.is_float or self.right.dtype.is_float:
+            return ScalarType.F64
+        return ScalarType.I64
+
+
+@dataclass(frozen=True)
+class Intrinsic(Expr):
+    """Pure intrinsic call (sqrt, exp, abs...) — costed as several FP ops."""
+
+    name: str
+    args: tuple[Expr, ...]
+    cost_flops: int = 8
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    @property
+    def dtype(self) -> ScalarType:
+        return ScalarType.F64
+
+
+# ---------------------------------------------------------------------------
+# Statements (mutable tree; passes rebuild blocks)
+# ---------------------------------------------------------------------------
+
+
+class Stmt:
+    """Base class for statement nodes."""
+
+
+@dataclass
+class Assign(Stmt):
+    """Scalar assignment ``target = value``."""
+
+    target: str
+    value: Expr
+    type: ScalarType = ScalarType.F64
+
+
+@dataclass
+class ArrayStore(Stmt):
+    """Array element write ``array[index] = value``."""
+
+    array: str
+    index: tuple[str, ...]
+    value: Expr
+    type: ScalarType = ScalarType.F64
+
+
+@dataclass
+class CallStmt(Stmt):
+    """Procedure call site (non-pure)."""
+
+    callee: str
+    args: tuple[Expr, ...] = ()
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then_body: "Block"
+    else_body: "Block | None" = None
+    #: Static branch-taken probability estimate (feedback can override).
+    taken_probability: float = 0.5
+
+
+@dataclass
+class Loop(Stmt):
+    """Counted loop ``for <var> in range(<trip_count>)``."""
+
+    var: str
+    trip_count: int
+    body: "Block"
+    #: Filled by vectorization (codegen divides per-iteration FP work).
+    vector_width: int = 1
+    #: Filled by software pipelining / scheduling passes.
+    pipelined: bool = False
+
+    def __post_init__(self) -> None:
+        if self.trip_count < 0:
+            raise IRError("trip count must be non-negative")
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[Stmt]:
+        return iter(self.stmts)
+
+    def __len__(self) -> int:
+        return len(self.stmts)
+
+
+# ---------------------------------------------------------------------------
+# Functions and programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ArrayDecl:
+    """A named array with element count and type (for footprints)."""
+
+    name: str
+    elements: int
+    type: ScalarType = ScalarType.F64
+
+    @property
+    def size_bytes(self) -> int:
+        return self.elements * self.type.size_bytes
+
+    def __post_init__(self) -> None:
+        if self.elements <= 0:
+            raise IRError(f"array {self.name!r}: elements must be positive")
+
+
+@dataclass
+class Function:
+    name: str
+    body: Block
+    arrays: dict[str, ArrayDecl] = field(default_factory=dict)
+    #: Estimated temporal reuse of this function's accesses (app knowledge).
+    reuse: float = 0.9
+    #: How often a call executes this body (for inlining decisions).
+    call_cost_int_ops: int = 12
+
+    def declare_array(self, name: str, elements: int, type: ScalarType = ScalarType.F64) -> None:
+        self.arrays[name] = ArrayDecl(name, elements, type)
+
+    def footprint_bytes(self) -> int:
+        """Total bytes of arrays *referenced* in the body."""
+        used = set()
+        for stmt in walk_stmts(self.body):
+            if isinstance(stmt, ArrayStore):
+                used.add(stmt.array)
+            for e in stmt_exprs(stmt):
+                for node in e.walk():
+                    if isinstance(node, ArrayRef):
+                        used.add(node.array)
+        return sum(
+            self.arrays[a].size_bytes for a in used if a in self.arrays
+        )
+
+
+@dataclass
+class Program:
+    name: str
+    functions: dict[str, Function] = field(default_factory=dict)
+    entry: str | None = None
+
+    def add_function(self, fn: Function) -> Function:
+        if fn.name in self.functions:
+            raise IRError(f"duplicate function {fn.name!r}")
+        self.functions[fn.name] = fn
+        if self.entry is None:
+            self.entry = fn.name
+        return fn
+
+    def function(self, name: str) -> Function:
+        if name not in self.functions:
+            raise IRError(
+                f"no function {name!r}; have {sorted(self.functions)}"
+            )
+        return self.functions[name]
+
+
+# ---------------------------------------------------------------------------
+# Tree utilities shared by the passes
+# ---------------------------------------------------------------------------
+
+
+def walk_stmts(block: Block) -> Iterator[Stmt]:
+    """Every statement in a block, recursively (including nested blocks)."""
+    for stmt in block.stmts:
+        yield stmt
+        if isinstance(stmt, Loop):
+            yield from walk_stmts(stmt.body)
+        elif isinstance(stmt, If):
+            yield from walk_stmts(stmt.then_body)
+            if stmt.else_body is not None:
+                yield from walk_stmts(stmt.else_body)
+        elif isinstance(stmt, Block):
+            yield from walk_stmts(stmt)
+
+
+def stmt_exprs(stmt: Stmt) -> tuple[Expr, ...]:
+    """The expression operands of one statement (non-recursive)."""
+    if isinstance(stmt, Assign):
+        return (stmt.value,)
+    if isinstance(stmt, ArrayStore):
+        return (stmt.value,)
+    if isinstance(stmt, CallStmt):
+        return stmt.args
+    if isinstance(stmt, If):
+        return (stmt.cond,)
+    return ()
+
+
+def count_expr_ops(expr: Expr) -> tuple[int, int, int]:
+    """(flops, int_ops, loads) of evaluating ``expr`` once, pre-regalloc.
+
+    ``Var`` reads count as loads here (stack traffic at O0); register
+    allocation removes them during lowering.
+    """
+    flops = int_ops = loads = 0
+    for node in expr.walk():
+        if isinstance(node, BinOp):
+            if node.dtype.is_float and node.op in _FP_OPS:
+                flops += 1
+            else:
+                int_ops += 1
+        elif isinstance(node, Intrinsic):
+            flops += node.cost_flops
+        elif isinstance(node, (Var, ArrayRef)):
+            loads += 1
+    return flops, int_ops, loads
+
+
+def clone_block(block: Block) -> Block:
+    """Deep-copy a block (expressions are immutable and shared)."""
+    out = Block()
+    for stmt in block.stmts:
+        out.stmts.append(clone_stmt(stmt))
+    return out
+
+
+def clone_stmt(stmt: Stmt) -> Stmt:
+    if isinstance(stmt, Assign):
+        return Assign(stmt.target, stmt.value, stmt.type)
+    if isinstance(stmt, ArrayStore):
+        return ArrayStore(stmt.array, stmt.index, stmt.value, stmt.type)
+    if isinstance(stmt, CallStmt):
+        return CallStmt(stmt.callee, stmt.args)
+    if isinstance(stmt, If):
+        return If(
+            stmt.cond,
+            clone_block(stmt.then_body),
+            clone_block(stmt.else_body) if stmt.else_body else None,
+            stmt.taken_probability,
+        )
+    if isinstance(stmt, Loop):
+        return Loop(stmt.var, stmt.trip_count, clone_block(stmt.body),
+                    stmt.vector_width, stmt.pipelined)
+    if isinstance(stmt, Block):
+        return clone_block(stmt)
+    raise IRError(f"cannot clone {type(stmt).__name__}")
+
+
+def clone_function(fn: Function) -> Function:
+    return Function(
+        name=fn.name,
+        body=clone_block(fn.body),
+        arrays=dict(fn.arrays),
+        reuse=fn.reuse,
+        call_cost_int_ops=fn.call_cost_int_ops,
+    )
+
+
+def clone_program(program: Program) -> Program:
+    out = Program(program.name)
+    for fn in program.functions.values():
+        out.add_function(clone_function(fn))
+    out.entry = program.entry
+    return out

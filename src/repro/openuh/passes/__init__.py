@@ -1,0 +1,37 @@
+"""OpenUH optimization passes."""
+
+from .base import Pass, PassReport
+from .inline import Inlining, static_cost
+from .loopnest import (
+    InstructionScheduling,
+    LoopFusion,
+    SoftwarePipelining,
+    TuningKnobs,
+    Vectorization,
+    tuning_of,
+)
+from .scalar import (
+    CommonSubexpressionElimination,
+    ConstantFolding,
+    CopyPropagation,
+    DeadStoreElimination,
+    LoopInvariantCodeMotion,
+)
+
+__all__ = [
+    "CommonSubexpressionElimination",
+    "ConstantFolding",
+    "CopyPropagation",
+    "DeadStoreElimination",
+    "Inlining",
+    "InstructionScheduling",
+    "LoopFusion",
+    "LoopInvariantCodeMotion",
+    "Pass",
+    "PassReport",
+    "SoftwarePipelining",
+    "TuningKnobs",
+    "Vectorization",
+    "static_cost",
+    "tuning_of",
+]

@@ -1,0 +1,51 @@
+"""Optimization pass infrastructure.
+
+Passes transform :class:`~repro.openuh.ir.Function` bodies in place (on a
+cloned program — the pipeline never mutates the caller's IR) and report
+what they did, so tests and the ablation benchmarks can assert on pass
+effectiveness rather than just end-to-end numbers.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ..ir import Function, Program, WhirlLevel
+
+
+@dataclass
+class PassReport:
+    """What one pass did to one program."""
+
+    pass_name: str
+    #: Free-form counters, e.g. {"folded": 3, "eliminated": 7}.
+    changes: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_changes(self) -> int:
+        return sum(self.changes.values())
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        self.changes[key] = self.changes.get(key, 0) + amount
+
+
+class Pass(ABC):
+    """An IR transformation applied function-by-function."""
+
+    #: The WHIRL level this pass conceptually runs at.
+    level: WhirlLevel = WhirlLevel.MID
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def run(self, program: Program) -> PassReport:
+        report = PassReport(self.name)
+        for fn in program.functions.values():
+            self.run_on_function(fn, report)
+        return report
+
+    @abstractmethod
+    def run_on_function(self, fn: Function, report: PassReport) -> None:
+        """Transform one function in place, recording changes."""

@@ -1,0 +1,405 @@
+"""Scalar optimizations: constant folding, copy propagation, CSE, dead
+store elimination, and loop-invariant code motion (the PRE family).
+
+These are the passes whose effect Table I attributes to O1/O2: they shrink
+the dynamic instruction count ("optimizations that improve performance by
+reducing the instruction count are optimized for low energy" — Valluri &
+John, quoted by the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import (
+    ArrayRef,
+    ArrayStore,
+    Assign,
+    BinOp,
+    Block,
+    CallStmt,
+    Const,
+    Expr,
+    Function,
+    If,
+    Intrinsic,
+    Loop,
+    Stmt,
+    Var,
+    WhirlLevel,
+    stmt_exprs,
+)
+from .base import Pass, PassReport
+
+_FOLDABLE = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b if b != 0 else None,
+    "min": min,
+    "max": max,
+}
+
+
+def _map_expr(expr: Expr, fn) -> Expr:
+    """Rebuild an expression bottom-up through ``fn``."""
+    if isinstance(expr, BinOp):
+        rebuilt = BinOp(expr.op, _map_expr(expr.left, fn), _map_expr(expr.right, fn))
+        return fn(rebuilt)
+    if isinstance(expr, Intrinsic):
+        rebuilt = Intrinsic(
+            expr.name, tuple(_map_expr(a, fn) for a in expr.args), expr.cost_flops
+        )
+        return fn(rebuilt)
+    return fn(expr)
+
+
+def _map_stmt_exprs(stmt: Stmt, fn) -> None:
+    """Apply ``fn`` to each statement's expressions, in place."""
+    if isinstance(stmt, Assign):
+        stmt.value = _map_expr(stmt.value, fn)
+    elif isinstance(stmt, ArrayStore):
+        stmt.value = _map_expr(stmt.value, fn)
+    elif isinstance(stmt, CallStmt):
+        stmt.args = tuple(_map_expr(a, fn) for a in stmt.args)
+    elif isinstance(stmt, If):
+        stmt.cond = _map_expr(stmt.cond, fn)
+
+
+def _for_each_block(block: Block, visit) -> None:
+    """Visit every (nested) block, innermost last."""
+    for stmt in block.stmts:
+        if isinstance(stmt, Loop):
+            _for_each_block(stmt.body, visit)
+        elif isinstance(stmt, If):
+            _for_each_block(stmt.then_body, visit)
+            if stmt.else_body is not None:
+                _for_each_block(stmt.else_body, visit)
+        elif isinstance(stmt, Block):
+            _for_each_block(stmt, visit)
+    visit(block)
+
+
+class ConstantFolding(Pass):
+    """Fold ``BinOp(Const, Const)`` and algebraic identities (peephole)."""
+
+    level = WhirlLevel.LOW
+
+    def run_on_function(self, fn: Function, report: PassReport) -> None:
+        def fold(expr: Expr) -> Expr:
+            if not isinstance(expr, BinOp):
+                return expr
+            l, r = expr.left, expr.right
+            if isinstance(l, Const) and isinstance(r, Const):
+                op = _FOLDABLE.get(expr.op)
+                if op is not None:
+                    value = op(l.value, r.value)
+                    if value is not None:
+                        report.bump("folded")
+                        return Const(float(value), expr.dtype)
+            # x*1, 1*x, x+0, 0+x, x-0
+            if expr.op == "*":
+                if isinstance(r, Const) and r.value == 1.0:
+                    report.bump("identity")
+                    return l
+                if isinstance(l, Const) and l.value == 1.0:
+                    report.bump("identity")
+                    return r
+            if expr.op == "+":
+                if isinstance(r, Const) and r.value == 0.0:
+                    report.bump("identity")
+                    return l
+                if isinstance(l, Const) and l.value == 0.0:
+                    report.bump("identity")
+                    return r
+            if expr.op == "-" and isinstance(r, Const) and r.value == 0.0:
+                report.bump("identity")
+                return l
+            return expr
+
+        def visit(block: Block) -> None:
+            for stmt in block.stmts:
+                _map_stmt_exprs(stmt, fold)
+
+        _for_each_block(fn.body, visit)
+
+
+class CopyPropagation(Pass):
+    """Replace reads of ``x`` with ``y``/``c`` after ``x = y`` / ``x = c``.
+
+    Works within straight-line runs of each block (a loop/if kills the
+    tracked copies, conservatively).
+    """
+
+    level = WhirlLevel.MID
+
+    def run_on_function(self, fn: Function, report: PassReport) -> None:
+        def visit(block: Block) -> None:
+            copies: dict[str, Expr] = {}
+
+            def substitute(expr: Expr) -> Expr:
+                if isinstance(expr, Var) and expr.name in copies:
+                    report.bump("propagated")
+                    return copies[expr.name]
+                return expr
+
+            for stmt in block.stmts:
+                if isinstance(stmt, (Loop, If, Block)):
+                    copies.clear()
+                    continue
+                _map_stmt_exprs(stmt, substitute)
+                if isinstance(stmt, Assign):
+                    # kill copies that referenced the overwritten target
+                    copies = {
+                        k: v
+                        for k, v in copies.items()
+                        if k != stmt.target
+                        and not any(
+                            isinstance(n, Var) and n.name == stmt.target
+                            for n in v.walk()
+                        )
+                    }
+                    if isinstance(stmt.value, (Var, Const)):
+                        copies[stmt.target] = stmt.value
+                elif isinstance(stmt, CallStmt):
+                    copies.clear()  # calls may write anything
+
+        _for_each_block(fn.body, visit)
+
+
+class CommonSubexpressionElimination(Pass):
+    """Hoist repeated non-trivial subexpressions to temporaries (per block).
+
+    Candidates are compound expressions (``BinOp``/``Intrinsic``) **and**
+    repeated array loads (``ArrayRef``) — redundant-load elimination is the
+    memory-traffic half of real CSE and the dominant share of its win on
+    array codes.
+    """
+
+    level = WhirlLevel.MID
+    _counter = 0
+
+    def run_on_function(self, fn: Function, report: PassReport) -> None:
+        def visit(block: Block) -> None:
+            # count structural occurrences of candidate subexpressions
+            counts: dict[Expr, int] = {}
+            for stmt in block.stmts:
+                if isinstance(stmt, (Loop, If, Block)):
+                    continue
+                for e in stmt_exprs(stmt):
+                    for node in e.walk():
+                        if isinstance(node, (BinOp, Intrinsic)):
+                            counts[node] = counts.get(node, 0) + 1
+                        elif isinstance(node, ArrayRef):
+                            # repeated loads only (a single load gains
+                            # nothing from a temp)
+                            counts[node] = counts.get(node, 0) + 1
+            # soundness: never cache loads from arrays the block stores to
+            stored_arrays = {
+                s.array for s in block.stmts if isinstance(s, ArrayStore)
+            }
+            counts = {
+                e: c
+                for e, c in counts.items()
+                if not (isinstance(e, ArrayRef) and e.array in stored_arrays)
+                and not any(
+                    isinstance(n, ArrayRef) and n.array in stored_arrays
+                    for n in e.walk()
+                )
+            }
+            repeated = {e for e, c in counts.items() if c > 1}
+            if not repeated:
+                return
+            # keep only maximal repeated subtrees (don't split parents)
+            maximal = {
+                e
+                for e in repeated
+                if not any(
+                    e in p.children() or _contains(p, e)
+                    for p in repeated
+                    if p is not e
+                )
+            }
+            temps: dict[Expr, str] = {}
+            new_stmts: list[Stmt] = []
+            for stmt in block.stmts:
+                if isinstance(stmt, (Loop, If, Block)):
+                    new_stmts.append(stmt)
+                    continue
+
+                def replace_cse(expr: Expr) -> Expr:
+                    if expr in maximal:
+                        if expr not in temps:
+                            CommonSubexpressionElimination._counter += 1
+                            tmp = f"_cse{CommonSubexpressionElimination._counter}"
+                            temps[expr] = tmp
+                            new_stmts.append(Assign(tmp, expr, expr.dtype))
+                            report.bump("hoisted")
+                        else:
+                            report.bump("reused")
+                        return Var(temps[expr], expr.dtype)
+                    return expr
+
+                _map_stmt_exprs(stmt, replace_cse)
+                new_stmts.append(stmt)
+            block.stmts = new_stmts
+
+        _for_each_block(fn.body, visit)
+
+
+def _contains(parent: Expr, child: Expr) -> bool:
+    return any(n == child for n in parent.walk() if n is not parent)
+
+
+class DeadStoreElimination(Pass):
+    """Remove scalar assignments whose target is never subsequently read.
+
+    Function-local scalars are dead at function exit; array stores and call
+    arguments are observable and always kept.  Conservative across control
+    flow: a variable read anywhere later (in any nested construct) is live.
+    """
+
+    level = WhirlLevel.MID
+
+    def run_on_function(self, fn: Function, report: PassReport) -> None:
+        changed = True
+        while changed:
+            changed = self._sweep(fn, report)
+
+    def _sweep(self, fn: Function, report: PassReport) -> bool:
+        # Collect all statements in execution order (flattened).
+        order: list[tuple[Block, int, Stmt]] = []
+
+        def flatten(block: Block) -> None:
+            for i, stmt in enumerate(block.stmts):
+                order.append((block, i, stmt))
+                if isinstance(stmt, Loop):
+                    flatten(stmt.body)
+                elif isinstance(stmt, If):
+                    flatten(stmt.then_body)
+                    if stmt.else_body is not None:
+                        flatten(stmt.else_body)
+                elif isinstance(stmt, Block):
+                    flatten(stmt)
+
+        flatten(fn.body)
+        reads_after: set[str] = set()
+        dead: list[tuple[Block, int]] = []
+        in_loop = _stmts_inside_loops(fn.body)
+        for block, i, stmt in reversed(order):
+            if isinstance(stmt, Assign):
+                # a store inside a loop feeds later iterations' reads
+                if stmt.target not in reads_after and id(stmt) not in in_loop:
+                    dead.append((block, i))
+                    continue  # its operand reads never happen
+            for e in stmt_exprs(stmt):
+                for node in e.walk():
+                    if isinstance(node, Var):
+                        reads_after.add(node.name)
+        if not dead:
+            return False
+        for block, i in dead:
+            block.stmts[i] = None  # type: ignore[call-overload]
+        for block, _ in dead:
+            block.stmts = [s for s in block.stmts if s is not None]
+        report.bump("eliminated", len(dead))
+        return True
+
+
+def _stmts_inside_loops(block: Block, inside: bool = False) -> set[int]:
+    out: set[int] = set()
+    for stmt in block.stmts:
+        if inside:
+            out.add(id(stmt))
+        if isinstance(stmt, Loop):
+            out |= _stmts_inside_loops(stmt.body, True)
+        elif isinstance(stmt, If):
+            out |= _stmts_inside_loops(stmt.then_body, inside)
+            if stmt.else_body is not None:
+                out |= _stmts_inside_loops(stmt.else_body, inside)
+        elif isinstance(stmt, Block):
+            out |= _stmts_inside_loops(stmt, inside)
+    return out
+
+
+class LoopInvariantCodeMotion(Pass):
+    """Hoist loop-invariant subexpressions out of loops (the PRE family).
+
+    An expression is invariant if it references neither the loop variable
+    nor any scalar assigned inside the loop, and contains no array reads
+    indexed by the loop variable.
+    """
+
+    level = WhirlLevel.MID
+    _counter = 0
+
+    def run_on_function(self, fn: Function, report: PassReport) -> None:
+        self._process_block(fn.body, report)
+
+    def _process_block(self, block: Block, report: PassReport) -> None:
+        new_stmts: list[Stmt] = []
+        for stmt in block.stmts:
+            if isinstance(stmt, Loop):
+                self._process_block(stmt.body, report)  # innermost first
+                hoisted = self._hoist(stmt, report)
+                new_stmts.extend(hoisted)
+            elif isinstance(stmt, If):
+                self._process_block(stmt.then_body, report)
+                if stmt.else_body is not None:
+                    self._process_block(stmt.else_body, report)
+                new_stmts.append(stmt)
+            else:
+                new_stmts.append(stmt)
+        block.stmts = new_stmts
+
+    def _hoist(self, loop: Loop, report: PassReport) -> list[Stmt]:
+        assigned = {
+            s.target
+            for s in _flat_stmts(loop.body)
+            if isinstance(s, Assign)
+        }
+        assigned.add(loop.var)
+
+        def invariant(expr: Expr) -> bool:
+            for node in expr.walk():
+                if isinstance(node, Var) and node.name in assigned:
+                    return False
+                if isinstance(node, ArrayRef) and loop.var in node.index:
+                    return False
+                if isinstance(node, ArrayRef) and any(
+                    v in assigned for v in node.index
+                ):
+                    return False
+            return True
+
+        pre: list[Stmt] = []
+        temps: dict[Expr, str] = {}
+
+        def hoist_expr(expr: Expr) -> Expr:
+            if isinstance(expr, (BinOp, Intrinsic)) and invariant(expr):
+                if expr not in temps:
+                    LoopInvariantCodeMotion._counter += 1
+                    tmp = f"_licm{LoopInvariantCodeMotion._counter}"
+                    temps[expr] = tmp
+                    pre.append(Assign(tmp, expr, expr.dtype))
+                    report.bump("hoisted")
+                return Var(temps[expr], expr.dtype)
+            return expr
+
+        for stmt in loop.body.stmts:
+            if not isinstance(stmt, (Loop, If, Block)):
+                _map_stmt_exprs(stmt, hoist_expr)
+        return [*pre, loop]
+
+
+def _flat_stmts(block: Block):
+    for stmt in block.stmts:
+        yield stmt
+        if isinstance(stmt, Loop):
+            yield from _flat_stmts(stmt.body)
+        elif isinstance(stmt, If):
+            yield from _flat_stmts(stmt.then_body)
+            if stmt.else_body is not None:
+                yield from _flat_stmts(stmt.else_body)
+        elif isinstance(stmt, Block):
+            yield from _flat_stmts(stmt)

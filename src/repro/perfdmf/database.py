@@ -1,0 +1,292 @@
+"""SQLite-backed PerfDMF repository.
+
+PerfDMF stores parallel profiles in a relational database so analyses can
+span many experiments.  This module reproduces that design on
+:mod:`sqlite3` (stdlib): a normalized schema with application/experiment/
+trial/metric/event dimension tables and a single measurement fact table.
+
+The repository is the system's durable store: the runtime simulator saves
+trials here and PerfExplorer scripts load them back by
+(application, experiment, trial) coordinates, exactly like the paper's
+``Utilities.getTrial("Fluid Dynamic", "rib 45", "1_8")``.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Any, Iterable
+
+import numpy as np
+
+from .model import Event, Metric, ProfileError, ThreadId, Trial
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS application (
+    id      INTEGER PRIMARY KEY,
+    name    TEXT NOT NULL UNIQUE,
+    metadata TEXT NOT NULL DEFAULT '{}'
+);
+CREATE TABLE IF NOT EXISTS experiment (
+    id      INTEGER PRIMARY KEY,
+    app_id  INTEGER NOT NULL REFERENCES application(id) ON DELETE CASCADE,
+    name    TEXT NOT NULL,
+    metadata TEXT NOT NULL DEFAULT '{}',
+    UNIQUE (app_id, name)
+);
+CREATE TABLE IF NOT EXISTS trial (
+    id      INTEGER PRIMARY KEY,
+    exp_id  INTEGER NOT NULL REFERENCES experiment(id) ON DELETE CASCADE,
+    name    TEXT NOT NULL,
+    metadata TEXT NOT NULL DEFAULT '{}',
+    UNIQUE (exp_id, name)
+);
+CREATE TABLE IF NOT EXISTS metric (
+    id       INTEGER PRIMARY KEY,
+    trial_id INTEGER NOT NULL REFERENCES trial(id) ON DELETE CASCADE,
+    name     TEXT NOT NULL,
+    units    TEXT NOT NULL DEFAULT 'counts',
+    derived  INTEGER NOT NULL DEFAULT 0,
+    UNIQUE (trial_id, name)
+);
+CREATE TABLE IF NOT EXISTS event (
+    id       INTEGER PRIMARY KEY,
+    trial_id INTEGER NOT NULL REFERENCES trial(id) ON DELETE CASCADE,
+    name     TEXT NOT NULL,
+    grp      TEXT NOT NULL DEFAULT 'TAU_DEFAULT',
+    UNIQUE (trial_id, name)
+);
+CREATE TABLE IF NOT EXISTS thread (
+    id       INTEGER PRIMARY KEY,
+    trial_id INTEGER NOT NULL REFERENCES trial(id) ON DELETE CASCADE,
+    node     INTEGER NOT NULL,
+    context  INTEGER NOT NULL,
+    thread   INTEGER NOT NULL,
+    UNIQUE (trial_id, node, context, thread)
+);
+CREATE TABLE IF NOT EXISTS value (
+    metric_id  INTEGER NOT NULL REFERENCES metric(id) ON DELETE CASCADE,
+    event_id   INTEGER NOT NULL REFERENCES event(id)  ON DELETE CASCADE,
+    thread_id  INTEGER NOT NULL REFERENCES thread(id) ON DELETE CASCADE,
+    exclusive  REAL NOT NULL,
+    inclusive  REAL NOT NULL,
+    PRIMARY KEY (metric_id, event_id, thread_id)
+);
+CREATE TABLE IF NOT EXISTS callcount (
+    event_id   INTEGER NOT NULL REFERENCES event(id)  ON DELETE CASCADE,
+    thread_id  INTEGER NOT NULL REFERENCES thread(id) ON DELETE CASCADE,
+    calls      REAL NOT NULL,
+    subroutines REAL NOT NULL,
+    PRIMARY KEY (event_id, thread_id)
+);
+"""
+
+
+class PerfDMF:
+    """A PerfDMF repository.
+
+    Parameters
+    ----------
+    path:
+        Database file, or ``":memory:"`` (the default) for an ephemeral
+        repository — handy in tests and in the single-process pipelines the
+        examples run.
+    """
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self._conn = sqlite3.connect(str(path))
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "PerfDMF":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- hierarchy -------------------------------------------------------
+    def _get_or_create(self, table: str, where: dict, defaults: dict | None = None) -> int:
+        cols = list(where)
+        row = self._conn.execute(
+            f"SELECT id FROM {table} WHERE "
+            + " AND ".join(f"{c} = ?" for c in cols),
+            [where[c] for c in cols],
+        ).fetchone()
+        if row:
+            return row[0]
+        data = {**where, **(defaults or {})}
+        cur = self._conn.execute(
+            f"INSERT INTO {table} ({', '.join(data)}) VALUES "
+            f"({', '.join('?' for _ in data)})",
+            list(data.values()),
+        )
+        return cur.lastrowid
+
+    def save_trial(
+        self, application: str, experiment: str, trial: Trial, *, replace: bool = False
+    ) -> int:
+        """Persist ``trial`` under application/experiment. Returns trial id."""
+        trial.validate()
+        app_id = self._get_or_create("application", {"name": application})
+        exp_id = self._get_or_create("experiment", {"app_id": app_id, "name": experiment})
+        existing = self._conn.execute(
+            "SELECT id FROM trial WHERE exp_id = ? AND name = ?", (exp_id, trial.name)
+        ).fetchone()
+        if existing:
+            if not replace:
+                raise ProfileError(
+                    f"trial {trial.name!r} already exists under "
+                    f"{application}/{experiment} (pass replace=True to overwrite)"
+                )
+            self._conn.execute("DELETE FROM trial WHERE id = ?", (existing[0],))
+        cur = self._conn.execute(
+            "INSERT INTO trial (exp_id, name, metadata) VALUES (?, ?, ?)",
+            (exp_id, trial.name, json.dumps(trial.metadata, default=str)),
+        )
+        trial_id = cur.lastrowid
+
+        event_ids = {}
+        for ev in trial.events:
+            c = self._conn.execute(
+                "INSERT INTO event (trial_id, name, grp) VALUES (?, ?, ?)",
+                (trial_id, ev.name, ev.group),
+            )
+            event_ids[ev.name] = c.lastrowid
+        thread_ids = {}
+        for th in trial.threads:
+            c = self._conn.execute(
+                "INSERT INTO thread (trial_id, node, context, thread) VALUES (?, ?, ?, ?)",
+                (trial_id, th.node, th.context, th.thread),
+            )
+            thread_ids[th] = c.lastrowid
+
+        events = trial.events
+        threads = trial.threads
+        for metric in trial.metrics:
+            c = self._conn.execute(
+                "INSERT INTO metric (trial_id, name, units, derived) VALUES (?, ?, ?, ?)",
+                (trial_id, metric.name, metric.units, int(metric.derived)),
+            )
+            metric_id = c.lastrowid
+            exc = trial.exclusive_array(metric.name)
+            inc = trial.inclusive_array(metric.name)
+            rows = [
+                (metric_id, event_ids[events[e].name], thread_ids[threads[t]],
+                 float(exc[e, t]), float(inc[e, t]))
+                for e in range(len(events))
+                for t in range(len(threads))
+            ]
+            self._conn.executemany(
+                "INSERT INTO value VALUES (?, ?, ?, ?, ?)", rows
+            )
+        calls = trial.calls_array()
+        subrs = trial.subroutines_array()
+        rows = [
+            (event_ids[events[e].name], thread_ids[threads[t]],
+             float(calls[e, t]), float(subrs[e, t]))
+            for e in range(len(events))
+            for t in range(len(threads))
+        ]
+        self._conn.executemany("INSERT INTO callcount VALUES (?, ?, ?, ?)", rows)
+        self._conn.commit()
+        return trial_id
+
+    # -- loading -------------------------------------------------------------
+    def _trial_row(self, application: str, experiment: str, trial: str):
+        row = self._conn.execute(
+            """SELECT t.id, t.metadata FROM trial t
+               JOIN experiment e ON t.exp_id = e.id
+               JOIN application a ON e.app_id = a.id
+               WHERE a.name = ? AND e.name = ? AND t.name = ?""",
+            (application, experiment, trial),
+        ).fetchone()
+        if row is None:
+            raise ProfileError(
+                f"no trial {application!r}/{experiment!r}/{trial!r} in repository"
+            )
+        return row
+
+    def load_trial(self, application: str, experiment: str, trial: str) -> Trial:
+        """Reconstruct a :class:`Trial` from the repository."""
+        trial_id, meta_json = self._trial_row(application, experiment, trial)
+        out = Trial(trial, json.loads(meta_json))
+
+        events = self._conn.execute(
+            "SELECT id, name, grp FROM event WHERE trial_id = ? ORDER BY id",
+            (trial_id,),
+        ).fetchall()
+        for _, name, grp in events:
+            out.add_event(Event(name, grp))
+        event_pos = {row[0]: i for i, row in enumerate(events)}
+
+        threads = self._conn.execute(
+            "SELECT id, node, context, thread FROM thread WHERE trial_id = ? ORDER BY id",
+            (trial_id,),
+        ).fetchall()
+        for _, n, c, t in threads:
+            out.add_thread(ThreadId(n, c, t))
+        thread_pos = {row[0]: i for i, row in enumerate(threads)}
+
+        metrics = self._conn.execute(
+            "SELECT id, name, units, derived FROM metric WHERE trial_id = ? ORDER BY id",
+            (trial_id,),
+        ).fetchall()
+        n_e, n_t = len(events), len(threads)
+        for metric_id, name, units, derived in metrics:
+            out.add_metric(Metric(name, units=units, derived=bool(derived)))
+            exc = np.zeros((n_e, n_t))
+            inc = np.zeros((n_e, n_t))
+            for event_id, thread_id, x, i in self._conn.execute(
+                "SELECT event_id, thread_id, exclusive, inclusive FROM value "
+                "WHERE metric_id = ?",
+                (metric_id,),
+            ):
+                exc[event_pos[event_id], thread_pos[thread_id]] = x
+                inc[event_pos[event_id], thread_pos[thread_id]] = i
+            out._exclusive[name][:, :] = exc
+            out._inclusive[name][:, :] = inc
+
+        if events:
+            event_id_list = [row[0] for row in events]
+            marks = ",".join("?" for _ in event_id_list)
+            for event_id, thread_id, calls, subrs in self._conn.execute(
+                f"SELECT event_id, thread_id, calls, subroutines FROM callcount "
+                f"WHERE event_id IN ({marks})",
+                event_id_list,
+            ):
+                out._calls[event_pos[event_id], thread_pos[thread_id]] = calls
+                out._subrs[event_pos[event_id], thread_pos[thread_id]] = subrs
+        return out
+
+    # -- listing --------------------------------------------------------------
+    def applications(self) -> list[str]:
+        return [r[0] for r in self._conn.execute(
+            "SELECT name FROM application ORDER BY name")]
+
+    def experiments(self, application: str) -> list[str]:
+        return [r[0] for r in self._conn.execute(
+            """SELECT e.name FROM experiment e JOIN application a
+               ON e.app_id = a.id WHERE a.name = ? ORDER BY e.name""",
+            (application,))]
+
+    def trials(self, application: str, experiment: str) -> list[str]:
+        return [r[0] for r in self._conn.execute(
+            """SELECT t.name FROM trial t
+               JOIN experiment e ON t.exp_id = e.id
+               JOIN application a ON e.app_id = a.id
+               WHERE a.name = ? AND e.name = ? ORDER BY t.id""",
+            (application, experiment))]
+
+    def delete_trial(self, application: str, experiment: str, trial: str) -> None:
+        trial_id, _ = self._trial_row(application, experiment, trial)
+        self._conn.execute("DELETE FROM trial WHERE id = ?", (trial_id,))
+        self._conn.commit()
+
+    def trial_metadata(self, application: str, experiment: str, trial: str) -> dict[str, Any]:
+        _, meta_json = self._trial_row(application, experiment, trial)
+        return json.loads(meta_json)

@@ -1,0 +1,99 @@
+"""Importer for gprof flat-profile text output.
+
+PerfDMF's breadth came from accepting whatever profilers users already had;
+gprof's flat profile is the lowest common denominator of sequential
+profiling.  This loader parses the classic ``gprof`` flat-profile table::
+
+    Flat profile:
+
+    Each sample counts as 0.01 seconds.
+      %   cumulative   self              self     total
+     time   seconds   seconds    calls  ms/call  ms/call  name
+     52.10      1.05     1.05      200     5.25     7.85  matxvec
+     21.00      1.47     0.42     1000     0.42     0.42  pc_jacobi
+      ...
+
+into a single-thread trial with the TIME metric: ``self seconds`` become
+exclusive time, ``total ms/call × calls`` the inclusive time (gprof's
+callees-included estimate), and ``calls`` the call counts.  Rows without
+call counts (e.g. the time spent in main) get inclusive = cumulative total.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from ..model import Event, Metric, ProfileError, ThreadId, Trial
+
+_HEADER_RE = re.compile(r"^\s*%\s+cumulative\s+self\b")
+# % time | cumulative s | self s | [calls | self ms/call | total ms/call] | name
+_ROW_RE = re.compile(
+    r"^\s*(?P<pct>\d+\.\d+)\s+(?P<cum>\d+\.\d+)\s+(?P<self>\d+\.\d+)"
+    r"(?:\s+(?P<calls>\d+)\s+(?P<self_ms>[\d.]+)\s+(?P<total_ms>[\d.]+))?"
+    r"\s+(?P<name>\S.*?)\s*$"
+)
+
+
+def read_gprof_profile(
+    path: str | Path, *, name: str | None = None, metadata: dict | None = None
+) -> Trial:
+    """Parse a gprof flat profile into a single-thread trial."""
+    path = Path(path)
+    if not path.is_file():
+        raise ProfileError(f"no such gprof file: {path}")
+    lines = path.read_text().splitlines()
+    return parse_gprof_text(lines, name=name or path.stem, metadata=metadata)
+
+
+def parse_gprof_text(
+    lines: list[str], *, name: str = "gprof", metadata: dict | None = None
+) -> Trial:
+    """Parse gprof flat-profile lines (see :func:`read_gprof_profile`)."""
+    in_table = False
+    rows: list[dict] = []
+    total_seconds = 0.0
+    for line in lines:
+        if _HEADER_RE.match(line):
+            in_table = True
+            continue
+        if not in_table:
+            continue
+        stripped = line.strip()
+        if not stripped:
+            if rows:
+                break  # blank line ends the flat table
+            continue
+        if stripped.startswith(("time", "name")):
+            continue  # the second header line
+        m = _ROW_RE.match(line)
+        if m is None:
+            if rows:
+                break  # e.g. the start of the call graph section
+            raise ProfileError(f"unparseable gprof row: {line!r}")
+        row = m.groupdict()
+        rows.append(row)
+        total_seconds = max(total_seconds, float(row["cum"]))
+    if not rows:
+        raise ProfileError("no flat-profile table found in gprof output")
+
+    trial = Trial(name, metadata)
+    trial.add_metric(Metric("TIME", units="usec"))
+    thread = ThreadId(0, 0, 0)
+    trial.add_thread(thread)
+    for row in rows:
+        fn = row["name"]
+        self_us = float(row["self"]) * 1e6
+        if row["calls"] is not None:
+            calls = float(row["calls"])
+            incl_us = float(row["total_ms"]) * 1e3 * calls
+            incl_us = max(incl_us, self_us)
+        else:
+            calls = 1.0
+            incl_us = max(total_seconds * 1e6, self_us)
+        trial.add_event(Event(fn, "GPROF"))
+        trial.set_value(fn, "TIME", thread, exclusive=self_us,
+                        inclusive=incl_us)
+        trial.set_calls(fn, thread, calls=calls)
+    trial.validate()
+    return trial

@@ -1,0 +1,120 @@
+"""JSON profile interchange format.
+
+PerfDMF supports ~a dozen profile formats; alongside the TAU text format we
+provide a self-describing JSON format (one document per trial) that is easy
+to generate from other tools and convenient for fixtures::
+
+    {
+      "name": "1_8",
+      "metadata": {"schedule": "dynamic,1"},
+      "threads": ["0.0.0", "0.0.1"],
+      "events": [{"name": "main", "group": "TAU_DEFAULT"}, ...],
+      "metrics": [{"name": "TIME", "units": "usec"}, ...],
+      "data": {
+        "TIME": {"exclusive": [[...], ...], "inclusive": [[...], ...]}
+      },
+      "calls": [[...], ...],
+      "subroutines": [[...], ...]
+    }
+
+Arrays are row-major ``events × threads``, mirroring the in-memory layout.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..model import Event, Metric, ProfileError, ThreadId, Trial
+
+FORMAT_VERSION = 1
+
+
+def trial_to_dict(trial: Trial) -> dict[str, Any]:
+    """Serialize a trial to a JSON-compatible dict."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": trial.name,
+        "metadata": trial.metadata,
+        "threads": [str(t) for t in trial.threads],
+        "events": [{"name": e.name, "group": e.group} for e in trial.events],
+        "metrics": [
+            {"name": m.name, "units": m.units, "derived": m.derived}
+            for m in trial.metrics
+        ],
+        "data": {
+            m.name: {
+                "exclusive": trial.exclusive_array(m.name).tolist(),
+                "inclusive": trial.inclusive_array(m.name).tolist(),
+            }
+            for m in trial.metrics
+        },
+        "calls": trial.calls_array().tolist(),
+        "subroutines": trial.subroutines_array().tolist(),
+    }
+
+
+def trial_from_dict(doc: dict[str, Any]) -> Trial:
+    """Deserialize :func:`trial_to_dict` output back into a trial."""
+    version = doc.get("format_version", FORMAT_VERSION)
+    if version > FORMAT_VERSION:
+        raise ProfileError(f"unsupported profile format version {version}")
+    for key in ("name", "threads", "events", "metrics", "data"):
+        if key not in doc:
+            raise ProfileError(f"profile document missing key {key!r}")
+    trial = Trial(doc["name"], doc.get("metadata"))
+    for ev in doc["events"]:
+        trial.add_event(Event(ev["name"], ev.get("group", "TAU_DEFAULT")))
+    for t in doc["threads"]:
+        trial.add_thread(ThreadId.parse(t))
+    n_e, n_t = trial.event_count, trial.thread_count
+    for m in doc["metrics"]:
+        metric = Metric(
+            m["name"], units=m.get("units", "counts"), derived=m.get("derived", False)
+        )
+        trial.add_metric(metric)
+        try:
+            block = doc["data"][metric.name]
+        except KeyError:
+            raise ProfileError(f"no data block for metric {metric.name!r}") from None
+        exc = np.asarray(block["exclusive"], dtype=float)
+        inc = np.asarray(block["inclusive"], dtype=float)
+        if exc.shape != (n_e, n_t) or inc.shape != (n_e, n_t):
+            raise ProfileError(
+                f"metric {metric.name!r}: data shape {exc.shape} != ({n_e},{n_t})"
+            )
+        trial._exclusive[metric.name][:, :] = exc
+        trial._inclusive[metric.name][:, :] = inc
+    if "calls" in doc:
+        calls = np.asarray(doc["calls"], dtype=float)
+        if calls.shape != (n_e, n_t):
+            raise ProfileError("calls array shape mismatch")
+        trial._calls[:, :] = calls
+    if "subroutines" in doc:
+        subrs = np.asarray(doc["subroutines"], dtype=float)
+        if subrs.shape != (n_e, n_t):
+            raise ProfileError("subroutines array shape mismatch")
+        trial._subrs[:, :] = subrs
+    trial.validate()
+    return trial
+
+
+def write_json_profile(trial: Trial, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trial_to_dict(trial)))
+    return path
+
+
+def read_json_profile(path: str | Path) -> Trial:
+    path = Path(path)
+    if not path.is_file():
+        raise ProfileError(f"no such profile file: {path}")
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ProfileError(f"{path}: invalid JSON: {exc}") from None
+    return trial_from_dict(doc)

@@ -1,0 +1,521 @@
+"""The PerfDMF data model: applications, experiments, trials, profiles.
+
+PerfDMF (the Performance Data Management Framework underlying PerfExplorer)
+organizes parallel performance data hierarchically::
+
+    Application → Experiment → Trial → {Metric × Event × Thread} values
+
+A *trial* is one run of an instrumented application.  For every instrumented
+code region (*event* — a procedure, loop, or callpath like
+``"main => outer_loop => inner_loop"``), every *metric* (``TIME``,
+``CPU_CYCLES``, ``L3_MISSES``, …), and every *thread* (flattened
+node/context/thread triple), the profile records:
+
+* **exclusive** value — cost inside the region, excluding callees,
+* **inclusive** value — cost including callees,
+* **calls** / **subroutine calls** — invocation counts (metric-independent).
+
+Values are held in dense NumPy arrays of shape ``(n_events, n_threads)`` per
+metric, which makes the PerfExplorer statistics operations (means, standard
+deviations, correlations across threads) vectorized one-liners.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+#: TAU's callpath separator. ``"a => b"`` is region ``b`` called from ``a``.
+CALLPATH_SEPARATOR = " => "
+
+#: Conventional name of the program entry point event.
+MAIN_EVENT = "main"
+
+
+class ProfileError(Exception):
+    """Raised for malformed or inconsistent profile data."""
+
+
+@dataclass(frozen=True, order=True)
+class ThreadId:
+    """A flattened MPI-rank/OpenMP-thread coordinate (TAU's n,c,t triple)."""
+
+    node: int = 0
+    context: int = 0
+    thread: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.node}.{self.context}.{self.thread}"
+
+    @classmethod
+    def parse(cls, text: str) -> "ThreadId":
+        parts = text.split(".")
+        if len(parts) != 3:
+            raise ProfileError(f"thread id must be 'n.c.t', got {text!r}")
+        try:
+            return cls(*(int(p) for p in parts))
+        except ValueError as exc:
+            raise ProfileError(f"bad thread id {text!r}: {exc}") from None
+
+
+@dataclass(frozen=True)
+class Metric:
+    """A measured quantity.
+
+    ``derived`` metrics are produced by analysis operations (e.g.
+    ``"(BACK_END_BUBBLE_ALL / CPU_CYCLES)"``) rather than measurement.
+    """
+
+    name: str
+    units: str = "counts"
+    derived: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ProfileError("metric name must be non-empty")
+
+
+class Event:
+    """An instrumented code region.
+
+    Parameters
+    ----------
+    name:
+        Region name; callpaths use :data:`CALLPATH_SEPARATOR`.
+    group:
+        TAU-style group tag (``"TAU_DEFAULT"``, ``"OPENMP"``, ``"MPI"``,
+        ``"LOOP"``...), used by selective instrumentation and rules.
+    """
+
+    __slots__ = ("name", "group")
+
+    def __init__(self, name: str, group: str = "TAU_DEFAULT") -> None:
+        if not name:
+            raise ProfileError("event name must be non-empty")
+        self.name = name
+        self.group = group
+
+    @property
+    def is_callpath(self) -> bool:
+        return CALLPATH_SEPARATOR in self.name
+
+    @property
+    def leaf(self) -> str:
+        """The innermost region of a callpath event (or the name itself)."""
+        return self.name.rsplit(CALLPATH_SEPARATOR, 1)[-1]
+
+    @property
+    def parent_path(self) -> str | None:
+        """The calling path of a callpath event, None for flat events."""
+        if not self.is_callpath:
+            return None
+        return self.name.rsplit(CALLPATH_SEPARATOR, 1)[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Event({self.name!r}, group={self.group!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Event) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+class Trial:
+    """One run's complete profile.
+
+    Construct empty and fill through :meth:`set_value`/:meth:`set_calls`, or
+    build in bulk with :class:`TrialBuilder`.  Arrays auto-grow as events,
+    metrics, and threads are introduced.
+
+    Attributes
+    ----------
+    name:
+        Trial label, e.g. ``"1_8"`` (1 node, 8 threads) as in the paper.
+    metadata:
+        The *performance context*: free-form key/value pairs (machine, problem
+        size, schedule, compiler flags...).  Rules may reference metadata to
+        justify conclusions — a PerfExplorer 2.0 feature the paper highlights.
+    """
+
+    def __init__(self, name: str, metadata: Mapping[str, Any] | None = None) -> None:
+        if not name:
+            raise ProfileError("trial name must be non-empty")
+        self.name = name
+        self.metadata: dict[str, Any] = dict(metadata or {})
+        self._events: list[Event] = []
+        self._event_index: dict[str, int] = {}
+        self._metrics: list[Metric] = []
+        self._metric_index: dict[str, int] = {}
+        self._threads: list[ThreadId] = []
+        self._thread_index: dict[ThreadId, int] = {}
+        # per-metric (E, T) arrays
+        self._exclusive: dict[str, np.ndarray] = {}
+        self._inclusive: dict[str, np.ndarray] = {}
+        # metric-independent (E, T) arrays
+        self._calls: np.ndarray = np.zeros((0, 0))
+        self._subrs: np.ndarray = np.zeros((0, 0))
+
+    # -- registration -----------------------------------------------------
+    def add_event(self, event: Event | str, group: str = "TAU_DEFAULT") -> int:
+        if isinstance(event, str):
+            event = Event(event, group)
+        idx = self._event_index.get(event.name)
+        if idx is not None:
+            return idx
+        idx = len(self._events)
+        self._events.append(event)
+        self._event_index[event.name] = idx
+        self._grow_events()
+        return idx
+
+    def add_metric(self, metric: Metric | str, *, units: str = "counts", derived: bool = False) -> int:
+        if isinstance(metric, str):
+            metric = Metric(metric, units=units, derived=derived)
+        idx = self._metric_index.get(metric.name)
+        if idx is not None:
+            return idx
+        idx = len(self._metrics)
+        self._metrics.append(metric)
+        self._metric_index[metric.name] = idx
+        shape = (len(self._events), len(self._threads))
+        self._exclusive[metric.name] = np.zeros(shape)
+        self._inclusive[metric.name] = np.zeros(shape)
+        return idx
+
+    def add_thread(self, thread: ThreadId | tuple[int, int, int] | int) -> int:
+        if isinstance(thread, int):
+            thread = ThreadId(0, 0, thread)
+        elif isinstance(thread, tuple):
+            thread = ThreadId(*thread)
+        idx = self._thread_index.get(thread)
+        if idx is not None:
+            return idx
+        idx = len(self._threads)
+        self._threads.append(thread)
+        self._thread_index[thread] = idx
+        self._grow_threads()
+        return idx
+
+    def _grow_events(self) -> None:
+        n_e, n_t = len(self._events), len(self._threads)
+        for store in (self._exclusive, self._inclusive):
+            for m, arr in store.items():
+                if arr.shape[0] < n_e:
+                    store[m] = np.vstack([arr, np.zeros((n_e - arr.shape[0], n_t))])
+        for attr in ("_calls", "_subrs"):
+            arr = getattr(self, attr)
+            if arr.shape[0] < n_e:
+                setattr(self, attr, np.vstack([arr, np.zeros((n_e - arr.shape[0], n_t))]))
+
+    def _grow_threads(self) -> None:
+        n_e, n_t = len(self._events), len(self._threads)
+        for store in (self._exclusive, self._inclusive):
+            for m, arr in store.items():
+                if arr.shape[1] < n_t:
+                    store[m] = np.hstack([arr, np.zeros((n_e, n_t - arr.shape[1]))])
+        for attr in ("_calls", "_subrs"):
+            arr = getattr(self, attr)
+            if arr.shape[1] < n_t:
+                setattr(self, attr, np.hstack([arr, np.zeros((n_e, n_t - arr.shape[1]))]))
+
+    # -- value access -------------------------------------------------------
+    def set_value(
+        self,
+        event: str,
+        metric: str,
+        thread: ThreadId | tuple[int, int, int] | int,
+        *,
+        exclusive: float | None = None,
+        inclusive: float | None = None,
+    ) -> None:
+        e = self.add_event(event)
+        self.add_metric(metric)
+        t = self.add_thread(thread)
+        if exclusive is not None:
+            self._exclusive[metric][e, t] = exclusive
+        if inclusive is not None:
+            self._inclusive[metric][e, t] = inclusive
+
+    def set_calls(
+        self,
+        event: str,
+        thread: ThreadId | tuple[int, int, int] | int,
+        *,
+        calls: float | None = None,
+        subroutines: float | None = None,
+    ) -> None:
+        e = self.add_event(event)
+        t = self.add_thread(thread)
+        if calls is not None:
+            self._calls[e, t] = calls
+        if subroutines is not None:
+            self._subrs[e, t] = subroutines
+
+    def _thread_pos(self, thread) -> int:
+        """Resolve a thread reference to its flat index.
+
+        An ``int`` means the flat index directly (the common case in
+        analysis code); a tuple or :class:`ThreadId` names the n.c.t triple.
+        """
+        if isinstance(thread, int):
+            if not 0 <= thread < len(self._threads):
+                raise ProfileError(
+                    f"thread index {thread} out of range "
+                    f"(trial has {len(self._threads)} threads)"
+                )
+            return thread
+        if isinstance(thread, tuple):
+            thread = ThreadId(*thread)
+        if thread not in self._thread_index:
+            raise ProfileError(f"unknown thread {thread}")
+        return self._thread_index[thread]
+
+    def _et(self, event: str, metric: str, thread) -> tuple[int, int]:
+        if event not in self._event_index:
+            raise ProfileError(f"unknown event {event!r}")
+        if metric not in self._metric_index:
+            raise ProfileError(
+                f"unknown metric {metric!r}; available: {self.metric_names()}"
+            )
+        return self._event_index[event], self._thread_pos(thread)
+
+    def get_exclusive(self, event: str, metric: str, thread) -> float:
+        e, t = self._et(event, metric, thread)
+        return float(self._exclusive[metric][e, t])
+
+    def get_inclusive(self, event: str, metric: str, thread) -> float:
+        e, t = self._et(event, metric, thread)
+        return float(self._inclusive[metric][e, t])
+
+    def get_calls(self, event: str, thread) -> float:
+        if event not in self._event_index:
+            raise ProfileError(f"unknown event {event!r}")
+        return float(self._calls[self._event_index[event], self._thread_pos(thread)])
+
+    # -- array views (no copies; callers must not mutate) ------------------
+    def exclusive_array(self, metric: str) -> np.ndarray:
+        """(n_events, n_threads) exclusive values for ``metric``."""
+        if metric not in self._exclusive:
+            raise ProfileError(
+                f"unknown metric {metric!r}; available: {self.metric_names()}"
+            )
+        return self._exclusive[metric]
+
+    def inclusive_array(self, metric: str) -> np.ndarray:
+        if metric not in self._inclusive:
+            raise ProfileError(
+                f"unknown metric {metric!r}; available: {self.metric_names()}"
+            )
+        return self._inclusive[metric]
+
+    def calls_array(self) -> np.ndarray:
+        return self._calls
+
+    def subroutines_array(self) -> np.ndarray:
+        return self._subrs
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def events(self) -> list[Event]:
+        return list(self._events)
+
+    def event_names(self) -> list[str]:
+        return [e.name for e in self._events]
+
+    def event_index(self, name: str) -> int:
+        if name not in self._event_index:
+            raise ProfileError(f"unknown event {name!r}")
+        return self._event_index[name]
+
+    def has_event(self, name: str) -> bool:
+        return name in self._event_index
+
+    @property
+    def metrics(self) -> list[Metric]:
+        return list(self._metrics)
+
+    def metric_names(self) -> list[str]:
+        return [m.name for m in self._metrics]
+
+    def has_metric(self, name: str) -> bool:
+        return name in self._metric_index
+
+    @property
+    def threads(self) -> list[ThreadId]:
+        return list(self._threads)
+
+    @property
+    def thread_count(self) -> int:
+        return len(self._threads)
+
+    @property
+    def event_count(self) -> int:
+        return len(self._events)
+
+    def main_event(self) -> str:
+        """The top-level event: prefer :data:`MAIN_EVENT`, else the event
+        with the greatest total inclusive value of the first metric."""
+        if MAIN_EVENT in self._event_index:
+            return MAIN_EVENT
+        if not self._events or not self._metrics:
+            raise ProfileError("trial is empty; no main event")
+        metric = self._metrics[0].name
+        totals = self._inclusive[metric].sum(axis=1)
+        return self._events[int(np.argmax(totals))].name
+
+    def validate(self) -> None:
+        """Check profile invariants; raises :class:`ProfileError` on violation.
+
+        * inclusive ≥ exclusive ≥ 0 for every cell (within tolerance) — for
+          *measured* metrics only: derived metrics (ratios, differences)
+          are not additive over the call tree and are exempt,
+        * calls ≥ 0,
+        * array shapes agree with the registries.
+        """
+        n_e, n_t = len(self._events), len(self._threads)
+        for metric_obj in self._metrics:
+            metric = metric_obj.name
+            exc = self._exclusive[metric]
+            inc = self._inclusive[metric]
+            if exc.shape != (n_e, n_t) or inc.shape != (n_e, n_t):
+                raise ProfileError(
+                    f"metric {metric!r} array shape {exc.shape} != ({n_e},{n_t})"
+                )
+            if metric_obj.derived:
+                continue
+            if (exc < -1e-9).any():
+                raise ProfileError(f"negative exclusive values in {metric!r}")
+            tol = 1e-6 * (1.0 + np.abs(inc))
+            if (exc > inc + tol).any():
+                bad = np.argwhere(exc > inc + tol)[0]
+                raise ProfileError(
+                    f"exclusive > inclusive for metric {metric!r}, event "
+                    f"{self._events[bad[0]].name!r}, thread {self._threads[bad[1]]}"
+                )
+        if (self._calls < 0).any():
+            raise ProfileError("negative call counts")
+
+    def copy(self, name: str | None = None) -> "Trial":
+        """Deep copy (used by operations that transform trials)."""
+        out = Trial(name or self.name, self.metadata)
+        out._events = list(self._events)
+        out._event_index = dict(self._event_index)
+        out._metrics = list(self._metrics)
+        out._metric_index = dict(self._metric_index)
+        out._threads = list(self._threads)
+        out._thread_index = dict(self._thread_index)
+        out._exclusive = {m: a.copy() for m, a in self._exclusive.items()}
+        out._inclusive = {m: a.copy() for m, a in self._inclusive.items()}
+        out._calls = self._calls.copy()
+        out._subrs = self._subrs.copy()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Trial({self.name!r}: {len(self._events)} events x "
+            f"{len(self._metrics)} metrics x {len(self._threads)} threads)"
+        )
+
+
+class TrialBuilder:
+    """Bulk construction of trials from dense arrays.
+
+    The runtime simulator produces per-(event, thread) arrays directly; this
+    builder installs them without per-cell Python overhead.
+    """
+
+    def __init__(self, name: str, metadata: Mapping[str, Any] | None = None) -> None:
+        self._trial = Trial(name, metadata)
+
+    def with_threads(self, count: int, *, node_of=None) -> "TrialBuilder":
+        """Register ``count`` threads. ``node_of(i)`` maps flat index → node."""
+        for i in range(count):
+            node = node_of(i) if node_of else 0
+            self._trial.add_thread(ThreadId(node, 0, i))
+        return self
+
+    def with_events(self, names: Iterable[str], group: str = "TAU_DEFAULT") -> "TrialBuilder":
+        for n in names:
+            self._trial.add_event(n, group)
+        return self
+
+    def with_metric(
+        self,
+        metric: str,
+        exclusive: np.ndarray,
+        inclusive: np.ndarray | None = None,
+        *,
+        units: str = "counts",
+    ) -> "TrialBuilder":
+        """Install full (E, T) arrays for one metric.
+
+        ``inclusive`` defaults to ``exclusive`` (flat profiles).
+        """
+        t = self._trial
+        exclusive = np.asarray(exclusive, dtype=float)
+        expected = (t.event_count, t.thread_count)
+        if exclusive.shape != expected:
+            raise ProfileError(
+                f"metric {metric!r}: array shape {exclusive.shape} != {expected} "
+                "(register events/threads first)"
+            )
+        inclusive = exclusive if inclusive is None else np.asarray(inclusive, dtype=float)
+        if inclusive.shape != expected:
+            raise ProfileError(f"metric {metric!r}: inclusive shape mismatch")
+        t.add_metric(Metric(metric, units=units))
+        t._exclusive[metric][:, :] = exclusive
+        t._inclusive[metric][:, :] = inclusive
+        return self
+
+    def with_calls(self, calls: np.ndarray, subroutines: np.ndarray | None = None) -> "TrialBuilder":
+        t = self._trial
+        calls = np.asarray(calls, dtype=float)
+        expected = (t.event_count, t.thread_count)
+        if calls.shape != expected:
+            raise ProfileError(f"calls array shape {calls.shape} != {expected}")
+        t._calls[:, :] = calls
+        if subroutines is not None:
+            t._subrs[:, :] = np.asarray(subroutines, dtype=float)
+        return self
+
+    def build(self, *, validate: bool = True) -> Trial:
+        if validate:
+            self._trial.validate()
+        return self._trial
+
+
+@dataclass
+class Experiment:
+    """A parametric family of trials (e.g. a scaling study)."""
+
+    name: str
+    trials: dict[str, Trial] = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def add_trial(self, trial: Trial) -> None:
+        if trial.name in self.trials:
+            raise ProfileError(
+                f"experiment {self.name!r} already has trial {trial.name!r}"
+            )
+        self.trials[trial.name] = trial
+
+    def trial_names(self) -> list[str]:
+        return list(self.trials)
+
+
+@dataclass
+class Application:
+    """Top of the PerfDMF hierarchy."""
+
+    name: str
+    experiments: dict[str, Experiment] = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def get_or_create(self, experiment_name: str) -> Experiment:
+        if experiment_name not in self.experiments:
+            self.experiments[experiment_name] = Experiment(experiment_name)
+        return self.experiments[experiment_name]

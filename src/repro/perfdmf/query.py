@@ -1,0 +1,71 @@
+"""The ``Utilities`` facade: how analysis scripts address the repository.
+
+The paper's Jython scripts load data with
+``Utilities.getTrial("Fluid Dynamic", "rib 45", "1_8")``.  This module
+provides the same entry points over a process-global default repository
+(swappable for tests and multi-repository workflows).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from .database import PerfDMF
+from .model import ProfileError, Trial
+
+_default_repository: PerfDMF | None = None
+
+
+def set_default_repository(repo: PerfDMF | None) -> None:
+    """Install the repository :class:`Utilities` resolves against."""
+    global _default_repository
+    _default_repository = repo
+
+
+def get_default_repository() -> PerfDMF:
+    """The active repository, creating an in-memory one on first use."""
+    global _default_repository
+    if _default_repository is None:
+        _default_repository = PerfDMF()
+    return _default_repository
+
+
+class Utilities:
+    """Static-style query API mirroring PerfExplorer's script interface."""
+
+    @staticmethod
+    def getTrial(application: str, experiment: str, trial: str) -> Trial:
+        """Load one trial (the paper's Fig. 1 call, verbatim)."""
+        return get_default_repository().load_trial(application, experiment, trial)
+
+    @staticmethod
+    def getTrials(application: str, experiment: str) -> list[Trial]:
+        """Load every trial of an experiment, in insertion order."""
+        repo = get_default_repository()
+        return [
+            repo.load_trial(application, experiment, t)
+            for t in repo.trials(application, experiment)
+        ]
+
+    @staticmethod
+    def saveTrial(application: str, experiment: str, trial: Trial, *, replace: bool = False) -> int:
+        return get_default_repository().save_trial(
+            application, experiment, trial, replace=replace
+        )
+
+    @staticmethod
+    def listApplications() -> list[str]:
+        return get_default_repository().applications()
+
+    @staticmethod
+    def listExperiments(application: str) -> list[str]:
+        return get_default_repository().experiments(application)
+
+    @staticmethod
+    def listTrials(application: str, experiment: str) -> list[str]:
+        return get_default_repository().trials(application, experiment)
+
+    @staticmethod
+    def getMetadata(application: str, experiment: str, trial: str) -> dict:
+        return get_default_repository().trial_metadata(application, experiment, trial)

@@ -1,0 +1,34 @@
+"""Power/energy modeling (§III.C): the component power model of Eqs. 1-2
+and the Table I relative-metrics machinery."""
+
+from .components import Component, ITANIUM2_COMPONENTS, validate_components
+from .energy import (
+    TABLE1_METRICS,
+    LevelMeasurement,
+    RelativeTable,
+    energy_delay_product,
+    measure_signature,
+    relative_table,
+)
+from .model import (
+    ITANIUM2_IDLE_W,
+    ITANIUM2_TDP_W,
+    PowerEstimate,
+    PowerModel,
+)
+
+__all__ = [
+    "Component",
+    "ITANIUM2_COMPONENTS",
+    "ITANIUM2_IDLE_W",
+    "ITANIUM2_TDP_W",
+    "LevelMeasurement",
+    "PowerEstimate",
+    "PowerModel",
+    "RelativeTable",
+    "TABLE1_METRICS",
+    "energy_delay_product",
+    "measure_signature",
+    "relative_table",
+    "validate_components",
+]

@@ -1,0 +1,88 @@
+"""On-die component definitions and access-rate extraction.
+
+The paper's power metric (from Bui et al.) decomposes the processor into
+on-die components whose activity is observable through hardware counters.
+Each component's dynamic power is its *access rate* (events per cycle,
+capped at 1) times an *architectural scaling* factor (its share of the
+processor's maximum dynamic power budget) times the published thermal
+design power — Eq. 1.
+
+The component set below follows the Itanium 2 die plan: the FP unit, the
+integer core, the three cache levels, the front-end, and the system
+interface (memory/bus traffic).  Scaling factors sum to 1 so that total
+dynamic power saturates at TDP under full activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from ..machine import counters as C
+
+
+@dataclass(frozen=True)
+class Component:
+    """One on-die component of the power model."""
+
+    name: str
+    #: Share of max dynamic power attributable to this component (Eq. 1's
+    #: ArchitecturalScaling); all components' shares sum to 1.
+    architectural_scaling: float
+    #: Counter expression: events attributed to this component.
+    rate_counters: tuple[str, ...]
+    #: Events-per-cycle at which the component is considered saturated.
+    saturation_rate: float = 1.0
+
+    def access_rate(self, counters: Mapping[str, float]) -> float:
+        """Activity in [0, 1]: component events per cycle, normalized."""
+        cycles = counters.get(C.CPU_CYCLES, 0.0)
+        if cycles <= 0:
+            return 0.0
+        events = sum(counters.get(name, 0.0) for name in self.rate_counters)
+        rate = events / cycles / self.saturation_rate
+        return min(max(rate, 0.0), 1.0)
+
+
+#: The Itanium 2 (Madison) component set.  Scaling factors reflect the die
+#: area/power breakdown: FP and integer datapaths dominate, caches follow.
+ITANIUM2_COMPONENTS: tuple[Component, ...] = (
+    Component("fpu", 0.26, (C.FP_OPS,), saturation_rate=2.0),
+    Component(
+        "integer_core", 0.30,
+        (C.INSTRUCTIONS_ISSUED,),
+        saturation_rate=6.0,
+    ),
+    Component(
+        "frontend", 0.14,
+        (C.INSTRUCTIONS_ISSUED,),
+        saturation_rate=6.0,
+    ),
+    Component("l1d", 0.06, (C.L2_DATA_REFERENCES,), saturation_rate=2.0),
+    Component("l2", 0.06, (C.L2_DATA_REFERENCES,), saturation_rate=1.0),
+    Component("l3", 0.08, (C.L2_MISSES,), saturation_rate=0.5),
+    Component(
+        "system_interface", 0.10,
+        (C.L3_MISSES, C.REMOTE_MEMORY_ACCESSES),
+        saturation_rate=0.25,
+    ),
+)
+
+
+def validate_components(components: tuple[Component, ...]) -> None:
+    """Scaling shares must be positive and sum to ~1."""
+    if not components:
+        raise ValueError("component set must be non-empty")
+    total = sum(c.architectural_scaling for c in components)
+    if abs(total - 1.0) > 1e-6:
+        raise ValueError(
+            f"architectural scaling factors sum to {total:.6f}, expected 1.0"
+        )
+    for c in components:
+        if c.architectural_scaling <= 0:
+            raise ValueError(f"component {c.name}: scaling must be positive")
+        if c.saturation_rate <= 0:
+            raise ValueError(f"component {c.name}: saturation must be positive")
+
+
+validate_components(ITANIUM2_COMPONENTS)

@@ -1,0 +1,306 @@
+"""The forward-chaining rule engine (match → resolve → act loop).
+
+:class:`RuleEngine` is the reproduction of the JBoss Rules engine embedded in
+PerfExplorer 2.0.  Usage mirrors the paper's ``RuleHarness``::
+
+    engine = RuleEngine()
+    engine.add_rules(load_prl("OpenUHRules.prl"))
+    engine.assert_fact(Fact("MeanEventFact", metric=..., severity=0.31, ...))
+    engine.run()
+    for line in engine.output:
+        print(line)
+
+Matching is naive (cross-product join with early pruning) which is more than
+adequate for diagnosis working sets (10²–10³ facts) and keeps the semantics
+auditable.  The join order is the declaration order of the rule's patterns;
+constraints referencing earlier bindings prune the cross product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from .agenda import Activation, Agenda
+from .conditions import Bindings, Pattern, Test
+from .facts import Fact, FactHandle
+from .memory import WorkingMemory
+from .rule import Rule, RuleContext
+
+
+class RuleEngineError(Exception):
+    """Raised for engine misuse or runaway rulebases."""
+
+
+@dataclass
+class FiringRecord:
+    """Trace entry for one rule firing (supports explanation/audit)."""
+
+    cycle: int
+    rule_name: str
+    fact_seqs: tuple[int, ...]
+    bindings_summary: dict
+    #: Sequence numbers of facts this firing's action asserted.
+    asserted_seqs: tuple[int, ...] = ()
+
+
+class RuleEngine:
+    """Forward-chaining production system with salience-ordered agenda.
+
+    Parameters
+    ----------
+    max_firings:
+        Hard limit on total rule firings in one :meth:`run`; exceeded means a
+        runaway rulebase and raises :class:`RuleEngineError`.
+    echo:
+        When True, :meth:`emit` also prints to stdout (the paper's rules print
+        their diagnoses; benchmarks capture them instead).
+    """
+
+    def __init__(self, *, max_firings: int = 100_000, echo: bool = False) -> None:
+        self.memory = WorkingMemory()
+        self.agenda = Agenda()
+        self.rules: list[Rule] = []
+        self._rule_names: set[str] = set()
+        self.max_firings = max_firings
+        self.echo = echo
+        #: Diagnosis lines produced by rule actions via ``ctx.log``.
+        self.output: list[str] = []
+        #: Chronological firing trace.
+        self.trace: list[FiringRecord] = []
+        self._cycle = 0
+        #: While an action runs, collects the seqs of facts it asserts.
+        self._asserting: list[int] | None = None
+
+    # -- rulebase management --------------------------------------------------
+    def add_rule(self, rule: Rule) -> None:
+        if rule.name in self._rule_names:
+            raise RuleEngineError(f"duplicate rule name {rule.name!r}")
+        self._rule_names.add(rule.name)
+        self.rules.append(rule)
+
+    def add_rules(self, rules: Iterable[Rule]) -> None:
+        for r in rules:
+            self.add_rule(r)
+
+    def remove_rule(self, name: str) -> None:
+        self.rules = [r for r in self.rules if r.name != name]
+        self._rule_names.discard(name)
+
+    # -- working-memory operations ---------------------------------------
+    def assert_fact(self, fact: Fact) -> FactHandle:
+        handle = self.memory.assert_fact(fact)
+        if self._asserting is not None:
+            self._asserting.append(handle.seq)
+        return handle
+
+    def insert(self, fact_type: str, /, **fields) -> FactHandle:
+        return self.assert_fact(Fact(fact_type, **fields))
+
+    def assert_facts(self, facts: Iterable[Fact]) -> list[FactHandle]:
+        return [self.assert_fact(f) for f in facts]
+
+    def retract(self, handle: FactHandle) -> None:
+        self.memory.retract(handle)
+        self.agenda.invalidate_dead()
+
+    def modify(self, handle: FactHandle, **fields) -> FactHandle:
+        """Drools-style update: retract + re-assert so rules re-match.
+
+        Returns the *new* handle.
+        """
+        if not handle.live:
+            raise RuleEngineError("cannot modify a retracted fact")
+        updated = Fact(handle.fact.fact_type, **{**handle.fact.as_dict(), **fields})
+        self.retract(handle)
+        return self.assert_fact(updated)
+
+    def emit(self, rule_name: str, message: str) -> None:
+        line = f"[{rule_name}] {message}"
+        self.output.append(line)
+        if self.echo:  # pragma: no cover - interactive convenience
+            print(line)
+
+    def reset(self) -> None:
+        """Clear facts, agenda, refraction state, output, and trace."""
+        self.memory.clear()
+        self.agenda.clear()
+        self.agenda.reset_refraction()
+        self.output.clear()
+        self.trace.clear()
+        self._cycle = 0
+
+    # -- matching ----------------------------------------------------------
+    def _match_rule(self, rule: Rule) -> list[Activation]:
+        """All activations of ``rule`` against current working memory."""
+        # Each partial is (handles-so-far, bindings-so-far).
+        partials: list[tuple[tuple[FactHandle, ...], Bindings]] = [((), {})]
+        for cond in rule.conditions:
+            if not partials:
+                return []
+            if isinstance(cond, Test):
+                partials = [
+                    (hs, bs) for (hs, bs) in partials if cond.evaluate(bs)
+                ]
+                continue
+            assert isinstance(cond, Pattern)
+            handles = self.memory.of_type(cond.fact_type)
+            next_partials: list[tuple[tuple[FactHandle, ...], Bindings]] = []
+            if cond.negated:
+                for hs, bs in partials:
+                    if not any(
+                        cond.match_one(h.fact, bs) is not None for h in handles
+                    ):
+                        next_partials.append((hs, bs))
+            else:
+                for hs, bs in partials:
+                    for h, ext in cond.candidates(handles, bs):
+                        if h in hs:
+                            continue  # one fact cannot fill two positions
+                        next_partials.append((hs + (h,), ext))
+            partials = next_partials
+        return [Activation(rule, hs, bs) for hs, bs in partials]
+
+    def _refresh_agenda(self) -> int:
+        offered = 0
+        for rule in self.rules:
+            for activation in self._match_rule(rule):
+                if self.agenda.offer(activation):
+                    offered += 1
+        return offered
+
+    # -- execution ---------------------------------------------------------
+    def run(self, *, max_cycles: int | None = None) -> int:
+        """Fire rules to quiescence; returns the number of firings.
+
+        One *cycle* = refresh agenda from working memory, then fire every
+        queued activation (newly asserted facts are matched at the start of
+        the next cycle — i.e. breadth-first semantics, which keeps salience
+        meaningful across a cascade).
+        """
+        firings = 0
+        cycles = 0
+        while True:
+            self._cycle += 1
+            cycles += 1
+            if max_cycles is not None and cycles > max_cycles:
+                break
+            if self._refresh_agenda() == 0 and len(self.agenda) == 0:
+                break
+            fired_this_cycle = 0
+            while True:
+                activation = self.agenda.pop()
+                if activation is None:
+                    break
+                firings += 1
+                fired_this_cycle += 1
+                if firings > self.max_firings:
+                    raise RuleEngineError(
+                        f"rulebase exceeded {self.max_firings} firings; "
+                        "likely a self-activating rule without no_loop"
+                    )
+                ctx = RuleContext(self, activation.rule, activation.bindings, activation.handles)
+                before = len(self.memory)
+                self._asserting = []
+                try:
+                    activation.rule.action(ctx)
+                finally:
+                    asserted = tuple(self._asserting)
+                    self._asserting = None
+                self.trace.append(
+                    FiringRecord(
+                        cycle=self._cycle,
+                        rule_name=activation.rule.name,
+                        fact_seqs=tuple(h.seq for h in activation.handles),
+                        bindings_summary=_summarize_bindings(activation.bindings),
+                        asserted_seqs=asserted,
+                    )
+                )
+                if activation.rule.no_loop and len(self.memory) > before:
+                    # Refract this rule against facts it just asserted by
+                    # pre-registering the would-be activations.
+                    for new_act in self._match_rule(activation.rule):
+                        self.agenda.mark_fired(new_act.key)
+            if fired_this_cycle == 0:
+                break
+        return firings
+
+    # -- inspection ----------------------------------------------------------
+    def facts(self, fact_type: str) -> list[Fact]:
+        return self.memory.facts_of_type(fact_type)
+
+    def find_facts(self, fact_type: str, **field_values) -> list[Fact]:
+        return self.memory.find(fact_type, **field_values)
+
+    def explain(self, fact_type: str = "Recommendation") -> list[str]:
+        """Render the firing trace (which rules fired, on what facts)."""
+        lines = []
+        for rec in self.trace:
+            facts = ",".join(str(s) for s in rec.fact_seqs)
+            lines.append(
+                f"cycle {rec.cycle}: {rec.rule_name} fired on facts [{facts}]"
+            )
+        return lines
+
+    # -- explanation chains (the Poirot/Hercule 'why' question) ------------
+    def handle_of(self, fact: Fact) -> FactHandle | None:
+        """The live handle holding ``fact`` (by identity), if any."""
+        for handle in self.memory:
+            if handle.fact is fact:
+                return handle
+        return None
+
+    def provenance_of(self, seq: int) -> FiringRecord | None:
+        """The firing that asserted fact ``seq`` (None = asserted by the
+        application, i.e. an input fact)."""
+        for rec in self.trace:
+            if seq in rec.asserted_seqs:
+                return rec
+        return None
+
+    def why(self, fact: Fact, *, _depth: int = 0, _max_depth: int = 8) -> list[str]:
+        """An explanation chain: which rule produced this fact, matched on
+        which facts, recursively back to the input data.
+
+        Returns indented lines; an empty list means the fact is unknown to
+        this engine.
+        """
+        handle = self.handle_of(fact)
+        if handle is None:
+            return []
+        return self._why_seq(handle.seq, _depth, _max_depth)
+
+    def _why_seq(self, seq: int, depth: int, max_depth: int) -> list[str]:
+        pad = "  " * depth
+        rec = self.provenance_of(seq)
+        fact = self._fact_by_seq(seq)
+        label = f"<{fact.fact_type}>" if fact is not None else f"fact #{seq}"
+        if rec is None:
+            return [f"{pad}{label} (#{seq}): asserted by the analysis script"]
+        lines = [
+            f"{pad}{label} (#{seq}): asserted by rule {rec.rule_name!r} "
+            f"matching facts {list(rec.fact_seqs)}"
+        ]
+        if depth + 1 < max_depth:
+            for parent_seq in rec.fact_seqs:
+                lines.extend(self._why_seq(parent_seq, depth + 1, max_depth))
+        return lines
+
+    def _fact_by_seq(self, seq: int) -> Fact | None:
+        for handle in self.memory:
+            if handle.seq == seq:
+                return handle.fact
+        return None
+
+
+def _summarize_bindings(bindings: Bindings) -> dict:
+    """Compact, repr-safe view of bindings for the firing trace."""
+    out = {}
+    for k, v in bindings.items():
+        if isinstance(v, Fact):
+            out[k] = f"<{v.fact_type}>"
+        elif isinstance(v, float):
+            out[k] = round(v, 6)
+        else:
+            out[k] = v if isinstance(v, (int, str, bool)) else repr(v)[:60]
+    return out

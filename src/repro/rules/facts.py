@@ -1,0 +1,137 @@
+"""Fact representation for the forward-chaining inference engine.
+
+The paper's PerfExplorer 2.0 embeds the JBoss Rules (Drools) engine and
+asserts *facts* about performance data into a working memory; rules pattern
+match on fact fields.  This module provides the fact-side vocabulary:
+
+* :class:`Fact` — a dynamically-typed record with named fields.  Facts are
+  deliberately schemaless (like Drools' use of POJOs plus maps) so that
+  analysis code can attach whatever context a rule might need.
+* :class:`FactHandle` — the engine-issued identity of an asserted fact.
+  Retraction and modification go through handles, mirroring Drools'
+  ``FactHandle`` semantics, so two structurally-equal facts remain distinct
+  in working memory.
+
+Facts compare by *identity* inside the engine (each assertion is a distinct
+activation source) but expose value equality helpers for tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator, Mapping
+
+
+class Fact:
+    """A typed record asserted into working memory.
+
+    Parameters
+    ----------
+    fact_type:
+        The type name rules pattern-match on (e.g. ``"MeanEventFact"``).
+    fields:
+        Field name → value mapping.  Values may be any Python object;
+        rules compare them with the operators in
+        :mod:`repro.rules.conditions`.
+
+    Examples
+    --------
+    >>> f = Fact("MeanEventFact", metric="CPU_CYCLES", severity=0.25)
+    >>> f["severity"]
+    0.25
+    >>> f.get("missing", 0.0)
+    0.0
+    """
+
+    __slots__ = ("fact_type", "_fields")
+
+    def __init__(self, fact_type: str, /, **fields: Any) -> None:
+        if not fact_type or not isinstance(fact_type, str):
+            raise ValueError("fact_type must be a non-empty string")
+        self.fact_type = fact_type
+        self._fields: dict[str, Any] = dict(fields)
+
+    # -- mapping-style access -------------------------------------------------
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self._fields[name]
+        except KeyError:
+            raise KeyError(
+                f"fact of type {self.fact_type!r} has no field {name!r}; "
+                f"available: {sorted(self._fields)}"
+            ) from None
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Return field ``name`` or ``default`` when absent."""
+        return self._fields.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._fields
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._fields)
+
+    def keys(self):
+        return self._fields.keys()
+
+    def items(self):
+        return self._fields.items()
+
+    def set(self, name: str, value: Any) -> None:
+        """Set field ``name``.
+
+        Mutating a fact already in working memory does **not** re-trigger
+        matching by itself — call :meth:`repro.rules.engine.RuleEngine.modify`
+        with the fact's handle, exactly as Drools requires ``update()``.
+        """
+        self._fields[name] = value
+
+    def as_dict(self) -> dict[str, Any]:
+        """A shallow copy of the fields (safe to mutate)."""
+        return dict(self._fields)
+
+    # -- equality helpers (used by tests, not by the engine) ------------------
+    def value_equals(self, other: "Fact") -> bool:
+        """Structural equality: same type name and same field mapping."""
+        return (
+            isinstance(other, Fact)
+            and self.fact_type == other.fact_type
+            and self._fields == other._fields
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self._fields.items()))
+        return f"Fact({self.fact_type}, {inner})"
+
+    @classmethod
+    def from_mapping(cls, fact_type: str, mapping: Mapping[str, Any]) -> "Fact":
+        """Build a fact from any mapping (e.g. a parsed JSON object)."""
+        return cls(fact_type, **dict(mapping))
+
+
+class FactHandle:
+    """Engine-issued identity token for an asserted fact.
+
+    Handles are ordered by assertion recency (``seq``), which the agenda's
+    conflict-resolution strategy uses as a tie-breaker after salience.
+    """
+
+    _counter = itertools.count(1)
+
+    __slots__ = ("seq", "fact", "live")
+
+    def __init__(self, fact: Fact) -> None:
+        self.seq: int = next(FactHandle._counter)
+        self.fact: Fact = fact
+        #: False once the fact has been retracted.
+        self.live: bool = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "live" if self.live else "retracted"
+        return f"<FactHandle #{self.seq} {self.fact.fact_type} ({state})>"
+
+    def __hash__(self) -> int:
+        return hash(self.seq)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FactHandle) and other.seq == self.seq

@@ -1,0 +1,100 @@
+"""Working memory: the fact store the engine matches against.
+
+Facts are indexed by type name for fast candidate retrieval (the only index a
+naive matcher needs).  Retraction is tombstone-based: handles flip to
+``live=False`` and are swept lazily, so iteration during a match cycle is
+stable.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from .facts import Fact, FactHandle
+
+
+class WorkingMemory:
+    """Type-indexed fact store with tombstone retraction."""
+
+    def __init__(self) -> None:
+        self._by_type: dict[str, list[FactHandle]] = defaultdict(list)
+        self._live_count = 0
+
+    # -- mutation -------------------------------------------------------------
+    def assert_fact(self, fact: Fact) -> FactHandle:
+        """Insert ``fact`` and return its handle."""
+        handle = FactHandle(fact)
+        self._by_type[fact.fact_type].append(handle)
+        self._live_count += 1
+        return handle
+
+    def retract(self, handle: FactHandle) -> None:
+        """Remove the fact behind ``handle``. Idempotent."""
+        if handle.live:
+            handle.live = False
+            self._live_count -= 1
+
+    def sweep(self) -> int:
+        """Physically remove tombstones; returns how many were swept."""
+        swept = 0
+        for fact_type, handles in list(self._by_type.items()):
+            keep = [h for h in handles if h.live]
+            swept += len(handles) - len(keep)
+            if keep:
+                self._by_type[fact_type] = keep
+            else:
+                del self._by_type[fact_type]
+        return swept
+
+    def clear(self) -> None:
+        for handles in self._by_type.values():
+            for h in handles:
+                h.live = False
+        self._by_type.clear()
+        self._live_count = 0
+
+    # -- queries ----------------------------------------------------------
+    def of_type(self, fact_type: str) -> list[FactHandle]:
+        """Live handles of one type, in assertion order."""
+        return [h for h in self._by_type.get(fact_type, ()) if h.live]
+
+    def facts_of_type(self, fact_type: str) -> list[Fact]:
+        return [h.fact for h in self.of_type(fact_type)]
+
+    def __iter__(self) -> Iterator[FactHandle]:
+        for handles in self._by_type.values():
+            yield from (h for h in handles if h.live)
+
+    def __len__(self) -> int:
+        return self._live_count
+
+    def types(self) -> list[str]:
+        """Type names with at least one live fact."""
+        return sorted(t for t, hs in self._by_type.items() if any(h.live for h in hs))
+
+    def find(self, fact_type: str, **field_values) -> list[Fact]:
+        """Live facts of ``fact_type`` whose fields equal ``field_values``.
+
+        A convenience for tests and post-run inspection (e.g. collecting all
+        ``Recommendation`` facts the rulebase produced).
+        """
+        out = []
+        for fact in self.facts_of_type(fact_type):
+            if all(fact.get(k, _MISSING) == v for k, v in field_values.items()):
+                out.append(fact)
+        return out
+
+    def extend(self, facts: Iterable[Fact]) -> list[FactHandle]:
+        return [self.assert_fact(f) for f in facts]
+
+
+class _Missing:
+    def __eq__(self, other: object) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<missing>"
+
+
+_MISSING = _Missing()

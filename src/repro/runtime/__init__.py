@@ -1,0 +1,37 @@
+"""Simulated parallel runtimes + TAU-like measurement.
+
+* :mod:`~repro.runtime.tau` — the profiler (region stacks, counter
+  accumulation, virtual clocks, trial emission);
+* :mod:`~repro.runtime.exec` — the execute-and-charge primitive;
+* :mod:`~repro.runtime.openmp` — fork-join loops with
+  static/dynamic/guided schedules and barrier accounting;
+* :mod:`~repro.runtime.mpi` — ranks, Isend/Irecv/Waitall, collectives,
+  PMPI-style event wrapping.
+"""
+
+from .exec import RegionAccess, execute_work
+from .mpi import CommModel, MPIError, MPIRuntime, Request
+from .openmp import (
+    LoopTask,
+    OpenMPError,
+    OpenMPRuntime,
+    ParallelForResult,
+    Schedule,
+)
+from .tau import MeasurementError, Profiler
+
+__all__ = [
+    "CommModel",
+    "LoopTask",
+    "MPIError",
+    "MPIRuntime",
+    "MeasurementError",
+    "OpenMPError",
+    "OpenMPRuntime",
+    "ParallelForResult",
+    "Profiler",
+    "RegionAccess",
+    "Request",
+    "Schedule",
+    "execute_work",
+]

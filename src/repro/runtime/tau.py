@@ -1,0 +1,269 @@
+"""TAU-like measurement runtime for the simulated machine.
+
+Real TAU interposes timers around instrumented regions and reads hardware
+counters at region entry/exit.  In simulation there is nothing to measure —
+costs are *computed* — so the profiler inverts the flow: the runtime layers
+(OpenMP/MPI simulators, instrumented compiled code) **charge** counter
+vectors to the region stack of a virtual CPU, and the profiler maintains
+exactly the accounting TAU would have produced:
+
+* exclusive counters accumulate on the innermost open region,
+* inclusive counters accumulate on every open region,
+* call counts increment at region entry,
+* each CPU has a virtual wall clock advanced by the TIME component.
+
+``to_trial`` then emits a standard :class:`~repro.perfdmf.Trial`, with the
+observed caller→callee edges stored in trial metadata (``callgraph``) for
+the nesting tests the paper's imbalance rule performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..machine import CounterVector, Machine
+from ..machine import counters as C
+from ..perfdmf import Trial, TrialBuilder
+
+
+class MeasurementError(Exception):
+    """Raised on unbalanced enter/exit or charges outside any region."""
+
+
+@dataclass
+class _OpenRegion:
+    name: str
+    inclusive: CounterVector = field(default_factory=CounterVector)
+    #: Full callpath name ("a => b => this"); only set in callpath mode.
+    path: str | None = None
+    path_inclusive: CounterVector = field(default_factory=CounterVector)
+
+
+class _CPUState:
+    __slots__ = ("stack", "clock_seconds")
+
+    def __init__(self) -> None:
+        self.stack: list[_OpenRegion] = []
+        self.clock_seconds: float = 0.0
+
+
+class Profiler:
+    """Per-CPU region stacks and counter accumulation.
+
+    Parameters
+    ----------
+    machine:
+        Supplies the CPU count and node mapping for thread ids.
+    callpaths:
+        When True, emit TAU-style callpath events (``"a => b => c"``)
+        alongside the flat events, exactly as ``TAU_CALLPATH`` profiling
+        does: each path accumulates its own exclusive/inclusive counters
+        and call counts, so the same leaf called from two parents is
+        distinguishable.
+    """
+
+    def __init__(self, machine: Machine, *, callpaths: bool = False) -> None:
+        self.machine = machine
+        self.callpaths = callpaths
+        self._cpus: dict[int, _CPUState] = {}
+        # (event, cpu) → accumulated exclusive / inclusive / calls
+        self._exclusive: dict[tuple[str, int], CounterVector] = {}
+        self._inclusive: dict[tuple[str, int], CounterVector] = {}
+        self._calls: dict[tuple[str, int], float] = {}
+        self._subrs: dict[tuple[str, int], float] = {}
+        self._groups: dict[str, str] = {}
+        self._edges: set[tuple[str, str]] = set()
+        self._event_order: list[str] = []
+
+    def _cpu(self, cpu: int) -> _CPUState:
+        if not 0 <= cpu < self.machine.n_cpus:
+            raise MeasurementError(
+                f"cpu {cpu} out of range (machine has {self.machine.n_cpus})"
+            )
+        if cpu not in self._cpus:
+            self._cpus[cpu] = _CPUState()
+        return self._cpus[cpu]
+
+    def _register_event(self, event: str, group: str) -> None:
+        if event not in self._groups:
+            self._groups[event] = group
+            self._event_order.append(event)
+
+    # -- region lifecycle ---------------------------------------------------
+    def enter(self, cpu: int, event: str, *, group: str = "TAU_DEFAULT") -> None:
+        state = self._cpu(cpu)
+        self._register_event(event, group)
+        path = None
+        if state.stack:
+            parent = state.stack[-1].name
+            self._edges.add((parent, event))
+            self._subrs[(parent, cpu)] = self._subrs.get((parent, cpu), 0.0) + 1.0
+        if self.callpaths:
+            if state.stack:
+                parent_path = state.stack[-1].path or state.stack[-1].name
+                path = f"{parent_path} => {event}"
+            else:
+                path = event
+            if path != event:
+                self._register_event(path, "TAU_CALLPATH")
+                self._calls[(path, cpu)] = self._calls.get((path, cpu), 0.0) + 1.0
+        state.stack.append(_OpenRegion(event, path=path))
+        key = (event, cpu)
+        self._calls[key] = self._calls.get(key, 0.0) + 1.0
+
+    def exit(self, cpu: int, event: str) -> None:
+        state = self._cpu(cpu)
+        if not state.stack:
+            raise MeasurementError(f"exit({event!r}) on cpu {cpu} with empty stack")
+        top = state.stack.pop()
+        if top.name != event:
+            raise MeasurementError(
+                f"unbalanced regions on cpu {cpu}: exit({event!r}) while "
+                f"{top.name!r} is open"
+            )
+        key = (event, cpu)
+        if key in self._inclusive:
+            self._inclusive[key] += top.inclusive
+        else:
+            self._inclusive[key] = top.inclusive.copy()
+        if top.path is not None and top.path != event:
+            pkey = (top.path, cpu)
+            if pkey in self._inclusive:
+                self._inclusive[pkey] += top.path_inclusive
+            else:
+                self._inclusive[pkey] = top.path_inclusive.copy()
+
+    def charge(self, cpu: int, vector: CounterVector) -> None:
+        """Attribute ``vector`` to the CPU's innermost open region."""
+        state = self._cpu(cpu)
+        if not state.stack:
+            raise MeasurementError(f"charge on cpu {cpu} outside any region")
+        top = state.stack[-1]
+        key = (top.name, cpu)
+        if key in self._exclusive:
+            self._exclusive[key] += vector
+        else:
+            self._exclusive[key] = vector.copy()
+        if top.path is not None and top.path != top.name:
+            pkey = (top.path, cpu)
+            if pkey in self._exclusive:
+                self._exclusive[pkey] += vector
+            else:
+                self._exclusive[pkey] = vector.copy()
+        for frame in state.stack:
+            frame.inclusive += vector
+            if frame.path is not None and frame.path != frame.name:
+                frame.path_inclusive += vector
+        state.clock_seconds += vector[C.TIME] / 1e6
+
+    def add_calls(self, cpu: int, event: str, count: float) -> None:
+        """Bump an event's call count without re-entering it.
+
+        Used by analytical executors (e.g. the instrumented-IR runner) that
+        execute a region once with its work scaled by the dynamic
+        invocation count: the profile's ``calls`` column must still show
+        the dynamic count.
+        """
+        if count < 0:
+            raise MeasurementError("call count must be non-negative")
+        if event not in self._groups:
+            raise MeasurementError(f"unknown event {event!r}")
+        key = (event, cpu)
+        self._calls[key] = self._calls.get(key, 0.0) + count
+
+    def charge_idle(self, cpu: int, seconds: float) -> None:
+        """Charge barrier/wait time: pure stall cycles, no useful work."""
+        if seconds < 0:
+            raise MeasurementError("idle time must be non-negative")
+        if seconds == 0:
+            return
+        self.charge(cpu, self.machine.processor.idle_vector(seconds))
+
+    # -- virtual time ---------------------------------------------------------
+    def clock(self, cpu: int) -> float:
+        """The CPU's virtual wall clock in seconds."""
+        return self._cpu(cpu).clock_seconds
+
+    def advance_clock_to(self, cpu: int, t_seconds: float) -> float:
+        """Idle-spin the CPU forward to ``t_seconds`` (no-op if already
+        past); returns the idle seconds charged."""
+        state = self._cpu(cpu)
+        gap = t_seconds - state.clock_seconds
+        if gap <= 0:
+            return 0.0
+        self.charge_idle(cpu, gap)
+        return gap
+
+    def open_depth(self, cpu: int) -> int:
+        return len(self._cpu(cpu).stack)
+
+    # -- output -----------------------------------------------------------
+    @property
+    def callgraph_edges(self) -> set[tuple[str, str]]:
+        return set(self._edges)
+
+    def to_trial(
+        self, name: str, metadata: Mapping | None = None, *, validate: bool = True
+    ) -> Trial:
+        """Materialize the accumulated measurements as a PerfDMF trial."""
+        for cpu, state in self._cpus.items():
+            if state.stack:
+                raise MeasurementError(
+                    f"cpu {cpu} still has open regions: "
+                    f"{[r.name for r in state.stack]}"
+                )
+        cpus = sorted(self._cpus)
+        if not cpus:
+            raise MeasurementError("profiler saw no activity")
+        events = list(self._event_order)
+        metrics: list[str] = []
+        seen = set()
+        for store in (self._exclusive, self._inclusive):
+            for vec in store.values():
+                for metric in vec.keys():
+                    if metric not in seen:
+                        seen.add(metric)
+                        metrics.append(metric)
+        # Stable, readable order: TIME first, then the canonical counter
+        # order, then anything else.
+        canon = {m: i for i, m in enumerate(C.ALL_COUNTERS)}
+        metrics.sort(key=lambda m: (canon.get(m, len(canon)), m))
+
+        meta = dict(metadata or {})
+        meta.setdefault("callgraph", sorted([list(e) for e in self._edges]))
+        meta.update(self.machine.metadata())
+
+        builder = TrialBuilder(name, meta)
+        for ev in events:
+            builder._trial.add_event(ev, self._groups[ev])
+        for cpu in cpus:
+            builder._trial.add_thread(
+                (self.machine.node_of_cpu(cpu), 0, cpu)
+            )
+        n_e, n_t = len(events), len(cpus)
+        cpu_pos = {cpu: i for i, cpu in enumerate(cpus)}
+        for metric in metrics:
+            exc = np.zeros((n_e, n_t))
+            inc = np.zeros((n_e, n_t))
+            for e, ev in enumerate(events):
+                for cpu in cpus:
+                    t = cpu_pos[cpu]
+                    xv = self._exclusive.get((ev, cpu))
+                    iv = self._inclusive.get((ev, cpu))
+                    if xv is not None:
+                        exc[e, t] = xv[metric]
+                    if iv is not None:
+                        inc[e, t] = iv[metric]
+            units = "usec" if metric == C.TIME else "counts"
+            builder.with_metric(metric, exc, inc, units=units)
+        calls = np.zeros((n_e, n_t))
+        subrs = np.zeros((n_e, n_t))
+        for (ev, cpu), count in self._calls.items():
+            calls[events.index(ev), cpu_pos[cpu]] = count
+        for (ev, cpu), count in self._subrs.items():
+            subrs[events.index(ev), cpu_pos[cpu]] = count
+        builder.with_calls(calls, subrs)
+        return builder.build(validate=validate)

@@ -1,0 +1,21 @@
+"""End-to-end workflows: the Fig. 3 pipeline and the closed tuning loops."""
+
+from .pipeline import (
+    PipelineResult,
+    automated_analysis,
+    compile_and_profile,
+    feedback_directed_inlining,
+    iterative_profiling,
+)
+from .tuning import TuningOutcome, genidlest_tuning_loop, msa_tuning_loop
+
+__all__ = [
+    "PipelineResult",
+    "TuningOutcome",
+    "automated_analysis",
+    "compile_and_profile",
+    "feedback_directed_inlining",
+    "genidlest_tuning_loop",
+    "iterative_profiling",
+    "msa_tuning_loop",
+]

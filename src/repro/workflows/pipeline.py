@@ -1,0 +1,181 @@
+"""The Fig. 3 pipeline: compile → instrument → run → store → analyze.
+
+``automated_analysis`` is the solid-arrow path of Fig. 3: an application
+run produces a TAU-style trial, PerfDMF stores it, PerfExplorer scripts +
+rules diagnose it, and the user gets recommendations.
+
+``compile_and_profile`` is the front half for IR programs: OpenUH compiles
+and instruments, the simulated machine runs it, and the profile lands in
+the repository.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.harness import RuleHarness
+from ..knowledge import render_report, recommendations_of
+from ..knowledge.rulebase import diagnose_genidlest
+from ..machine import Machine, uniform_machine
+from ..openuh import (
+    CompiledProgram,
+    InstrumentationSpec,
+    Program,
+    compile_program,
+    plan_instrumentation,
+    run_instrumented,
+)
+from ..perfdmf import PerfDMF, Trial
+from ..runtime import Profiler
+
+
+@dataclass
+class PipelineResult:
+    """Everything one pass through the pipeline produced."""
+
+    trial: Trial
+    harness: RuleHarness
+    report: str
+    trial_id: int | None = None
+
+    @property
+    def recommendations(self):
+        return recommendations_of(self.harness)
+
+
+def automated_analysis(
+    trial: Trial,
+    *,
+    repository: PerfDMF | None = None,
+    application: str = "app",
+    experiment: str = "exp",
+    diagnose: Callable[[Trial], RuleHarness] = diagnose_genidlest,
+    title: str | None = None,
+) -> PipelineResult:
+    """Store a trial and run the knowledge-based diagnosis over it."""
+    trial_id = None
+    if repository is not None:
+        trial_id = repository.save_trial(application, experiment, trial,
+                                         replace=True)
+    harness = diagnose(trial)
+    report = render_report(
+        harness, title=title or f"Diagnosis of {application}/{trial.name}"
+    )
+    return PipelineResult(trial, harness, report, trial_id)
+
+
+def compile_and_profile(
+    program: Program,
+    *,
+    level: str = "O2",
+    machine: Machine | None = None,
+    instrumentation: InstrumentationSpec | None = None,
+    call_counts: dict[str, float] | None = None,
+    calls: int = 1,
+    trial_name: str | None = None,
+) -> tuple[CompiledProgram, Trial]:
+    """OpenUH front half: compile, instrument, execute, emit a trial."""
+    machine = machine or uniform_machine(1)
+    compiled = compile_program(program, level)
+    spec = instrumentation or InstrumentationSpec(procedures=True)
+    plan = plan_instrumentation(program, spec, call_counts=call_counts)
+    profiler = Profiler(machine)
+    run_instrumented(compiled, plan, machine, profiler, 0, calls=calls)
+    trial = profiler.to_trial(
+        trial_name or f"{program.name}_{level}",
+        {
+            "application": program.name,
+            "optimization_level": level,
+            "instrumented_events": plan.selected_events(),
+        },
+    )
+    return compiled, trial
+
+
+def feedback_directed_inlining(
+    program: Program,
+    *,
+    level: str = "O2",
+    machine: Machine | None = None,
+    hot_call_threshold: float = 100.0,
+    calls: int = 1,
+) -> tuple[CompiledProgram, CompiledProgram, dict[str, float]]:
+    """The paper's callsite-count feedback: profile → inliner hot list.
+
+    "The compiler currently supports feedback for branch, loop, and
+    control flow optimizations, and callsite counts to improve inlining."
+
+    A first instrumented run counts procedure invocations; callees invoked
+    more than ``hot_call_threshold`` times are handed to the inliner as
+    hot callsites on the rebuild, overriding its static size limit.
+
+    Returns (baseline build, feedback build, measured call counts).
+    """
+    from ..openuh.levels import codegen_options_for, pipeline_for
+    from ..openuh.passes.inline import Inlining
+    from ..openuh import clone_program
+
+    machine = machine or uniform_machine(1)
+    baseline = compile_program(program, level)
+    _, profile = compile_and_profile(
+        program, level=level, machine=machine,
+        instrumentation=InstrumentationSpec(procedures=True, callsites=True),
+        calls=calls, trial_name=f"{program.name}_fdo_profile",
+    )
+    counts = {
+        event: float(profile.calls_array()[profile.event_index(event)].sum())
+        for event in profile.event_names()
+        if event in program.functions
+    }
+    hot = {
+        name for name, count in counts.items()
+        if count >= hot_call_threshold and name != program.entry
+    }
+    # rebuild with the hot list driving the inliner
+    optimized = clone_program(program)
+    reports = []
+    for p in pipeline_for(level):
+        if isinstance(p, Inlining):
+            p = Inlining(threshold=p.threshold, hot_callsites=hot)
+        reports.append(p.run(optimized))
+    feedback_build = CompiledProgram(
+        program=optimized, level=level,
+        options=codegen_options_for(level), reports=reports,
+    )
+    return baseline, feedback_build, counts
+
+
+def iterative_profiling(
+    program: Program,
+    *,
+    level: str = "O2",
+    machine: Machine | None = None,
+    min_score: float = 1.0,
+    calls: int = 3,
+) -> tuple[Trial, Trial]:
+    """The paper's two-run methodology: a broad first run gathers call
+    counts; the second run instruments selectively using them.
+
+    Returns (broad trial, selective trial).
+    """
+    machine = machine or uniform_machine(1)
+    _, broad = compile_and_profile(
+        program, level=level, machine=machine,
+        instrumentation=InstrumentationSpec(procedures=True, loops=True),
+        calls=calls, trial_name=f"{program.name}_broad",
+    )
+    counts = {
+        event: float(broad.calls_array()[broad.event_index(event)].sum())
+        for event in broad.event_names()
+    }
+    machine2 = machine  # same machine model; fresh profiler inside
+    _, selective = compile_and_profile(
+        program, level=level, machine=machine2,
+        instrumentation=InstrumentationSpec(
+            procedures=True, loops=True, min_score=min_score
+        ),
+        call_counts=counts, calls=calls,
+        trial_name=f"{program.name}_selective",
+    )
+    return broad, selective

@@ -1,0 +1,61 @@
+"""Tests for RunConfig fine-grained toggles and simulation labels."""
+
+import pytest
+
+from repro.apps.genidlest import RIB45, RunConfig, run_genidlest
+from repro.apps.genidlest.simulate import EXCHANGES_PER_ITERATION
+
+
+class TestRunConfigLabels:
+    def test_coarse_labels(self):
+        assert RunConfig(case=RIB45, optimized=False, n_procs=8).label == \
+            "openmp_unopt_8"
+        assert RunConfig(case=RIB45, version="mpi", optimized=True,
+                         n_procs=8).label == "mpi_opt_8"
+
+    def test_fine_grained_labels(self):
+        cfg = RunConfig(case=RIB45, n_procs=8, parallel_init=True,
+                        parallel_exchange=False)
+        assert cfg.label == "openmp_initP_exchS_8"
+        assert cfg.use_parallel_init and not cfg.use_parallel_exchange
+
+    def test_flags_default_to_optimized(self):
+        opt = RunConfig(case=RIB45, optimized=True, n_procs=8)
+        assert opt.use_parallel_init and opt.use_parallel_exchange
+        unopt = RunConfig(case=RIB45, optimized=False, n_procs=8)
+        assert not unopt.use_parallel_init and not unopt.use_parallel_exchange
+
+    def test_override_beats_optimized(self):
+        cfg = RunConfig(case=RIB45, optimized=True, n_procs=8,
+                        parallel_exchange=False)
+        assert cfg.use_parallel_init
+        assert not cfg.use_parallel_exchange
+
+
+class TestFineGrainedRuns:
+    def test_partial_fixes_are_intermediate(self):
+        def wall(**kw):
+            return run_genidlest(RunConfig(case=RIB45, n_procs=8,
+                                           iterations=2, **kw)).wall_seconds
+
+        neither = wall(parallel_init=False, parallel_exchange=False)
+        init_only = wall(parallel_init=True, parallel_exchange=False)
+        both = wall(parallel_init=True, parallel_exchange=True)
+        assert both < init_only < neither
+
+    def test_metadata_reflects_flags(self):
+        r = run_genidlest(RunConfig(case=RIB45, n_procs=8, iterations=1,
+                                    parallel_init=True,
+                                    parallel_exchange=False))
+        assert r.trial.metadata["parallel_init"] is True
+        assert r.trial.metadata["parallel_exchange"] is False
+        # the buffered (serial) exchange keeps the paper's 30-copy count
+        assert r.trial.metadata["on_processor_copies"] == 30
+
+    def test_exchange_calls_match_schedule(self):
+        """exchange_var is entered EXCHANGES_PER_ITERATION times per
+        iteration on every thread."""
+        iters = 2
+        r = run_genidlest(RunConfig(case=RIB45, n_procs=4, iterations=iters))
+        calls = r.trial.get_calls("exchange_var__", 0)
+        assert calls == iters * EXCHANGES_PER_ITERATION

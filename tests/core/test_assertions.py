@@ -1,0 +1,152 @@
+"""Tests for the performance-assertion extension (§IV related work)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AssertionContext,
+    PerformanceAssertion,
+    PerformanceResult,
+    assertion_facts,
+    check_assertions,
+    render_assertion_report,
+)
+from repro.core.result import AnalysisError
+from repro.machine import counters as C
+from repro.perfdmf import TrialBuilder
+
+
+def make_trial():
+    # main inclusive 100 µs; exchange 30 µs; solver 60 µs + FLOPS
+    time_exc = np.array([[10.0, 10.0], [30.0, 30.0], [60.0, 60.0]])
+    time_inc = np.array([[100.0, 100.0], [30.0, 30.0], [60.0, 60.0]])
+    flops = np.array([[0.0, 0.0], [0.0, 0.0], [3e5, 3e5]])
+    return (
+        TrialBuilder("t", {"procs": 2, "grid_cells": 1000})
+        .with_events(["main", "exchange", "solver"])
+        .with_threads(2)
+        .with_metric(C.TIME, time_exc, time_inc, units="usec")
+        .with_metric(C.FP_OPS, flops, flops)
+        .with_calls(np.ones((3, 2)))
+        .build()
+    )
+
+
+class TestAssertionContext:
+    def test_execution_configuration(self):
+        ctx = AssertionContext(PerformanceResult(make_trial()))
+        assert ctx.processors == 2
+        assert ctx.total() == 100.0
+        assert ctx.event_mean("exchange") == 30.0
+
+    def test_variables_resolve_from_metadata_and_user(self):
+        ctx = AssertionContext(
+            PerformanceResult(make_trial()), variables={"budget_us": 50.0}
+        )
+        assert ctx.var("budget_us") == 50.0
+        assert ctx.var("grid_cells") == 1000.0
+        with pytest.raises(AnalysisError, match="unknown variable"):
+            ctx.var("nope")
+
+    def test_unknown_event(self):
+        ctx = AssertionContext(PerformanceResult(make_trial()))
+        with pytest.raises(AnalysisError):
+            ctx.event_mean("ghost")
+
+
+class TestAssertions:
+    def test_holding_and_violated(self):
+        assertions = [
+            PerformanceAssertion(
+                name="exchange under 40% of runtime",
+                event="exchange",
+                expect=lambda ctx: 0.4 * ctx.total(),
+            ),
+            PerformanceAssertion(
+                name="exchange under 10% of runtime",
+                event="exchange",
+                expect=lambda ctx: 0.1 * ctx.total(),
+            ),
+        ]
+        outcomes = check_assertions(make_trial(), assertions)
+        assert outcomes[0].holds
+        assert not outcomes[1].holds
+        assert outcomes[1].violation_ratio == pytest.approx(2.0)
+
+    def test_peak_flops_expectation(self):
+        """The paper's example: relate expectations to pre-evaluated
+        machine variables like peak FLOPS."""
+        assertion = PerformanceAssertion(
+            name="solver at >=1% of peak",
+            event="solver",
+            metric=C.FP_OPS,
+            relation=">=",
+            # 60 µs at 1% of 6 GF/s = 3.6e3 FLOPs
+            expect=lambda ctx: 0.01 * ctx.peak_flops
+            * ctx.event_mean("solver") / 1e6,
+        )
+        outcomes = check_assertions(make_trial(), [assertion])
+        assert outcomes[0].holds  # 3e5 measured >= 3.6e3 required
+
+    def test_processor_scaled_expectation(self):
+        """Expectations may reference the execution configuration."""
+        assertion = PerformanceAssertion(
+            name="per-proc work bounded",
+            event="solver",
+            expect=lambda ctx: ctx.var("grid_cells") / ctx.processors,
+        )
+        outcomes = check_assertions(make_trial(), [assertion])
+        # 60 <= 1000/2 = 500
+        assert outcomes[0].holds
+
+    def test_relations(self):
+        for relation, bound, expected in [
+            ("<=", 30.0, True), ("<", 30.0, False), (">=", 30.0, True),
+            (">", 30.0, False), ("==", 30.0, True), ("==", 31.0, False),
+        ]:
+            a = PerformanceAssertion(
+                name="r", event="exchange", relation=relation,
+                expect=lambda ctx, b=bound: b,
+            )
+            assert check_assertions(make_trial(), [a])[0].holds is expected
+        with pytest.raises(AnalysisError):
+            PerformanceAssertion(name="bad", event="e", relation="~=")
+
+    def test_facts_and_report(self):
+        assertions = [
+            PerformanceAssertion(name="ok", event="exchange",
+                                 expect=lambda ctx: 1000.0),
+            PerformanceAssertion(name="broken", event="exchange",
+                                 expect=lambda ctx: 1.0),
+        ]
+        outcomes = check_assertions(make_trial(), assertions)
+        facts = assertion_facts(outcomes)
+        assert len(facts) == 1
+        assert facts[0]["name"] == "broken"
+        assert facts[0]["violation_ratio"] == pytest.approx(29.0)
+        report = render_assertion_report(outcomes)
+        assert "1/2 hold" in report and "[FAIL] broken" in report
+
+    def test_empty_assertions_rejected(self):
+        with pytest.raises(AnalysisError):
+            check_assertions(make_trial(), [])
+
+    def test_violations_feed_rules(self):
+        """Assertion violations become facts the engine can react to."""
+        from repro.rules import RuleBuilder, RuleEngine
+
+        outcomes = check_assertions(
+            make_trial(),
+            [PerformanceAssertion(name="exchange budget", event="exchange",
+                                  expect=lambda ctx: 5.0)],
+        )
+        engine = RuleEngine()
+        engine.add_rule(
+            RuleBuilder("broken expectation")
+            .when("v", "AssertionViolation", "n := name",
+                  ("violation_ratio", ">", 1.0))
+            .then_log("expectation {n} badly broken")
+            .build()
+        )
+        engine.assert_facts(assertion_facts(outcomes))
+        assert engine.run() == 1

@@ -1,0 +1,90 @@
+"""Tests for the terminal chart renderers."""
+
+import pytest
+
+from repro.core.charts import ChartError, bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        text = line_chart(
+            {"mpi": [(1, 1.0), (16, 16.0)], "omp": [(1, 1.0), (16, 1.5)]},
+            title="speedup",
+        )
+        assert "speedup" in text
+        assert "o mpi" in text and "x omp" in text
+        assert "16" in text
+        # grid rows have the separator
+        assert text.count("|") >= 10
+
+    def test_markers_distinct_per_series(self):
+        text = line_chart({f"s{i}": [(0, i), (1, i)] for i in range(4)})
+        for marker in "ox+*":
+            assert marker in text
+
+    def test_flat_series_handled(self):
+        text = line_chart({"flat": [(0, 5.0), (1, 5.0)]})
+        assert "flat" in text
+
+    def test_single_point(self):
+        assert "o only" in line_chart({"only": [(2.0, 3.0)]})
+
+    def test_labels_in_footer(self):
+        text = line_chart({"s": [(0, 0), (1, 1)]}, x_label="threads",
+                          y_label="efficiency")
+        assert "threads" in text and "efficiency" in text
+
+    def test_validation(self):
+        with pytest.raises(ChartError):
+            line_chart({})
+        with pytest.raises(ChartError):
+            line_chart({"s": []})
+        with pytest.raises(ChartError):
+            line_chart({"s": [(0, 0)]}, width=2)
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        text = bar_chart({"O0": 1.0, "O2": 0.2}, title="Time")
+        assert "Time" in text
+        lines = text.splitlines()
+        o0 = next(l for l in lines if l.strip().startswith("O0"))
+        o2 = next(l for l in lines if l.strip().startswith("O2"))
+        assert o0.count("█") > o2.count("█")
+        assert o0.rstrip().endswith("1")
+
+    def test_reference_tick(self):
+        text = bar_chart({"a": 0.3, "b": 2.0}, reference=1.0)
+        a_line = next(l for l in text.splitlines() if l.strip().startswith("a"))
+        assert "|" in a_line  # the baseline tick shows on the short bar
+
+    def test_zero_bar(self):
+        text = bar_chart({"idle": 0.0, "busy": 2.0})
+        idle = next(l for l in text.splitlines() if "idle" in l)
+        assert "█" not in idle
+
+    def test_validation(self):
+        with pytest.raises(ChartError):
+            bar_chart({})
+        with pytest.raises(ChartError):
+            bar_chart({"a": -1.0, "b": 1.0})
+        with pytest.raises(ChartError):
+            bar_chart({"a": 0.0})
+        with pytest.raises(ChartError):
+            bar_chart({"a": 1.0}, width=3)
+
+
+class TestChartsOnRealData:
+    def test_fig5b_shape_visible(self):
+        """The rendered chart visually separates the scaling curves."""
+        from repro.apps.genidlest import RIB45, run_genidlest_scaling
+
+        runs = run_genidlest_scaling(case=RIB45, version="openmp",
+                                     optimized=False, proc_counts=[1, 2, 4, 8],
+                                     iterations=1)
+        base = runs[0].wall_seconds
+        series = {
+            "unopt": [(r.config.n_procs, base / r.wall_seconds) for r in runs]
+        }
+        text = line_chart(series, title="Fig 5(b) shape")
+        assert "Fig 5(b) shape" in text and "unopt" in text

@@ -1,0 +1,183 @@
+"""Tests for scalability analysis, k-means, and PCA."""
+
+import numpy as np
+import pytest
+
+from repro.core import AnalysisError
+from repro.core.script import (
+    KMeansOperation,
+    PCAOperation,
+    ScalabilityOperation,
+    TrialResult,
+)
+from repro.core.operations.clustering import kmeans
+from repro.perfdmf import TrialBuilder
+
+
+def scaling_trial(threads, total_time, *, serial_time=0.0, name=None):
+    """main (inclusive=total) + two kernels, one scaling, one serial."""
+    par = (total_time - serial_time) / threads
+    exc = np.zeros((3, threads))
+    exc[1, :] = par * 0.9
+    exc[2, 0] = serial_time  # serial event runs on thread 0 only
+    exc[0, :] = par * 0.1
+    inc = exc.copy()
+    inc[0, :] = total_time  # main's inclusive = wall time on every thread
+    b = (
+        TrialBuilder(name or f"1_{threads}")
+        .with_events(["main", "solver", "exchange"])
+        .with_threads(threads)
+        .with_metric("TIME", exc, inc)
+        .with_calls(np.ones((3, threads)))
+    )
+    return TrialResult(b.build(validate=False))
+
+
+class TestScalability:
+    def _op(self):
+        # perfect scaling of the parallel part + 10s serial part
+        trials = [
+            scaling_trial(p, 90.0 / p + 10.0, serial_time=10.0)
+            for p in (1, 2, 4, 8)
+        ]
+        return ScalabilityOperation(trials)
+
+    def test_program_series_follows_amdahl(self):
+        s = self._op().program_series()
+        assert s.threads == [1, 2, 4, 8]
+        assert s.speedup[0] == 1.0
+        # Amdahl with 10% serial: S(8) = 100/(90/8+10) = 4.705...
+        assert s.speedup[3] == pytest.approx(100.0 / (90.0 / 8 + 10.0))
+        assert s.efficiency[0] == 1.0
+        assert s.efficiency[3] < 0.6
+
+    def test_serial_event_flat_scaling(self):
+        op = self._op()
+        exchange = op.event_series("exchange")
+        solver = op.event_series("solver")
+        # serial event's mean exclusive time *drops* with threads only
+        # because the mean spreads one thread's time over p threads...
+        # its speedup must stay below the scaling kernel's.
+        assert solver.speedup[-1] > exchange.speedup[-1] / 2
+        assert exchange.times[0] == pytest.approx(10.0)
+
+    def test_all_event_series_filters_by_fraction(self):
+        op = self._op()
+        everything = op.all_event_series()
+        assert set(everything) == {"main", "solver", "exchange"}
+        big_only = op.all_event_series(min_fraction=0.04)
+        assert "solver" in big_only and "main" not in big_only
+        assert op.all_event_series(min_fraction=0.9) == {}
+
+    def test_process_data_emits_speedup_metrics(self):
+        outs = self._op().process_data()
+        assert len(outs) == 4
+        assert outs[0].has_metric("speedup")
+        assert outs[0].event_row("main", "speedup")[0] == 1.0
+
+    def test_validation(self):
+        t1 = scaling_trial(2, 50.0)
+        with pytest.raises(AnalysisError, match="at least two"):
+            ScalabilityOperation([t1])
+        t_same = scaling_trial(2, 40.0, name="other")
+        with pytest.raises(AnalysisError, match="increasing thread count"):
+            ScalabilityOperation([t1, t_same])
+        with pytest.raises(AnalysisError, match="increasing thread count"):
+            ScalabilityOperation([scaling_trial(4, 25.0), t1])
+
+    def test_unknown_event(self):
+        with pytest.raises(AnalysisError, match="missing"):
+            self._op().event_series("nope")
+
+
+class TestKMeansFunction:
+    def test_separates_two_blobs(self):
+        rng = np.random.default_rng(42)
+        a = rng.normal(0.0, 0.1, size=(20, 3))
+        b = rng.normal(5.0, 0.1, size=(20, 3))
+        data = np.vstack([a, b])
+        labels, centroids, inertia = kmeans(data, 2, seed=7)
+        assert len(set(labels[:20])) == 1
+        assert len(set(labels[20:])) == 1
+        assert labels[0] != labels[20]
+        assert inertia < 10.0
+
+    def test_deterministic_for_seed(self):
+        rng = np.random.default_rng(0)
+        data = rng.random((30, 4))
+        l1, c1, i1 = kmeans(data, 3, seed=5)
+        l2, c2, i2 = kmeans(data, 3, seed=5)
+        assert (l1 == l2).all() and i1 == i2
+
+    def test_k_validation(self):
+        data = np.zeros((3, 2))
+        with pytest.raises(AnalysisError):
+            kmeans(data, 0)
+        with pytest.raises(AnalysisError):
+            kmeans(data, 4)
+
+    def test_k_equals_n(self):
+        data = np.array([[0.0], [1.0], [2.0]])
+        labels, centroids, inertia = kmeans(data, 3, seed=0)
+        assert sorted(labels.tolist()) == [0, 1, 2]
+        assert inertia == pytest.approx(0.0)
+
+
+class TestKMeansOperation:
+    def _result(self):
+        # 8 threads: 4 overloaded, 4 underloaded
+        exc = np.zeros((2, 8))
+        exc[0] = [10, 10, 10, 10, 2, 2, 2, 2]
+        exc[1] = [1, 1, 1, 1, 9, 9, 9, 9]
+        b = (
+            TrialBuilder("t")
+            .with_events(["compute", "wait"])
+            .with_threads(8)
+            .with_metric("TIME", exc)
+            .with_calls(np.ones((2, 8)))
+        )
+        return TrialResult(b.build())
+
+    def test_clusters_threads_by_behaviour(self):
+        op = KMeansOperation(self._result(), "TIME", 2, seed=3)
+        labels = op.labels()
+        assert len(set(labels[:4])) == 1 and len(set(labels[4:])) == 1
+        assert labels[0] != labels[7]
+        assert sorted(op.cluster_sizes()) == [4, 4]
+
+    def test_centroid_result_shape(self):
+        op = KMeansOperation(self._result(), "TIME", 2, seed=3)
+        out = op.process_data()[0]
+        assert out.thread_count == 2
+        assert out.events == ["compute", "wait"]
+
+
+class TestPCA:
+    def test_one_dominant_direction(self):
+        rng = np.random.default_rng(9)
+        base = rng.random(5)
+        scale = np.linspace(1, 10, 16)
+        data = np.outer(scale, base) + rng.normal(0, 0.01, size=(16, 5))
+        b = (
+            TrialBuilder("t")
+            .with_events([f"e{i}" for i in range(5)])
+            .with_threads(16)
+            .with_metric("TIME", data.T)
+            .with_calls(np.ones((5, 16)))
+        )
+        op = PCAOperation(TrialResult(b.build()), "TIME", n_components=2)
+        ratio = op.explained_variance_ratio()
+        assert ratio[0] > 0.99
+        assert op.scores().shape == (16, 2)
+
+    def test_component_validation(self):
+        b = (
+            TrialBuilder("t")
+            .with_events(["e0", "e1"])
+            .with_threads(3)
+            .with_metric("TIME", np.random.default_rng(0).random((2, 3)))
+            .with_calls(np.ones((2, 3)))
+        )
+        r = TrialResult(b.build())
+        with pytest.raises(AnalysisError):
+            PCAOperation(r, "TIME", n_components=5)

@@ -1,0 +1,229 @@
+"""Tests for statistics, ratio, correlation, extract/topx, comparison ops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AnalysisError, PerformanceResult
+from repro.core.script import (
+    BasicStatisticsOperation,
+    CorrelationOperation,
+    DifferenceOperation,
+    ExtractEventOperation,
+    ExtractMetricOperation,
+    ExtractRankOperation,
+    MergeTrialsOperation,
+    RatioOperation,
+    TopXEvents,
+    TopXPercentEvents,
+    TrialRatioOperation,
+    TrialResult,
+    event_correlation,
+)
+from repro.perfdmf import TrialBuilder
+
+
+def result_from(exc, events=None, metric="TIME", name="t", inc=None):
+    exc = np.asarray(exc, dtype=float)
+    events = events or [f"e{i}" for i in range(exc.shape[0])]
+    b = (
+        TrialBuilder(name)
+        .with_events(events)
+        .with_threads(exc.shape[1])
+        .with_metric(metric, exc, inc if inc is not None else exc)
+        .with_calls(np.ones_like(exc))
+    )
+    return TrialResult(b.build(validate=False))
+
+
+class TestBasicStatistics:
+    def test_five_outputs_in_order(self):
+        r = result_from([[1, 2, 3], [4, 4, 4]])
+        outs = BasicStatisticsOperation(r).process_data()
+        assert [o.name.split(":")[-1] for o in outs] == [
+            "mean", "stddev", "min", "max", "total"]
+        mean, std, mn, mx, tot = outs
+        assert mean.event_row("e0", "TIME")[0] == pytest.approx(2.0)
+        assert std.event_row("e0", "TIME")[0] == pytest.approx(np.std([1, 2, 3]))
+        assert mn.event_row("e0", "TIME")[0] == 1.0
+        assert mx.event_row("e0", "TIME")[0] == 3.0
+        assert tot.event_row("e0", "TIME")[0] == 6.0
+        assert std.event_row("e1", "TIME")[0] == 0.0
+
+    def test_named_accessors(self):
+        r = result_from([[1, 3]])
+        op = BasicStatisticsOperation(r)
+        assert op.mean().event_row("e0", "TIME")[0] == 2.0
+        assert op.total().event_row("e0", "TIME")[0] == 4.0
+        assert op.stddev().event_row("e0", "TIME")[0] == 1.0
+
+
+class TestRatioOperation:
+    def test_stddev_over_mean(self):
+        r = result_from([[10, 10, 10], [10, 20, 30]])
+        out = RatioOperation(r).process_data()[0]
+        assert out.event_row("e0", "TIME")[0] == 0.0
+        expected = np.std([10, 20, 30]) / 20.0
+        assert out.event_row("e1", "TIME")[0] == pytest.approx(expected)
+
+    def test_zero_mean_gives_zero_ratio(self):
+        r = result_from([[0, 0, 0]])
+        out = RatioOperation(r).process_data()[0]
+        assert out.event_row("e0", "TIME")[0] == 0.0
+
+
+class TestCorrelation:
+    def test_perfect_negative_correlation(self):
+        # inner compute up, outer wait down
+        r = result_from([[1, 2, 3, 4], [4, 3, 2, 1]], events=["inner", "outer"])
+        assert event_correlation(r, "inner", "outer", "TIME") == pytest.approx(-1.0)
+
+    def test_matrix_symmetric_unit_diagonal(self):
+        rng = np.random.default_rng(1)
+        r = result_from(rng.random((4, 8)))
+        op = CorrelationOperation(r, "TIME")
+        m = op.matrix()
+        np.testing.assert_allclose(m, m.T)
+        np.testing.assert_allclose(np.diag(m), 1.0)
+        assert op.correlation("e0", "e1") == pytest.approx(m[0, 1])
+
+    def test_constant_event_correlation_zero(self):
+        r = result_from([[5, 5, 5], [1, 2, 3]])
+        assert event_correlation(r, "e0", "e1", "TIME") == 0.0
+
+    def test_single_thread_rejected(self):
+        r = result_from([[1.0], [2.0]])
+        with pytest.raises(AnalysisError, match="at least 2 threads"):
+            CorrelationOperation(r, "TIME")
+
+    def test_unknown_event(self):
+        r = result_from([[1, 2]])
+        with pytest.raises(AnalysisError):
+            event_correlation(r, "e0", "zzz", "TIME")
+
+
+class TestExtract:
+    def test_extract_events(self):
+        r = result_from([[1, 2], [3, 4], [5, 6]])
+        out = ExtractEventOperation(r, ["e2", "e0"]).process_data()[0]
+        assert out.events == ["e2", "e0"]
+        assert out.event_row("e2", "TIME")[1] == 6
+
+    def test_extract_unknown_event(self):
+        r = result_from([[1, 2]])
+        with pytest.raises(AnalysisError, match="unknown events"):
+            ExtractEventOperation(r, ["nope"])
+
+    def test_extract_metric(self):
+        exc = np.array([[1.0, 2.0]])
+        t = (
+            TrialBuilder("t")
+            .with_events(["e0"])
+            .with_threads(2)
+            .with_metric("A", exc)
+            .with_metric("B", exc * 2)
+            .build()
+        )
+        out = ExtractMetricOperation(TrialResult(t), ["B"]).process_data()[0]
+        assert out.metrics == ["B"]
+
+    def test_extract_ranks(self):
+        r = result_from([[1, 2, 3, 4]])
+        out = ExtractRankOperation(r, 1, 2).process_data()[0]
+        assert out.thread_count == 2
+        np.testing.assert_allclose(out.event_row("e0", "TIME"), [2, 3])
+        with pytest.raises(AnalysisError):
+            ExtractRankOperation(r, 3, 1)
+
+    def test_topx(self):
+        r = result_from([[1, 1], [9, 9], [5, 5]])
+        op = TopXEvents(r, "TIME", 2)
+        assert op.ranked_events() == ["e1", "e2"]
+        out = op.process_data()[0]
+        assert out.events == ["e1", "e2"]
+
+    def test_topx_percent(self):
+        r = result_from([[60, 60], [30, 30], [10, 10]])
+        assert TopXPercentEvents(r, "TIME", 50).ranked_events() == ["e0"]
+        assert TopXPercentEvents(r, "TIME", 89).ranked_events() == ["e0", "e1"]
+        assert TopXPercentEvents(r, "TIME", 100).ranked_events() == ["e0", "e1", "e2"]
+
+    def test_topx_validation(self):
+        r = result_from([[1, 2]])
+        with pytest.raises(AnalysisError):
+            TopXEvents(r, "TIME", 0)
+        with pytest.raises(AnalysisError):
+            TopXPercentEvents(r, "TIME", 0)
+
+
+class TestComparison:
+    def test_difference(self):
+        a = result_from([[10, 10]], name="a")
+        b = result_from([[4, 6]], name="b")
+        out = DifferenceOperation(a, b).process_data()[0]
+        np.testing.assert_allclose(out.event_row("e0", "TIME"), [6, 4])
+
+    def test_ratio_of_trials(self):
+        a = result_from([[10, 9]], name="omp")
+        b = result_from([[2, 3]], name="mpi")
+        out = TrialRatioOperation(a, b).process_data()[0]
+        np.testing.assert_allclose(out.event_row("e0", "TIME"), [5, 3])
+
+    def test_ratio_zero_denominator(self):
+        a = result_from([[10.0]], name="a")
+        b = result_from([[0.0]], name="b")
+        out = TrialRatioOperation(a, b).process_data()[0]
+        assert out.event_row("e0", "TIME")[0] == 0.0
+
+    def test_shared_events_only(self):
+        a = result_from([[1, 1], [2, 2]], events=["x", "y"], name="a")
+        b = result_from([[1, 1], [5, 5]], events=["y", "z"], name="b")
+        out = DifferenceOperation(a, b).process_data()[0]
+        assert out.events == ["y"]
+        np.testing.assert_allclose(out.event_row("y", "TIME"), [1, 1])
+
+    def test_disjoint_events_rejected(self):
+        a = result_from([[1, 1]], events=["x"], name="a")
+        b = result_from([[1, 1]], events=["z"], name="b")
+        with pytest.raises(AnalysisError, match="share no events"):
+            DifferenceOperation(a, b).process_data()
+
+    def test_thread_mismatch_rejected(self):
+        a = result_from([[1, 1]])
+        b = result_from([[1, 1, 1]])
+        with pytest.raises(AnalysisError, match="thread counts differ"):
+            DifferenceOperation(a, b)
+
+    def test_merge(self):
+        a = result_from([[1, 2]], name="a")
+        b = result_from([[3, 4, 5]], name="b")
+        out = MergeTrialsOperation([a, b]).process_data()[0]
+        assert out.thread_count == 5
+        np.testing.assert_allclose(out.event_row("e0", "TIME"), [1, 2, 3, 4, 5])
+
+    def test_merge_mismatched_events(self):
+        a = result_from([[1]], events=["x"])
+        b = result_from([[1]], events=["y"])
+        with pytest.raises(AnalysisError, match="event sets differ"):
+            MergeTrialsOperation([a, b])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.lists(
+        st.lists(st.floats(min_value=0, max_value=1e6), min_size=4, max_size=4),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_statistics_invariants_property(data):
+    """min <= mean <= max; total == mean*n; stddev >= 0."""
+    r = result_from(np.asarray(data))
+    outs = BasicStatisticsOperation(r).process_data()
+    mean, std, mn, mx, tot = outs
+    for e in r.events:
+        m = mean.event_row(e, "TIME")[0]
+        assert mn.event_row(e, "TIME")[0] <= m + 1e-9
+        assert m <= mx.event_row(e, "TIME")[0] + 1e-9
+        assert tot.event_row(e, "TIME")[0] == pytest.approx(m * 4, rel=1e-9, abs=1e-6)
+        assert std.event_row(e, "TIME")[0] >= 0

@@ -1,0 +1,118 @@
+"""Tests for weak scaling, exec-layer validation, and CLI list/compare."""
+
+import numpy as np
+import pytest
+
+from repro.core import AnalysisError
+from repro.core.script import ScalabilityOperation, TrialResult
+from repro.perfdmf import TrialBuilder
+
+
+def flat_time_trial(threads, total_time, name=None):
+    exc = np.full((1, threads), total_time)
+    return TrialResult(
+        TrialBuilder(name or f"w{threads}")
+        .with_events(["main"])
+        .with_threads(threads)
+        .with_metric("TIME", exc, exc)
+        .with_calls(np.ones((1, threads)))
+        .build()
+    )
+
+
+class TestWeakScaling:
+    def test_perfect_weak_scaling(self):
+        trials = [flat_time_trial(p, 100.0) for p in (1, 2, 4, 8)]
+        series = ScalabilityOperation(trials).weak_efficiency_series()
+        assert series.efficiency == pytest.approx([1.0] * 4)
+        assert series.speedup == pytest.approx([1, 2, 4, 8])
+
+    def test_degrading_weak_scaling(self):
+        trials = [flat_time_trial(p, 100.0 * (1 + 0.1 * i))
+                  for i, p in enumerate((1, 2, 4, 8))]
+        series = ScalabilityOperation(trials).weak_efficiency_series()
+        assert series.efficiency[0] == 1.0
+        assert series.efficiency == sorted(series.efficiency, reverse=True)
+        assert series.efficiency[-1] == pytest.approx(1 / 1.3)
+
+
+class TestRegionAccessValidation:
+    def test_latency_multiplier_bounds(self):
+        from repro.runtime import RegionAccess
+
+        RegionAccess("r", latency_multiplier=1.0)
+        RegionAccess("r", latency_multiplier=5.0)
+        with pytest.raises(ValueError, match="latency_multiplier"):
+            RegionAccess("r", latency_multiplier=0.5)
+        with pytest.raises(ValueError):
+            RegionAccess("r", start_byte=-1)
+        with pytest.raises(ValueError):
+            RegionAccess("r", length=-1)
+
+    def test_multiplier_scales_charged_latency(self):
+        from repro.machine import WorkSignature, counters as C, uniform_machine
+        from repro.runtime import Profiler, RegionAccess, execute_work
+
+        m = uniform_machine(1)
+        sig = WorkSignature(loads=1e6, footprint_bytes=64 * 1024 * 1024,
+                            reuse=0.0)
+
+        def run(mult):
+            pt = m.new_page_table()
+            pt.allocate("r", 64 * 1024 * 1024)
+            prof = Profiler(m)
+            prof.enter(0, "main")
+            v = execute_work(m, prof, 0, sig, page_table=pt,
+                             access=RegionAccess("r", latency_multiplier=mult))
+            prof.exit(0, "main")
+            return v[C.CPU_CYCLES]
+
+        assert run(4.0) > 2.0 * run(1.0)
+
+
+class TestCLIListAndCompare:
+    @pytest.fixture
+    def db(self, tmp_path):
+        from repro.apps.genidlest import RIB45, RunConfig, run_genidlest
+        from repro.perfdmf import PerfDMF
+
+        path = str(tmp_path / "perf.db")
+        with PerfDMF(path) as repo:
+            for optimized in (False, True):
+                r = run_genidlest(RunConfig(case=RIB45, version="openmp",
+                                            optimized=optimized, n_procs=8,
+                                            iterations=2))
+                repo.save_trial("GenIDLEST", "45rib", r.trial)
+        return path
+
+    def test_list(self, db, capsys):
+        from repro.cli import main
+
+        assert main(["list", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "GenIDLEST" in out and "openmp_unopt_8" in out
+        assert "procs=8" in out
+
+    def test_list_empty(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["list", "--db", str(tmp_path / "empty.db")]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_compare(self, db, capsys):
+        from repro.cli import main
+
+        assert main(["compare", "--db", db, "--app", "GenIDLEST",
+                     "--exp", "45rib", "openmp_unopt_8", "openmp_opt_8"]) == 0
+        out = capsys.readouterr().out
+        assert "per-event TIME ratio" in out
+        # the unoptimized main event must be several times slower
+        main_row = next(l for l in out.splitlines() if l.endswith(" main"))
+        assert float(main_row.split()[0]) > 2.0
+
+    def test_compare_unknown_metric(self, db, capsys):
+        from repro.cli import main
+
+        assert main(["compare", "--db", db, "--app", "GenIDLEST",
+                     "--exp", "45rib", "openmp_unopt_8", "openmp_opt_8",
+                     "--metric", "ZZZ"]) == 2

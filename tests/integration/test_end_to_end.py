@@ -1,0 +1,174 @@
+"""Integration tests: the full Fig. 3 pipeline across package boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.apps.genidlest import RIB45, RunConfig, run_genidlest
+from repro.apps.msa import run_msa_trial
+from repro.knowledge import (
+    diagnose_genidlest,
+    diagnose_load_balance,
+    summarize_categories,
+)
+from repro.machine import counters as C
+from repro.perfdmf import (
+    PerfDMF,
+    read_tau_profile,
+    set_default_repository,
+    write_tau_profile,
+)
+
+
+class TestProfileLifecycle:
+    def test_simulate_to_tau_files_to_db_to_diagnosis(self, tmp_path):
+        """The long way around: simulated run → TAU text files on disk →
+        reload → PerfDMF → PerfExplorer diagnosis.  Every persistence
+        boundary in Fig. 3, exercised in order."""
+        run = run_msa_trial(n_sequences=100, n_threads=8, schedule="static")
+        # TAU text round-trip (what real TAU would have written)
+        write_tau_profile(run.trial, tmp_path / "profiles")
+        reloaded = read_tau_profile(tmp_path / "profiles", name=run.trial.name)
+        # TAU files do not carry metadata; re-attach the context
+        reloaded.metadata.update(run.trial.metadata)
+        # database round-trip
+        with PerfDMF(tmp_path / "perf.db") as repo:
+            repo.save_trial("MSAP", "schedules", reloaded)
+        with PerfDMF(tmp_path / "perf.db") as repo:
+            stored = repo.load_trial("MSAP", "schedules", run.trial.name)
+        # numbers survived both hops
+        np.testing.assert_allclose(
+            stored.exclusive_array(C.TIME),
+            run.trial.exclusive_array(C.TIME),
+            rtol=1e-9,
+        )
+        # and the diagnosis still fires
+        harness = diagnose_load_balance(stored)
+        assert summarize_categories(harness).get("load-imbalance", 0) >= 1
+
+    def test_derived_metrics_persist(self, tmp_path):
+        """PerfExplorer saves analysis results back into PerfDMF; derived
+        metrics must survive storage with their flag."""
+        from repro.core.script import DeriveMetricOperation, TrialMeanResult
+
+        run = run_genidlest(RunConfig(case=RIB45, version="mpi",
+                                      optimized=True, n_procs=4, iterations=1))
+        mean = TrialMeanResult(run.trial)
+        op = DeriveMetricOperation(mean, C.BACK_END_BUBBLE_ALL, C.CPU_CYCLES,
+                                   DeriveMetricOperation.DIVIDE)
+        derived = op.processData().get(0)
+        with PerfDMF(tmp_path / "perf.db") as repo:
+            repo.save_trial("GenIDLEST", "analysis", derived.trial)
+            loaded = repo.load_trial("GenIDLEST", "analysis",
+                                     derived.trial.name)
+        metric = next(m for m in loaded.metrics if m.name == op.derived_name)
+        assert metric.derived
+        np.testing.assert_allclose(
+            loaded.exclusive_array(op.derived_name),
+            derived.exclusive(op.derived_name),
+        )
+
+
+class TestCrossCaseConsistency:
+    def test_same_seed_same_diagnosis(self):
+        a = run_msa_trial(n_sequences=80, n_threads=8, schedule="static", seed=5)
+        b = run_msa_trial(n_sequences=80, n_threads=8, schedule="static", seed=5)
+        ha, hb = diagnose_load_balance(a.trial), diagnose_load_balance(b.trial)
+        assert ha.output == hb.output
+
+    def test_mpi_trial_is_clean_where_openmp_is_not(self):
+        """The paper's central comparison, as one assertion: the same
+        problem under MPI produces no locality/serialization findings."""
+        omp = run_genidlest(RunConfig(case=RIB45, version="openmp",
+                                      optimized=False, n_procs=8, iterations=2))
+        mpi = run_genidlest(RunConfig(case=RIB45, version="mpi",
+                                      optimized=True, n_procs=8, iterations=2))
+        cats_omp = summarize_categories(diagnose_genidlest(omp.trial))
+        cats_mpi = summarize_categories(diagnose_genidlest(mpi.trial))
+        assert cats_omp.get("data-locality", 0) >= 1
+        assert cats_mpi.get("data-locality", 0) == 0
+        assert cats_mpi.get("sequential-bottleneck", 0) == 0
+
+
+class TestCLI:
+    def test_reproduce_fig4a(self, capsys):
+        from repro.cli import main
+
+        assert main(["reproduce", "fig4a", "--sequences", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4(a)" in out and "imbalance ratio" in out
+
+    def test_run_and_diagnose_via_db(self, tmp_path, capsys):
+        from repro.cli import main
+
+        db = str(tmp_path / "perf.db")
+        assert main(["run-genidlest", "--case", "45rib", "--procs", "8",
+                     "--iterations", "2", "--db", db]) == 0
+        assert main(["diagnose", "--db", db, "--app", "GenIDLEST",
+                     "--exp", "45rib", "--trial", "openmp_unopt_8"]) == 0
+        out = capsys.readouterr().out
+        assert "Recommendations" in out
+
+    def test_run_msa_with_db(self, tmp_path, capsys):
+        from repro.cli import main
+
+        db = str(tmp_path / "perf.db")
+        assert main(["run-msa", "--sequences", "60", "--threads", "4",
+                     "--schedule", "dynamic,1", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "imbalance" in out and "stored" in out
+
+    def test_tune_msa(self, capsys):
+        from repro.cli import main
+
+        assert main(["tune", "msa", "--sequences", "80", "--threads", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "TuningPlan" in out
+
+    def test_bad_target_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["reproduce", "fig99"])
+
+
+class TestGlobalRepositoryPipeline:
+    def test_utilities_pipeline(self, tmp_path):
+        """The exact resource pattern Fig. 1 scripts rely on: a default
+        repository + the Utilities facade + the registered rulebase."""
+        from repro.core.script import (
+            DeriveMetricOperation,
+            MeanEventFact,
+            RuleHarness,
+            TrialMeanResult,
+            Utilities,
+        )
+
+        repo = PerfDMF(tmp_path / "perf.db")
+        set_default_repository(repo)
+        try:
+            run = run_genidlest(RunConfig(case=RIB45, version="openmp",
+                                          optimized=False, n_procs=8,
+                                          iterations=2))
+            Utilities.saveTrial("Fluid Dynamic", "rib 45", run.trial)
+            harness = RuleHarness.useGlobalRules("openuh-rules")
+            trial = TrialMeanResult(
+                Utilities.getTrial("Fluid Dynamic", "rib 45", run.trial.name)
+            )
+            op = DeriveMetricOperation(
+                trial, C.BACK_END_BUBBLE_ALL, C.CPU_CYCLES,
+                DeriveMetricOperation.DIVIDE,
+            )
+            derived = op.processData().get(0)
+            main_event = derived.getMainEvent()
+            for event in derived.getEvents():
+                if event != main_event:
+                    harness.assertObject(
+                        MeanEventFact.compareEventToMain(
+                            derived, main_event, event, op.derived_name
+                        )
+                    )
+            harness.processRules()
+            assert any("stall" in line for line in harness.output)
+        finally:
+            set_default_repository(None)
+            RuleHarness.clearGlobal()

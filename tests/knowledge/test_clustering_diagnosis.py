@@ -1,0 +1,75 @@
+"""Tests for the thread-clustering diagnosis script and rule."""
+
+import numpy as np
+import pytest
+
+from repro.core import PerformanceResult, RuleHarness
+from repro.core.result import AnalysisError
+from repro.knowledge import openuh_rules, thread_cluster_facts
+from repro.perfdmf import TrialBuilder
+
+
+def result_with_thread_totals(totals):
+    n = len(totals)
+    exc = np.array([list(totals)])
+    return PerformanceResult(
+        TrialBuilder("t")
+        .with_events(["work"])
+        .with_threads(n)
+        .with_metric("TIME", exc, exc)
+        .with_calls(np.ones((1, n)))
+        .build()
+    )
+
+
+class TestThreadClusterFacts:
+    def test_two_populations_detected(self):
+        r = result_with_thread_totals([100, 101, 99, 100, 10, 11, 9, 10])
+        facts = thread_cluster_facts(r, k=2, seed=1)
+        assert len(facts) == 1
+        f = facts[0]
+        assert sorted(f["sizes"]) == [4, 4]
+        assert f["separation"] > 5.0
+
+    def test_uniform_threads_low_separation(self):
+        r = result_with_thread_totals([50.0] * 8)
+        f = thread_cluster_facts(r, k=2, seed=1)[0]
+        assert f["separation"] == pytest.approx(1.0)
+
+    def test_too_few_threads_rejected(self):
+        r = result_with_thread_totals([1.0, 2.0])
+        with pytest.raises(AnalysisError):
+            thread_cluster_facts(r, k=4)
+
+
+class TestThreadPopulationRule:
+    def _harness(self):
+        return RuleHarness(openuh_rules())
+
+    def test_fires_on_separated_populations(self):
+        h = self._harness()
+        r = result_with_thread_totals([100, 100, 100, 100, 5, 5, 5, 5])
+        h.assertObjects(thread_cluster_facts(r, k=2, seed=0))
+        h.processRules()
+        recs = [f for f in h.recommendations()
+                if f.get("category") == "thread-populations"]
+        assert len(recs) == 1
+        assert recs[0]["separation"] > 2.0
+
+    def test_silent_on_uniform_threads(self):
+        h = self._harness()
+        r = result_with_thread_totals([50.0] * 8)
+        h.assertObjects(thread_cluster_facts(r, k=2, seed=0))
+        h.processRules()
+        assert not [f for f in h.recommendations()
+                    if f.get("category") == "thread-populations"]
+
+    def test_integrated_in_msa_diagnosis(self):
+        """Static MSA runs produce divergent thread populations; the
+        clustering rule corroborates the imbalance rule."""
+        from repro.apps.msa import run_msa_trial
+        from repro.knowledge import diagnose_load_balance, summarize_categories
+
+        run = run_msa_trial(n_sequences=150, n_threads=16, schedule="static")
+        cats = summarize_categories(diagnose_load_balance(run.trial))
+        assert cats.get("load-imbalance", 0) >= 1

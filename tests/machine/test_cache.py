@@ -1,0 +1,120 @@
+"""Tests for the analytical cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import (
+    AccessSummary,
+    CacheHierarchy,
+    CacheLevel,
+    itanium2_hierarchy,
+)
+
+KB = 1024
+MB = 1024 * KB
+
+
+class TestConstruction:
+    def test_itanium2_geometry(self):
+        h = itanium2_hierarchy()
+        names = [l.name for l in h.levels]
+        assert names == ["L1D", "L2", "L3"]
+        assert h.levels[0].capacity_bytes == 16 * KB
+        assert h.levels[1].capacity_bytes == 256 * KB
+        assert h.levels[2].capacity_bytes == 6 * MB
+
+    def test_levels_must_grow(self):
+        with pytest.raises(ValueError, match="must grow"):
+            CacheHierarchy(
+                [
+                    CacheLevel("big", 1 * MB, 64, 1),
+                    CacheLevel("small", 16 * KB, 64, 5),
+                ]
+            )
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy([])
+
+    def test_bad_level_geometry(self):
+        with pytest.raises(ValueError):
+            CacheLevel("x", 0, 64, 1)
+        with pytest.raises(ValueError):
+            CacheLevel("x", 32, 64, 1)
+
+
+class TestAccessSummary:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AccessSummary(-1, 100)
+        with pytest.raises(ValueError):
+            AccessSummary(1, 100, reuse=1.5)
+
+
+class TestModelBehaviour:
+    def test_zero_accesses(self):
+        r = itanium2_hierarchy().access(AccessSummary(0, 0))
+        assert r.memory_accesses == 0 and r.stall_cycles == 0
+
+    def test_small_hot_set_stays_in_l1(self):
+        """A 4KB working set with high reuse barely misses L1."""
+        h = itanium2_hierarchy()
+        r = h.access(AccessSummary(accesses=1e6, footprint_bytes=4 * KB, reuse=1.0))
+        l1 = r.level("L1D")
+        assert l1.miss_ratio < 0.001
+        assert r.memory_accesses < l1.references * 0.001
+
+    def test_streaming_defeats_all_levels(self):
+        """reuse=0 makes every access effectively cold."""
+        h = itanium2_hierarchy()
+        r = h.access(AccessSummary(accesses=1e6, footprint_bytes=64 * MB, reuse=0.0))
+        assert r.level("L1D").miss_ratio > 0.99
+        assert r.memory_accesses > 0.99e6
+
+    def test_l3_captures_medium_working_set(self):
+        """A 1MB set misses L1/L2 heavily but hits in 6MB L3."""
+        h = itanium2_hierarchy()
+        r = h.access(AccessSummary(accesses=1e6, footprint_bytes=1 * MB, reuse=0.95))
+        assert r.level("L2").miss_ratio > 0.5
+        l3 = r.level("L3")
+        assert l3.miss_ratio < 0.2
+        assert r.memory_accesses < 0.2e6
+
+    def test_misses_monotone_in_footprint(self):
+        """Bigger working sets never miss less (same access count)."""
+        h = itanium2_hierarchy()
+        prev = -1.0
+        for fp in [8 * KB, 64 * KB, 512 * KB, 4 * MB, 32 * MB]:
+            r = h.access(AccessSummary(1e6, fp, reuse=0.9))
+            assert r.memory_accesses >= prev
+            prev = r.memory_accesses
+
+    def test_misses_decrease_with_reuse(self):
+        h = itanium2_hierarchy()
+        r_low = h.access(AccessSummary(1e6, 512 * KB, reuse=0.1))
+        r_high = h.access(AccessSummary(1e6, 512 * KB, reuse=0.99))
+        assert r_high.memory_accesses < r_low.memory_accesses
+
+    def test_unknown_level_lookup(self):
+        r = itanium2_hierarchy().access(AccessSummary(10, 10))
+        with pytest.raises(KeyError):
+            r.level("L9")
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    accesses=st.floats(min_value=1, max_value=1e9),
+    footprint=st.floats(min_value=1, max_value=1e9),
+    reuse=st.floats(min_value=0, max_value=1),
+)
+def test_conservation_properties(accesses, footprint, reuse):
+    """Invariants: 0 <= misses <= references at every level; references
+    cascade (level i+1 refs == level i misses); memory <= total accesses."""
+    h = itanium2_hierarchy()
+    r = h.access(AccessSummary(accesses, footprint, reuse))
+    assert r.levels[0].references == pytest.approx(accesses)
+    for upper, lower in zip(r.levels, r.levels[1:]):
+        assert 0 <= upper.misses <= upper.references + 1e-9
+        assert lower.references == pytest.approx(upper.misses)
+    assert 0 <= r.memory_accesses <= accesses + 1e-9
+    assert r.stall_cycles >= 0

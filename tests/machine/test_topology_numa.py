@@ -1,0 +1,171 @@
+"""Tests for the NUMA topology and first-touch page placement."""
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    PAGE_SIZE,
+    LatencyModel,
+    NUMATopology,
+    PageTable,
+    PlacementError,
+)
+
+
+class TestTopology:
+    def test_single_node(self):
+        t = NUMATopology(1, cpus_per_node=4)
+        assert t.n_cpus == 4
+        assert t.max_hops == 0
+        assert t.local_latency() == t.latency.local_cycles
+
+    def test_altix300_shape(self):
+        t = NUMATopology(8, cpus_per_node=2)
+        assert t.n_cpus == 16
+        assert t.node_of_cpu(0) == 0 and t.node_of_cpu(15) == 7
+
+    def test_cpu_out_of_range(self):
+        t = NUMATopology(2)
+        with pytest.raises(ValueError):
+            t.node_of_cpu(99)
+
+    def test_hop_matrix_properties(self):
+        t = NUMATopology(8)
+        h = t.hop_matrix
+        assert (np.diag(h) == 0).all()
+        assert (h == h.T).all()
+        assert (h[~np.eye(8, dtype=bool)] >= 1).all()
+
+    def test_brick_partner_closer_than_cross_brick(self):
+        t = NUMATopology(8)
+        assert t.hops(0, 1) < t.hops(0, 2)
+
+    def test_hierarchy_grows_with_machine(self):
+        small = NUMATopology(8)
+        large = NUMATopology(256)
+        assert large.max_hops > small.max_hops
+
+    def test_worst_case_latency(self):
+        t = NUMATopology(8, latency=LatencyModel(local_cycles=200, per_hop_cycles=50))
+        assert t.worst_case_remote_latency() == 200 + 50 * t.max_hops
+        assert t.remote_latency(0, 0) == 200
+
+    def test_mean_remote_latency(self):
+        t = NUMATopology(4)
+        m = t.mean_remote_latency_from(0)
+        assert m > t.local_latency()
+        assert NUMATopology(1).mean_remote_latency_from(0) == t.local_latency()
+
+    def test_latency_model_validation(self):
+        with pytest.raises(ValueError):
+            LatencyModel().memory_latency(-1)
+
+
+class TestPageTable:
+    def _pt(self, nodes=4):
+        return PageTable(NUMATopology(nodes))
+
+    def test_allocate_and_page_count(self):
+        pt = self._pt()
+        r = pt.allocate("u", 3 * PAGE_SIZE + 1)
+        assert r.n_pages == 4
+        assert pt.regions() == ["u"]
+
+    def test_duplicate_allocation_rejected(self):
+        pt = self._pt()
+        pt.allocate("u", PAGE_SIZE)
+        with pytest.raises(PlacementError, match="already"):
+            pt.allocate("u", PAGE_SIZE)
+
+    def test_first_touch_pins_owner(self):
+        pt = self._pt()
+        pt.allocate("u", 4 * PAGE_SIZE)
+        assert pt.touch("u", 1) == 4  # all pages placed on node 1
+        assert pt.touch("u", 2) == 0  # second touch changes nothing
+        assert (pt.region("u").owner == 1).all()
+
+    def test_partitioned_touch_distributes(self):
+        pt = self._pt(4)
+        pt.allocate("u", 8 * PAGE_SIZE)
+        pt.touch_partitioned("u", [0, 1, 2, 3])
+        hist = pt.region("u").node_histogram(4)
+        assert (hist == 2).all()
+
+    def test_serial_init_vs_parallel_init_access_cost(self):
+        """The GenIDLEST root cause: serial init concentrates pages on node
+        0, so threads on other nodes see mostly-remote accesses; parallel
+        init gives each node a local partition."""
+        topo = NUMATopology(4)
+        serial = PageTable(topo)
+        serial.allocate("u", 16 * PAGE_SIZE)
+        serial.touch("u", 0)  # master-thread initialization
+
+        parallel = PageTable(topo)
+        parallel.allocate("u", 16 * PAGE_SIZE)
+        parallel.touch_partitioned("u", [0, 1, 2, 3])
+
+        quarter = 4 * PAGE_SIZE
+        # node 3 works on the last quarter of the array
+        cost_serial = serial.charge_accesses(
+            "u", 3, 1e6, start_byte=3 * quarter, length=quarter
+        )
+        cost_parallel = parallel.charge_accesses(
+            "u", 3, 1e6, start_byte=3 * quarter, length=quarter
+        )
+        assert cost_serial.remote_ratio == pytest.approx(1.0)
+        assert cost_parallel.remote_ratio == pytest.approx(0.0)
+        assert cost_serial.latency_cycles > cost_parallel.latency_cycles
+
+    def test_charge_places_untouched_pages(self):
+        pt = self._pt()
+        pt.allocate("u", 2 * PAGE_SIZE)
+        cost = pt.charge_accesses("u", 2, 100)
+        assert cost.remote_ratio == 0.0
+        assert (pt.region("u").owner == 2).all()
+
+    def test_zero_accesses(self):
+        pt = self._pt()
+        pt.allocate("u", PAGE_SIZE)
+        cost = pt.charge_accesses("u", 0, 0)
+        assert cost.total_accesses == 0 and cost.latency_cycles == 0
+
+    def test_latency_includes_local_component(self):
+        pt = self._pt(1)
+        pt.allocate("u", PAGE_SIZE)
+        cost = pt.charge_accesses("u", 0, 1000)
+        assert cost.latency_cycles == pytest.approx(
+            1000 * pt.topology.latency.local_cycles
+        )
+
+    def test_out_of_range_touch(self):
+        pt = self._pt()
+        pt.allocate("u", PAGE_SIZE)
+        with pytest.raises(PlacementError, match="outside"):
+            pt.touch("u", 0, start_byte=0, length=2 * PAGE_SIZE)
+        with pytest.raises(PlacementError):
+            pt.touch("u", 99)
+
+    def test_unknown_region(self):
+        pt = self._pt()
+        with pytest.raises(PlacementError, match="no region"):
+            pt.region("ghost")
+
+    def test_free_and_reset(self):
+        pt = self._pt()
+        pt.allocate("u", PAGE_SIZE)
+        pt.touch("u", 1)
+        pt.reset_region("u")
+        assert (pt.region("u").owner == -1).all()
+        pt.free("u")
+        assert pt.regions() == []
+        with pytest.raises(PlacementError):
+            pt.free("u")
+
+    def test_remote_ratio_mixed_ownership(self):
+        pt = self._pt(2)
+        pt.allocate("u", 4 * PAGE_SIZE)
+        pt.touch("u", 0, start_byte=0, length=2 * PAGE_SIZE)
+        pt.touch("u", 1, start_byte=2 * PAGE_SIZE, length=2 * PAGE_SIZE)
+        cost = pt.charge_accesses("u", 0, 1000)
+        assert cost.remote_ratio == pytest.approx(0.5)
+        assert cost.local_accesses == pytest.approx(500)

@@ -1,0 +1,134 @@
+"""Property-based tests: random IR programs through the full pipeline.
+
+Hypothesis generates small random programs (nested loops, ifs, scalar and
+array statements with shared subexpressions); for every optimization level
+the compiled signature must satisfy the compiler's semantic contracts:
+
+* all op counts finite and non-negative;
+* array stores are observable: no level eliminates them (count preserved);
+* FP work never *increases* with optimization;
+* O1+ never executes more instructions than O0 (register allocation and
+  scalar cleanups only remove work);
+* lowering is deterministic.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.openuh import OPT_LEVELS, compile_program
+from repro.openuh.frontend import (
+    FunctionBuilder,
+    ProgramBuilder,
+    add,
+    aref,
+    const,
+    mul,
+    sub,
+    var,
+)
+from repro.openuh.ir import ArrayStore, walk_stmts
+
+scalar_names = st.sampled_from(["a", "b", "c", "t0", "t1"])
+array_names = st.sampled_from(["u", "v"])
+
+
+@st.composite
+def expressions(draw, depth=2, loop_var=None):
+    if depth == 0:
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return const(draw(st.floats(min_value=-4, max_value=4,
+                                        allow_nan=False)))
+        if choice == 1:
+            return var(draw(scalar_names))
+        index = loop_var if loop_var else "0"
+        return aref(draw(array_names), index)
+    op = draw(st.sampled_from([add, mul, sub]))
+    return op(
+        draw(expressions(depth=depth - 1, loop_var=loop_var)),
+        draw(expressions(depth=depth - 1, loop_var=loop_var)),
+    )
+
+
+@st.composite
+def programs(draw):
+    pb = ProgramBuilder("fuzz")
+    f = pb.function("main", reuse=draw(st.floats(min_value=0, max_value=1)))
+    f.array("u", 4096)
+    f.array("v", 4096)
+    n_stmts = draw(st.integers(1, 4))
+    for i in range(n_stmts):
+        kind = draw(st.integers(0, 2))
+        if kind == 0:
+            f.assign(draw(scalar_names), draw(expressions()))
+        elif kind == 1:
+            f.store(draw(array_names), "0", draw(expressions()))
+        else:
+            trips = draw(st.integers(1, 32))
+            lv = f"i{i}"
+            with f.loop(lv, trips):
+                f.assign(draw(scalar_names),
+                         draw(expressions(loop_var=lv)))
+                if draw(st.booleans()):
+                    f.store(draw(array_names), lv,
+                            draw(expressions(loop_var=lv)))
+    return pb.build(entry="main")
+
+
+def store_count(program):
+    return sum(
+        1 for s in walk_stmts(program.function("main").body)
+        if isinstance(s, ArrayStore)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(programs())
+def test_compiled_signatures_satisfy_contracts(program):
+    sigs = {}
+    for level in OPT_LEVELS:
+        compiled = compile_program(program, level)
+        sig = compiled.signature()
+        sigs[level] = sig
+        # non-negative, finite op counts
+        for value in (sig.flops, sig.int_ops, sig.loads, sig.stores,
+                      sig.branches, sig.footprint_bytes):
+            assert value >= 0 and math.isfinite(value)
+        # observable array stores survive every level
+        assert store_count(compiled.program) == store_count(program)
+    # optimization never adds completed instructions relative to O0
+    for level in ("O1", "O2", "O3"):
+        assert sigs[level].instructions <= sigs["O0"].instructions + 1e-9
+    # FP work never grows (folding may shrink it)
+    for level in ("O1", "O2", "O3"):
+        assert sigs[level].flops <= sigs["O0"].flops + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(programs())
+def test_lowering_is_deterministic(program):
+    a = compile_program(program, "O2").signature()
+    b = compile_program(program, "O2").signature()
+    assert a == b
+
+
+@settings(max_examples=20, deadline=None)
+@given(programs())
+def test_source_program_never_mutated(program):
+    import copy
+
+    before = store_count(program)
+    snapshot = [
+        (type(s).__name__)
+        for s in walk_stmts(program.function("main").body)
+    ]
+    for level in OPT_LEVELS:
+        compile_program(program, level)
+    after = [
+        (type(s).__name__)
+        for s in walk_stmts(program.function("main").body)
+    ]
+    assert snapshot == after
+    assert store_count(program) == before

@@ -1,0 +1,242 @@
+"""Edge-case tests: frontend builder, cost models, feedback, instrumentation."""
+
+import pytest
+
+from repro.machine import WorkSignature
+from repro.openuh import (
+    FeedbackOptimizer,
+    IRError,
+    InstrumentationSpec,
+    TuningPlan,
+    compile_program,
+    plan_instrumentation,
+)
+from repro.openuh.costmodel import (
+    CacheCostModel,
+    CostModel,
+    GOAL_LOW_POWER,
+    OptimizationGoal,
+    ParallelCostModel,
+    ParallelOverheads,
+    perfect_nest_of,
+)
+from repro.openuh.frontend import (
+    ProgramBuilder,
+    add,
+    aref,
+    const,
+    intrinsic,
+    mul,
+    var,
+)
+from repro.rules import Fact
+
+
+class TestFrontendEdges:
+    def test_if_else_builder(self):
+        pb = ProgramBuilder("p")
+        f = pb.function("f")
+        with f.if_(add(var("a"), const(1.0)), taken_probability=0.7):
+            f.assign("x", const(1.0))
+        with f.else_():
+            f.assign("x", const(2.0))
+        program = pb.build()
+        node = program.function("f").body.stmts[0]
+        assert node.taken_probability == 0.7
+        assert node.else_body is not None
+        assert len(node.then_body.stmts) == 1
+
+    def test_else_without_if_rejected(self):
+        pb = ProgramBuilder("p")
+        f = pb.function("f")
+        f.assign("x", const(1.0))
+        with pytest.raises(IRError, match="must directly follow"):
+            with f.else_():
+                pass
+
+    def test_double_else_rejected(self):
+        pb = ProgramBuilder("p")
+        f = pb.function("f")
+        with f.if_(var("c")):
+            f.assign("x", const(1.0))
+        with f.else_():
+            f.assign("x", const(2.0))
+        with pytest.raises(IRError, match="already has an else"):
+            with f.else_():
+                pass
+
+    def test_intrinsic_in_program(self):
+        pb = ProgramBuilder("p")
+        f = pb.function("f")
+        f.assign("s", intrinsic("sqrt", var("x"), cost_flops=12))
+        program = pb.build(entry="f")
+        sig = compile_program(program, "O0").signature()
+        assert sig.flops >= 12
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(IRError, match="no functions"):
+            ProgramBuilder("p").build()
+
+    def test_entry_selection(self):
+        pb = ProgramBuilder("p")
+        pb.function("a").assign("x", const(1.0))
+        pb.function("b").assign("y", const(2.0))
+        program = pb.build(entry="b")
+        assert program.entry == "b"
+        pb2 = ProgramBuilder("q")
+        pb2.function("f").assign("x", const(1.0))
+        with pytest.raises(IRError, match="no function"):
+            pb2.build(entry="ghost")
+
+
+class TestCostModelEdges:
+    def _stencil(self, n=32):
+        pb = ProgramBuilder("p")
+        f = pb.function("k")
+        f.array("u", n * n)
+        with f.loop("i", n):
+            with f.loop("j", n):
+                f.store("u", ("i", "j"), mul(aref("u", "i", "j"), const(2.0)))
+        return pb.build(entry="k")
+
+    def test_compare_variants_empty_rejected(self):
+        with pytest.raises(ValueError, match="no variants"):
+            CacheCostModel().compare_variants([])
+
+    def test_cache_model_reuse_validation(self):
+        with pytest.raises(ValueError):
+            CacheCostModel(assumed_reuse=2.0)
+
+    def test_prediction_fields(self):
+        program = self._stencil()
+        preds = CacheCostModel().predict_function(program.function("k"))
+        assert len(preds) == 2  # i and j loops
+        outer = preds[0]
+        assert outer.loop_var == "i"
+        assert outer.footprint_bytes == 32 * 32 * 8
+        assert outer.miss_cycles > 0
+
+    def test_perfect_nest_of_non_nest(self):
+        pb = ProgramBuilder("p")
+        f = pb.function("f")
+        f.assign("x", const(1.0))
+        program = pb.build()
+        assert perfect_nest_of(program.function("f")) == []
+
+    def test_perfect_nest_of_imperfect_nest(self):
+        pb = ProgramBuilder("p")
+        f = pb.function("f")
+        with f.loop("i", 8):
+            f.assign("t", const(0.0))  # statement beside the inner loop
+            with f.loop("j", 8):
+                f.store("u", ("i", "j"), const(1.0))
+        program = pb.build()
+        nest = perfect_nest_of(program.function("f"))
+        assert [l.var for l in nest] == ["i"]  # stops at the imperfection
+
+    def test_parallel_model_validation(self):
+        with pytest.raises(ValueError):
+            ParallelCostModel(imbalance_factor=0.5)
+        with pytest.raises(ValueError):
+            ParallelCostModel().evaluate_nest([], n_threads=2,
+                                              cycles_per_innermost_iteration=1)
+
+    def test_reduction_overhead_counts(self):
+        program = self._stencil()
+        nest = perfect_nest_of(program.function("k"))
+        plain = ParallelCostModel().evaluate_nest(
+            nest, n_threads=8, cycles_per_innermost_iteration=10)
+        with_red = ParallelCostModel(has_reduction=True).evaluate_nest(
+            nest, n_threads=8, cycles_per_innermost_iteration=10)
+        assert with_red.best.predicted_cycles > plain.best.predicted_cycles
+
+    def test_worth_parallelizing(self):
+        program = self._stencil(n=128)
+        nest = perfect_nest_of(program.function("k"))
+        model = ParallelCostModel()
+        plan = model.evaluate_nest(nest, n_threads=8,
+                                   cycles_per_innermost_iteration=100.0)
+        assert model.worth_parallelizing(plan)
+        tiny = model.evaluate_nest(nest[:1], n_threads=8,
+                                   cycles_per_innermost_iteration=0.0001)
+        assert not model.worth_parallelizing(tiny)
+
+    def test_goal_validation(self):
+        with pytest.raises(ValueError):
+            OptimizationGoal("bad", cycles_weight=-1)
+        with pytest.raises(ValueError):
+            OptimizationGoal("zero", cycles_weight=0, cache_weight=0,
+                             power_weight=0)
+
+    def test_choose_variant(self):
+        model = CostModel()
+        s1 = model.score_signature("fat", WorkSignature(flops=1e8, loads=1e8))
+        s2 = model.score_signature("lean", WorkSignature(flops=1e6, loads=1e6))
+        assert model.choose_variant([s1, s2]).label == "lean"
+        with pytest.raises(ValueError):
+            model.choose_variant([])
+
+    def test_with_goal(self):
+        model = CostModel().with_goal(GOAL_LOW_POWER)
+        assert model.goal.name == "low-power"
+
+
+class TestFeedbackEdges:
+    def test_fp_bound_handler(self):
+        plan = FeedbackOptimizer().plan(
+            [Fact("Recommendation", category="fp-bound", event="solver")]
+        )
+        assert plan.optimization_level == "O3"
+
+    def test_more_counters_handler_keeps_plan(self):
+        plan = FeedbackOptimizer().plan(
+            [Fact("Recommendation", category="more-counters", event="x")]
+        )
+        assert plan.schedule is None and not plan.parallelize_regions
+        assert "additional counter run" in plan.decisions[0]
+
+    def test_memory_bound_sets_cache_goal(self):
+        plan = FeedbackOptimizer().plan(
+            [Fact("Recommendation", category="memory-bound", event="pc")]
+        )
+        assert plan.goal.name == "cache"
+
+    def test_plan_accumulates_over_base(self):
+        base = TuningPlan(schedule="dynamic,4")
+        plan = FeedbackOptimizer().plan(
+            [Fact("Recommendation", category="sequential-bottleneck",
+                  event="copy")],
+            base=base,
+        )
+        assert plan.schedule == "dynamic,4"
+        assert "copy" in plan.parallelize_regions
+
+
+class TestInstrumentationEdges:
+    def _program(self):
+        pb = ProgramBuilder("p")
+        helper = pb.function("helper")
+        helper.assign("h", const(1.0))
+        f = pb.function("main")
+        with f.loop("i", 16):
+            f.store("u", "i", const(0.0))
+        f.call("helper")
+        return pb.build(entry="main")
+
+    def test_callsite_instrumentation(self):
+        plan = plan_instrumentation(
+            self._program(), InstrumentationSpec(callsites=True)
+        )
+        names = plan.selected_events()
+        assert "callsite: main->helper" in names
+
+    def test_loop_event_names(self):
+        plan = plan_instrumentation(
+            self._program(), InstrumentationSpec(loops=True)
+        )
+        assert "loop: main/i" in plan.selected_events()
+
+    def test_unknown_point_lookup(self):
+        plan = plan_instrumentation(self._program(), InstrumentationSpec())
+        with pytest.raises(KeyError):
+            plan.point("ghost")

@@ -1,0 +1,88 @@
+"""Property-based round-trip tests over randomly generated trials."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.perfdmf import (
+    PerfDMF,
+    TrialBuilder,
+    read_csv_profile,
+    read_tau_profile,
+    trial_from_dict,
+    trial_to_dict,
+    write_csv_profile,
+    write_tau_profile,
+)
+
+event_name = st.from_regex(r"[A-Za-z_][A-Za-z0-9_ .:=>()-]{0,20}", fullmatch=True).map(str.strip).filter(bool)
+metric_name = st.from_regex(r"[A-Z][A-Z0-9_]{0,12}", fullmatch=True)
+
+
+@st.composite
+def trials(draw):
+    n_events = draw(st.integers(1, 5))
+    n_threads = draw(st.integers(1, 4))
+    n_metrics = draw(st.integers(1, 3))
+    events = sorted({draw(event_name) for _ in range(n_events)})
+    metrics = sorted({draw(metric_name) for _ in range(n_metrics)})
+    builder = TrialBuilder("prop").with_events(events).with_threads(n_threads)
+    for m in metrics:
+        exc = np.array(draw(st.lists(
+            st.lists(st.floats(min_value=0, max_value=1e8, allow_nan=False,
+                               width=32),
+                     min_size=n_threads, max_size=n_threads),
+            min_size=len(events), max_size=len(events),
+        )))
+        builder.with_metric(m, exc, exc * draw(st.floats(1.0, 3.0)))
+    calls = np.array(draw(st.lists(
+        st.lists(st.integers(0, 1000).map(float),
+                 min_size=n_threads, max_size=n_threads),
+        min_size=len(events), max_size=len(events),
+    )))
+    return builder.with_calls(calls).build()
+
+
+def equal(a, b, *, ordered_metrics=True):
+    assert a.event_names() == b.event_names()
+    assert sorted(a.metric_names()) == sorted(b.metric_names())
+    for m in a.metric_names():
+        np.testing.assert_allclose(a.exclusive_array(m), b.exclusive_array(m),
+                                   rtol=1e-6, atol=1e-9)
+        np.testing.assert_allclose(a.inclusive_array(m), b.inclusive_array(m),
+                                   rtol=1e-6, atol=1e-9)
+    np.testing.assert_allclose(a.calls_array(), b.calls_array())
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(trials())
+def test_json_roundtrip_property(trial):
+    equal(trial, trial_from_dict(trial_to_dict(trial)))
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(trial=trials())
+def test_tau_roundtrip_property(tmp_path_factory, trial):
+    d = tmp_path_factory.mktemp("tau")
+    write_tau_profile(trial, d)
+    equal(trial, read_tau_profile(d, name=trial.name))
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(trial=trials())
+def test_csv_roundtrip_property(tmp_path_factory, trial):
+    p = tmp_path_factory.mktemp("csv") / "t.csv"
+    write_csv_profile(trial, p)
+    equal(trial, read_csv_profile(p, name=trial.name))
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(trials())
+def test_database_roundtrip_property(trial):
+    with PerfDMF() as db:
+        db.save_trial("A", "E", trial)
+        equal(trial, db.load_trial("A", "E", trial.name))

@@ -1,0 +1,201 @@
+"""Unit and property tests for the PerfDMF data model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.perfdmf import (
+    Event,
+    Metric,
+    ProfileError,
+    ThreadId,
+    Trial,
+    TrialBuilder,
+)
+
+
+class TestThreadId:
+    def test_str_parse_roundtrip(self):
+        t = ThreadId(2, 0, 5)
+        assert str(t) == "2.0.5"
+        assert ThreadId.parse("2.0.5") == t
+
+    @pytest.mark.parametrize("bad", ["1.2", "a.b.c", "1.2.3.4", ""])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ProfileError):
+            ThreadId.parse(bad)
+
+    def test_ordering(self):
+        assert ThreadId(0, 0, 1) < ThreadId(0, 0, 2) < ThreadId(1, 0, 0)
+
+
+class TestEvent:
+    def test_flat_event(self):
+        e = Event("main")
+        assert not e.is_callpath
+        assert e.leaf == "main"
+        assert e.parent_path is None
+
+    def test_callpath_event(self):
+        e = Event("main => outer => inner")
+        assert e.is_callpath
+        assert e.leaf == "inner"
+        assert e.parent_path == "main => outer"
+
+    def test_equality_by_name(self):
+        assert Event("x", "A") == Event("x", "B")
+        assert len({Event("x"), Event("x"), Event("y")}) == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ProfileError):
+            Event("")
+
+
+class TestTrial:
+    def test_incremental_build(self):
+        t = Trial("t1")
+        t.set_value("main", "TIME", 0, exclusive=1.0, inclusive=10.0)
+        t.set_value("loop", "TIME", 0, exclusive=9.0, inclusive=9.0)
+        t.set_value("main", "TIME", 1, exclusive=2.0, inclusive=8.0)
+        t.set_calls("loop", 0, calls=100, subroutines=0)
+        assert t.get_exclusive("main", "TIME", 0) == 1.0
+        assert t.get_inclusive("main", "TIME", 1) == 8.0
+        assert t.get_calls("loop", 0) == 100
+        assert t.event_count == 2 and t.thread_count == 2
+
+    def test_arrays_grow_consistently(self):
+        t = Trial("t")
+        t.set_value("e1", "M1", 0, exclusive=1, inclusive=1)
+        t.set_value("e2", "M2", 3, exclusive=2, inclusive=2)  # new event+metric+thread
+        assert t.exclusive_array("M1").shape == (2, 2)
+        assert t.exclusive_array("M2").shape == (2, 2)
+        # earlier metric backfills zeros for the new event/thread
+        assert t.get_exclusive("e2", "M1", 0) == 0.0
+
+    def test_unknown_lookups_raise(self):
+        t = Trial("t")
+        t.set_value("e", "M", 0, exclusive=1, inclusive=1)
+        with pytest.raises(ProfileError, match="unknown event"):
+            t.get_exclusive("zzz", "M", 0)
+        with pytest.raises(ProfileError, match="unknown metric"):
+            t.get_exclusive("e", "ZZZ", 0)
+        with pytest.raises(ProfileError, match="out of range"):
+            t.get_exclusive("e", "M", 7)
+        with pytest.raises(ProfileError, match="unknown thread"):
+            t.get_exclusive("e", "M", (0, 0, 7))
+
+    def test_main_event_prefers_main(self):
+        t = Trial("t")
+        t.set_value("big", "TIME", 0, exclusive=100, inclusive=100)
+        t.set_value("main", "TIME", 0, exclusive=1, inclusive=1)
+        assert t.main_event() == "main"
+
+    def test_main_event_falls_back_to_largest_inclusive(self):
+        t = Trial("t")
+        t.set_value("a", "TIME", 0, exclusive=5, inclusive=5)
+        t.set_value("driver", "TIME", 0, exclusive=1, inclusive=50)
+        assert t.main_event() == "driver"
+
+    def test_main_event_empty_trial_raises(self):
+        with pytest.raises(ProfileError):
+            Trial("t").main_event()
+
+    def test_validate_rejects_exclusive_over_inclusive(self):
+        t = Trial("t")
+        t.set_value("e", "TIME", 0, exclusive=10, inclusive=5)
+        with pytest.raises(ProfileError, match="exclusive > inclusive"):
+            t.validate()
+
+    def test_validate_rejects_negative(self):
+        t = Trial("t")
+        t.set_value("e", "TIME", 0, exclusive=-1, inclusive=5)
+        with pytest.raises(ProfileError, match="negative"):
+            t.validate()
+
+    def test_copy_is_deep(self):
+        t = Trial("t", {"k": "v"})
+        t.set_value("e", "M", 0, exclusive=1, inclusive=2)
+        c = t.copy("c")
+        c.set_value("e", "M", 0, exclusive=9, inclusive=9)
+        assert t.get_exclusive("e", "M", 0) == 1
+        assert c.name == "c" and c.metadata == {"k": "v"}
+
+    def test_metadata_is_copied_at_construction(self):
+        meta = {"threads": 8}
+        t = Trial("t", meta)
+        meta["threads"] = 99
+        assert t.metadata["threads"] == 8
+
+
+class TestTrialBuilder:
+    def test_bulk_build(self):
+        exc = np.array([[1.0, 2.0], [3.0, 4.0]])
+        inc = exc * 2
+        trial = (
+            TrialBuilder("b", {"case": "unit"})
+            .with_events(["main", "loop"])
+            .with_threads(2)
+            .with_metric("TIME", exc, inc, units="usec")
+            .with_calls(np.ones((2, 2)))
+            .build()
+        )
+        assert trial.get_exclusive("loop", "TIME", 1) == 4.0
+        assert trial.get_inclusive("main", "TIME", 0) == 2.0
+        assert trial.get_calls("main", 1) == 1.0
+
+    def test_shape_mismatch_rejected(self):
+        b = TrialBuilder("b").with_events(["e"]).with_threads(2)
+        with pytest.raises(ProfileError, match="shape"):
+            b.with_metric("TIME", np.zeros((2, 2)))
+
+    def test_node_mapping(self):
+        trial = (
+            TrialBuilder("b")
+            .with_events(["e"])
+            .with_threads(4, node_of=lambda i: i // 2)
+            .with_metric("TIME", np.zeros((1, 4)))
+            .build()
+        )
+        assert [t.node for t in trial.threads] == [0, 0, 1, 1]
+
+    def test_build_validates(self):
+        b = TrialBuilder("b").with_events(["e"]).with_threads(1)
+        b.with_metric("TIME", np.array([[5.0]]), np.array([[1.0]]))
+        with pytest.raises(ProfileError):
+            b.build()
+        assert b.build(validate=False) is not None
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_events=st.integers(min_value=1, max_value=6),
+    n_threads=st.integers(min_value=1, max_value=8),
+    data=st.data(),
+)
+def test_builder_roundtrip_property(n_events, n_threads, data):
+    """Values written through the builder read back exactly."""
+    exc = np.array(
+        data.draw(
+            st.lists(
+                st.lists(
+                    st.floats(min_value=0, max_value=1e9, allow_nan=False),
+                    min_size=n_threads,
+                    max_size=n_threads,
+                ),
+                min_size=n_events,
+                max_size=n_events,
+            )
+        )
+    )
+    events = [f"e{i}" for i in range(n_events)]
+    trial = (
+        TrialBuilder("prop")
+        .with_events(events)
+        .with_threads(n_threads)
+        .with_metric("M", exc)
+        .build()
+    )
+    for e in range(n_events):
+        for t in range(n_threads):
+            assert trial.get_exclusive(events[e], "M", t) == exc[e, t]
+            assert trial.get_inclusive(events[e], "M", t) == exc[e, t]

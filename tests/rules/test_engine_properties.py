@@ -1,0 +1,100 @@
+"""Property-based soundness tests for the inference engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rules import Fact, RuleBuilder, RuleEngine
+
+field_names = st.sampled_from(["a", "b", "c"])
+fact_types = st.sampled_from(["X", "Y", "Z"])
+values = st.integers(min_value=0, max_value=5)
+
+
+@st.composite
+def fact_soups(draw):
+    n = draw(st.integers(1, 20))
+    return [
+        Fact(draw(fact_types), **{
+            name: draw(values) for name in draw(
+                st.sets(field_names, min_size=1, max_size=3)
+            )
+        })
+        for _ in range(n)
+    ]
+
+
+@st.composite
+def random_rules(draw, index=0):
+    n_patterns = draw(st.integers(1, 2))
+    builder = RuleBuilder(f"rule{index}_{draw(st.integers(0, 10**6))}")
+    for _ in range(n_patterns):
+        ftype = draw(fact_types)
+        field = draw(field_names)
+        op = draw(st.sampled_from(["==", ">", "<", ">=", "<="]))
+        builder.when(None, ftype, (field, op, draw(values)))
+    return builder.then_log("hit").build()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_engine_terminates_and_never_refires(data):
+    """For any non-asserting rulebase over any fact soup: the engine
+    reaches quiescence, every firing is unique (refraction), and a second
+    run() fires nothing."""
+    rules = [data.draw(random_rules(index=i)) for i in range(data.draw(st.integers(1, 4)))]
+    facts = data.draw(fact_soups())
+    engine = RuleEngine(max_firings=50_000)
+    engine.add_rules(rules)
+    engine.assert_facts(facts)
+    fired = engine.run()
+    keys = [(r.rule_name, r.fact_seqs) for r in engine.trace]
+    assert len(keys) == len(set(keys)) == fired
+    assert engine.run() == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(fact_soups())
+def test_chain_rules_conserve_provenance(facts):
+    """Deriving rules: every derived fact traces back to input facts, and
+    derived counts equal firings of the deriving rule."""
+    engine = RuleEngine(max_firings=50_000)
+    engine.add_rule(
+        RuleBuilder("derive")
+        .when("f", "X", ("a", ">=", 0), "v := a")
+        .then(lambda ctx: ctx.insert("Derived", source=ctx["v"]))
+        .build()
+    )
+    engine.assert_facts(facts)
+    engine.run()
+    derived = engine.memory.of_type("Derived")
+    derive_firings = [r for r in engine.trace if r.rule_name == "derive"]
+    assert len(derived) == len(derive_firings)
+    for handle in derived:
+        rec = engine.provenance_of(handle.seq)
+        assert rec is not None and rec.rule_name == "derive"
+        # the matched fact is an input (no provenance of its own)
+        for parent in rec.fact_seqs:
+            assert engine.provenance_of(parent) is None
+
+
+@settings(max_examples=30, deadline=None)
+@given(fact_soups(), st.integers(0, 5))
+def test_retraction_soundness(facts, threshold):
+    """Retract every X fact below a threshold, then run: no rule fires on
+    a retracted fact."""
+    engine = RuleEngine()
+    engine.add_rule(
+        RuleBuilder("see-x")
+        .when("f", "X", ("a", ">=", 0))
+        .then_log("x")
+        .build()
+    )
+    handles = engine.assert_facts(facts)
+    retracted = set()
+    for h in handles:
+        if h.fact.fact_type == "X" and h.fact.get("a", -1) < threshold:
+            engine.retract(h)
+            retracted.add(h.seq)
+    engine.run()
+    for rec in engine.trace:
+        assert not (set(rec.fact_seqs) & retracted)

@@ -1,0 +1,100 @@
+"""Property-based tests for the runtime layer's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import CounterVector, WorkSignature, uniform_machine
+from repro.machine import counters as C
+from repro.runtime import LoopTask, OpenMPRuntime, Profiler, Schedule
+from repro.runtime.openmp import _chunk_plan
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    n_tasks=st.integers(1, 200),
+    n_threads=st.integers(1, 32),
+    kind=st.sampled_from(["static", "dynamic", "guided"]),
+    chunk=st.one_of(st.none(), st.integers(1, 17)),
+)
+def test_chunk_plans_partition_exactly(n_tasks, n_threads, kind, chunk):
+    """Every schedule covers every iteration exactly once, in order."""
+    if kind != "static" and chunk is None:
+        chunk = 1
+    plan = _chunk_plan(n_tasks, n_threads, Schedule(kind, chunk))
+    covered = []
+    for a, b in plan:
+        assert 0 <= a < b <= n_tasks
+        covered.extend(range(a, b))
+    assert covered == list(range(n_tasks))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    costs=st.lists(st.floats(min_value=1e3, max_value=1e7), min_size=1,
+                   max_size=24),
+    n_threads=st.integers(1, 8),
+    schedule=st.sampled_from(["static", "static,2", "dynamic,1", "guided,1"]),
+)
+def test_parallel_for_conservation(costs, n_threads, schedule):
+    """Whatever the schedule: all work executes, clocks end synchronized,
+    and the profile satisfies exclusive ≤ inclusive."""
+    m = uniform_machine(n_threads)
+    prof = Profiler(m)
+    omp = OpenMPRuntime(m, prof)
+    tasks = [LoopTask(WorkSignature(flops=c, footprint_bytes=1024))
+             for c in costs]
+    for cpu in range(n_threads):
+        prof.enter(cpu, "main")
+    result = omp.parallel_for(
+        region_event="region", loop_event="loop", tasks=tasks,
+        n_threads=n_threads, schedule=schedule,
+    )
+    end = max(prof.clock(c) for c in range(n_threads))
+    for cpu in range(n_threads):
+        prof.advance_clock_to(cpu, end)
+        prof.exit(cpu, "main")
+    # every chunk executed
+    assert sum(result.chunks) >= 1
+    # all FLOPs accounted for in the loop event
+    trial = prof.to_trial("t")
+    e = trial.event_index("loop")
+    total_flops = trial.exclusive_array(C.FP_OPS)[e].sum()
+    assert total_flops == pytest.approx(sum(costs), rel=1e-9)
+    # post-barrier clocks agree
+    clocks = [prof.clock(c) for c in range(n_threads)]
+    assert max(clocks) - min(clocks) < 1e-12
+    # profile invariant holds for the measured TIME metric
+    exc = trial.exclusive_array(C.TIME)
+    inc = trial.inclusive_array(C.TIME)
+    assert (exc <= inc + 1e-6).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seq=st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c"]),
+                  st.floats(min_value=0.1, max_value=100.0)),
+        min_size=1, max_size=12,
+    )
+)
+def test_profiler_nesting_invariant(seq):
+    """Arbitrary enter/charge/exit sequences keep exclusive ≤ inclusive and
+    inclusive(main) == total charged time."""
+    m = uniform_machine(1)
+    p = Profiler(m)
+    p.enter(0, "main")
+    total = 0.0
+    for name, us in seq:
+        p.enter(0, name)
+        p.charge(0, CounterVector({C.TIME: us, C.CPU_CYCLES: us * 1500}))
+        total += us
+        p.exit(0, name)
+    p.exit(0, "main")
+    t = p.to_trial("t")
+    assert t.get_inclusive("main", C.TIME, 0) == pytest.approx(total)
+    exc = t.exclusive_array(C.TIME)
+    inc = t.inclusive_array(C.TIME)
+    assert (exc <= inc + 1e-9).all()
+    # exclusive times over all events sum to the total
+    assert exc.sum() == pytest.approx(total)
