@@ -111,6 +111,36 @@ def test_perfdmf_roundtrip_throughput(benchmark):
     assert loaded.event_count == 40
 
 
+def test_trial_replace_throughput(benchmark):
+    """Delete + reinsert of a stored trial — the regression gate's hot path.
+
+    Exercises the cascade deletes over the value/callcount fact tables that
+    the covering child-key indexes (idx_value_event, idx_value_thread,
+    idx_callcount_thread) exist for; without them each cascade is a full
+    fact-table scan per deleted parent row.
+    """
+    trial = big_trial(n_events=40, n_threads=32)
+    with PerfDMF() as db:
+        db.save_trial("A", "E", trial)
+        benchmark(lambda: db.save_trial("A", "E", trial, replace=True))
+        assert db.trials("A", "E") == ["big"]
+
+
+def test_regression_check_throughput(benchmark):
+    """compare_trials + chained diagnosis over a 60-event, 64-thread pair."""
+    from repro.regress import compare_trials, diagnose_regression, perturb_trial
+
+    base = big_trial()
+    cand = perturb_trial(base, events=["e7"], factor=2.0)
+
+    def run():
+        report = compare_trials(base, cand)
+        return diagnose_regression(report, cand)
+
+    harness = benchmark(run)
+    assert harness.recommendations()
+
+
 def test_json_serialization_throughput(benchmark):
     trial = big_trial(n_events=40, n_threads=32)
     loaded = benchmark(lambda: trial_from_dict(trial_to_dict(trial)))

@@ -17,6 +17,11 @@ Subcommands::
 
     repro-perf tune {msa,genidlest}
         Run the closed diagnose→plan→apply→verify loop and report.
+
+    repro-perf regress {baseline,check,report} ...
+        The performance-regression sentinel: tag baselines, gate new
+        trials against them (non-zero exit on regression), and render
+        full statistical reports with chained diagnoses.
 """
 
 from __future__ import annotations
@@ -254,6 +259,109 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _regress_errors(handler):
+    """CI gates must keep exit 1 meaning *regressed*: configuration and
+    repository errors print cleanly and exit 2 instead of tracebacking."""
+
+    def wrapped(args: argparse.Namespace) -> int:
+        from repro.core.result import AnalysisError
+        from repro.perfdmf import ProfileError
+
+        try:
+            return handler(args)
+        except (ProfileError, AnalysisError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    return wrapped
+
+
+def _regress_policy(args: argparse.Namespace):
+    from repro.regress import ThresholdPolicy
+
+    kw = {}
+    if getattr(args, "metric", None):
+        kw["metrics"] = (args.metric,)
+    if getattr(args, "threshold", None) is not None:
+        kw["min_relative_change"] = args.threshold
+    if getattr(args, "alpha", None) is not None:
+        kw["alpha"] = args.alpha
+    return ThresholdPolicy(**kw)
+
+
+@_regress_errors
+def _cmd_regress_baseline(args: argparse.Namespace) -> int:
+    from repro.perfdmf import PerfDMF
+    from repro.regress import BaselineRegistry
+
+    with PerfDMF(args.db) as db:
+        registry = BaselineRegistry(db)
+        if args.action == "set":
+            if not (args.app and args.exp and args.trial):
+                print("baseline set requires --app, --exp and --trial",
+                      file=sys.stderr)
+                return 2
+            registry.set_baseline(args.app, args.exp, args.trial,
+                                  reason=args.reason or "set via CLI")
+            print(f"baseline for {args.app}/{args.exp} -> {args.trial}")
+            return 0
+        # list
+        if args.app and args.exp:
+            records = registry.history(args.app, args.exp)
+            if not records:
+                print("(no baseline history)")
+                return 0
+            for rec in records:
+                mark = "*" if rec.active else " "
+                print(f" {mark} {rec.application}/{rec.experiment}: "
+                      f"{rec.trial}" + (f"  ({rec.reason})" if rec.reason else ""))
+            return 0
+        records = registry.list_baselines()
+        if not records:
+            print("(no baselines set)")
+            return 0
+        for rec in records:
+            print(f"{rec.application}/{rec.experiment}: {rec.trial}"
+                  + (f"  ({rec.reason})" if rec.reason else ""))
+    return 0
+
+
+@_regress_errors
+def _cmd_regress_check(args: argparse.Namespace) -> int:
+    from repro.perfdmf import PerfDMF
+    from repro.regress import check, render_regression_report
+
+    with PerfDMF(args.db) as db:
+        outcome = check(
+            db, args.app, args.exp, args.trial,
+            policy=_regress_policy(args),
+            diagnose=not args.no_diagnose,
+            auto_promote=args.promote,
+        )
+        print(render_regression_report(outcome.report, outcome.harness))
+        if outcome.promoted:
+            print(f"\nbaseline auto-promoted to {outcome.report.candidate_trial}")
+    return outcome.exit_code
+
+
+@_regress_errors
+def _cmd_regress_report(args: argparse.Namespace) -> int:
+    from repro.perfdmf import PerfDMF
+    from repro.regress import check, render_regression_report
+
+    with PerfDMF(args.db) as db:
+        outcome = check(
+            db, args.app, args.exp, args.trial,
+            policy=_regress_policy(args), diagnose=True,
+        )
+        print(render_regression_report(outcome.report, outcome.harness))
+        for fact in (outcome.harness.facts("Recommendation")
+                     if outcome.harness else []):
+            print()
+            print(outcome.harness.why(fact))
+    return 0
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     if args.app == "msa":
         from repro.workflows import msa_tuning_loop
@@ -326,6 +434,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trial_b")
     p.add_argument("--metric", default="TIME")
     p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("regress", help="performance-regression sentinel")
+    rsub = p.add_subparsers(dest="regress_command", required=True)
+
+    rp = rsub.add_parser("baseline", help="tag or list baseline trials")
+    rp.add_argument("action", choices=["set", "list"])
+    rp.add_argument("--db", required=True)
+    rp.add_argument("--app")
+    rp.add_argument("--exp")
+    rp.add_argument("--trial")
+    rp.add_argument("--reason", help="why this trial becomes the baseline")
+    rp.set_defaults(func=_cmd_regress_baseline)
+
+    rp = rsub.add_parser(
+        "check",
+        help="gate a trial against its baseline (exit 1 on regression)")
+    rp.add_argument("--db", required=True)
+    rp.add_argument("--app", required=True)
+    rp.add_argument("--exp", required=True)
+    rp.add_argument("--trial", help="candidate trial (default: newest)")
+    rp.add_argument("--metric", help="compare only this metric")
+    rp.add_argument("--threshold", type=float,
+                    help="per-event relative-change threshold (default 0.10)")
+    rp.add_argument("--alpha", type=float,
+                    help="Welch t-test significance level (default 0.05)")
+    rp.add_argument("--promote", action="store_true",
+                    help="auto-promote the baseline on accepted improvements")
+    rp.add_argument("--no-diagnose", action="store_true",
+                    help="skip the chained rule diagnosis")
+    rp.set_defaults(func=_cmd_regress_check)
+
+    rp = rsub.add_parser(
+        "report",
+        help="full regression report with explanation chains (exit 0)")
+    rp.add_argument("--db", required=True)
+    rp.add_argument("--app", required=True)
+    rp.add_argument("--exp", required=True)
+    rp.add_argument("--trial")
+    rp.add_argument("--metric")
+    rp.add_argument("--threshold", type=float)
+    rp.add_argument("--alpha", type=float)
+    rp.set_defaults(func=_cmd_regress_report)
 
     p = sub.add_parser("tune", help="run a closed tuning loop")
     p.add_argument("app", choices=["msa", "genidlest"])

@@ -19,6 +19,11 @@ from .recommendations import (
     render_report,
     summarize_categories,
 )
+from .regression_rules import (
+    REGRESSION_SEVERITY_THRESHOLD,
+    regression_rulebase,
+    regression_rules,
+)
 from .rulebase import (
     RULEBASE_NAME,
     diagnose_genidlest,
@@ -40,6 +45,7 @@ __all__ = [
     "IMBALANCE_RATIO_THRESHOLD",
     "IMBALANCE_SEVERITY_THRESHOLD",
     "INEFFICIENCY_METRIC",
+    "REGRESSION_SEVERITY_THRESHOLD",
     "RULEBASE_NAME",
     "Recommendation",
     "STALL_COVERAGE_THRESHOLD",
@@ -57,6 +63,8 @@ __all__ = [
     "prl_rules",
     "recommend_power_levels",
     "recommendations_of",
+    "regression_rulebase",
+    "regression_rules",
     "render_report",
     "serialization_facts",
     "stall_decomposition_facts",

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 import sqlite3
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterable
 
@@ -80,6 +81,13 @@ CREATE TABLE IF NOT EXISTS callcount (
     subroutines REAL NOT NULL,
     PRIMARY KEY (event_id, thread_id)
 );
+-- Covering indexes for the fact table.  The composite primary keys already
+-- serve the metric_id-first (value) and event_id-first (callcount) paths;
+-- these cover the other child-key lookups, which otherwise full-scan on
+-- every cascading delete (trial replacement) and event/thread-scoped query.
+CREATE INDEX IF NOT EXISTS idx_value_event     ON value(event_id);
+CREATE INDEX IF NOT EXISTS idx_value_thread    ON value(thread_id);
+CREATE INDEX IF NOT EXISTS idx_callcount_thread ON callcount(thread_id);
 """
 
 
@@ -95,10 +103,35 @@ class PerfDMF:
     """
 
     def __init__(self, path: str | Path = ":memory:") -> None:
-        self._conn = sqlite3.connect(str(path))
+        # autocommit mode: transaction boundaries are explicit (BEGIN/COMMIT
+        # in _transaction), so bulk inserts are atomic and a failed store
+        # leaves no partial trial behind.
+        self._conn = sqlite3.connect(str(path), isolation_level=None)
         self._conn.execute("PRAGMA foreign_keys = ON")
+        if str(path) != ":memory:":
+            # WAL lets concurrent readers proceed while a writer stores a
+            # trial; NORMAL sync is durable enough for a profile cache and
+            # much faster.  (In-memory databases ignore journal modes.)
+            self._conn.execute("PRAGMA journal_mode = WAL")
+            self._conn.execute("PRAGMA synchronous = NORMAL")
         self._conn.executescript(_SCHEMA)
-        self._conn.commit()
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The underlying connection (used by companion subsystems such as
+        :mod:`repro.regress` that keep their own tables in the same file)."""
+        return self._conn
+
+    @contextmanager
+    def _transaction(self):
+        """Explicit transaction scope; rolls back on any exception."""
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            yield
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        self._conn.execute("COMMIT")
 
     def close(self) -> None:
         self._conn.close()
@@ -130,70 +163,75 @@ class PerfDMF:
     def save_trial(
         self, application: str, experiment: str, trial: Trial, *, replace: bool = False
     ) -> int:
-        """Persist ``trial`` under application/experiment. Returns trial id."""
+        """Persist ``trial`` under application/experiment. Returns trial id.
+
+        The whole store — cascade-deleting a replaced trial included — is
+        one transaction: readers never observe a half-written trial and a
+        failure rolls everything back.
+        """
         trial.validate()
-        app_id = self._get_or_create("application", {"name": application})
-        exp_id = self._get_or_create("experiment", {"app_id": app_id, "name": experiment})
-        existing = self._conn.execute(
-            "SELECT id FROM trial WHERE exp_id = ? AND name = ?", (exp_id, trial.name)
-        ).fetchone()
-        if existing:
-            if not replace:
-                raise ProfileError(
-                    f"trial {trial.name!r} already exists under "
-                    f"{application}/{experiment} (pass replace=True to overwrite)"
+        with self._transaction():
+            app_id = self._get_or_create("application", {"name": application})
+            exp_id = self._get_or_create("experiment", {"app_id": app_id, "name": experiment})
+            existing = self._conn.execute(
+                "SELECT id FROM trial WHERE exp_id = ? AND name = ?", (exp_id, trial.name)
+            ).fetchone()
+            if existing:
+                if not replace:
+                    raise ProfileError(
+                        f"trial {trial.name!r} already exists under "
+                        f"{application}/{experiment} (pass replace=True to overwrite)"
+                    )
+                self._conn.execute("DELETE FROM trial WHERE id = ?", (existing[0],))
+            cur = self._conn.execute(
+                "INSERT INTO trial (exp_id, name, metadata) VALUES (?, ?, ?)",
+                (exp_id, trial.name, json.dumps(trial.metadata, default=str)),
+            )
+            trial_id = cur.lastrowid
+
+            event_ids = {}
+            for ev in trial.events:
+                c = self._conn.execute(
+                    "INSERT INTO event (trial_id, name, grp) VALUES (?, ?, ?)",
+                    (trial_id, ev.name, ev.group),
                 )
-            self._conn.execute("DELETE FROM trial WHERE id = ?", (existing[0],))
-        cur = self._conn.execute(
-            "INSERT INTO trial (exp_id, name, metadata) VALUES (?, ?, ?)",
-            (exp_id, trial.name, json.dumps(trial.metadata, default=str)),
-        )
-        trial_id = cur.lastrowid
+                event_ids[ev.name] = c.lastrowid
+            thread_ids = {}
+            for th in trial.threads:
+                c = self._conn.execute(
+                    "INSERT INTO thread (trial_id, node, context, thread) VALUES (?, ?, ?, ?)",
+                    (trial_id, th.node, th.context, th.thread),
+                )
+                thread_ids[th] = c.lastrowid
 
-        event_ids = {}
-        for ev in trial.events:
-            c = self._conn.execute(
-                "INSERT INTO event (trial_id, name, grp) VALUES (?, ?, ?)",
-                (trial_id, ev.name, ev.group),
-            )
-            event_ids[ev.name] = c.lastrowid
-        thread_ids = {}
-        for th in trial.threads:
-            c = self._conn.execute(
-                "INSERT INTO thread (trial_id, node, context, thread) VALUES (?, ?, ?, ?)",
-                (trial_id, th.node, th.context, th.thread),
-            )
-            thread_ids[th] = c.lastrowid
-
-        events = trial.events
-        threads = trial.threads
-        for metric in trial.metrics:
-            c = self._conn.execute(
-                "INSERT INTO metric (trial_id, name, units, derived) VALUES (?, ?, ?, ?)",
-                (trial_id, metric.name, metric.units, int(metric.derived)),
-            )
-            metric_id = c.lastrowid
-            exc = trial.exclusive_array(metric.name)
-            inc = trial.inclusive_array(metric.name)
+            events = trial.events
+            threads = trial.threads
+            for metric in trial.metrics:
+                c = self._conn.execute(
+                    "INSERT INTO metric (trial_id, name, units, derived) VALUES (?, ?, ?, ?)",
+                    (trial_id, metric.name, metric.units, int(metric.derived)),
+                )
+                metric_id = c.lastrowid
+                exc = trial.exclusive_array(metric.name)
+                inc = trial.inclusive_array(metric.name)
+                rows = [
+                    (metric_id, event_ids[events[e].name], thread_ids[threads[t]],
+                     float(exc[e, t]), float(inc[e, t]))
+                    for e in range(len(events))
+                    for t in range(len(threads))
+                ]
+                self._conn.executemany(
+                    "INSERT INTO value VALUES (?, ?, ?, ?, ?)", rows
+                )
+            calls = trial.calls_array()
+            subrs = trial.subroutines_array()
             rows = [
-                (metric_id, event_ids[events[e].name], thread_ids[threads[t]],
-                 float(exc[e, t]), float(inc[e, t]))
+                (event_ids[events[e].name], thread_ids[threads[t]],
+                 float(calls[e, t]), float(subrs[e, t]))
                 for e in range(len(events))
                 for t in range(len(threads))
             ]
-            self._conn.executemany(
-                "INSERT INTO value VALUES (?, ?, ?, ?, ?)", rows
-            )
-        calls = trial.calls_array()
-        subrs = trial.subroutines_array()
-        rows = [
-            (event_ids[events[e].name], thread_ids[threads[t]],
-             float(calls[e, t]), float(subrs[e, t]))
-            for e in range(len(events))
-            for t in range(len(threads))
-        ]
-        self._conn.executemany("INSERT INTO callcount VALUES (?, ?, ?, ?)", rows)
-        self._conn.commit()
+            self._conn.executemany("INSERT INTO callcount VALUES (?, ?, ?, ?)", rows)
         return trial_id
 
     # -- loading -------------------------------------------------------------
@@ -284,9 +322,13 @@ class PerfDMF:
 
     def delete_trial(self, application: str, experiment: str, trial: str) -> None:
         trial_id, _ = self._trial_row(application, experiment, trial)
-        self._conn.execute("DELETE FROM trial WHERE id = ?", (trial_id,))
-        self._conn.commit()
+        with self._transaction():
+            self._conn.execute("DELETE FROM trial WHERE id = ?", (trial_id,))
 
     def trial_metadata(self, application: str, experiment: str, trial: str) -> dict[str, Any]:
         _, meta_json = self._trial_row(application, experiment, trial)
         return json.loads(meta_json)
+
+    def trial_id(self, application: str, experiment: str, trial: str) -> int:
+        """The integer primary key of a stored trial (raises if absent)."""
+        return self._trial_row(application, experiment, trial)[0]

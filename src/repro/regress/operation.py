@@ -1,0 +1,95 @@
+"""``RegressionOperation``: the scripted-API face of the detector.
+
+Ported PerfExplorer scripts compose operations; this one slots regression
+detection into that idiom (the paper's Fig. 1 shape, applied to two
+trials)::
+
+    from repro.core.script import (
+        RegressionOperation, TrialResult, Utilities, RuleHarness,
+    )
+
+    ruleHarness = RuleHarness.useGlobalRules("regression-rules")
+    baseline  = TrialResult(Utilities.getTrial("MSAP", "static", "base"))
+    candidate = TrialResult(Utilities.getTrial("MSAP", "static", "new"))
+    operator = RegressionOperation(baseline, candidate)
+    changes = operator.processData().get(0)       # derived change metric
+    for fact in operator.getFacts():
+        ruleHarness.assertObject(fact)
+    ruleHarness.processRules()
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.operations.base import PerformanceAnalysisOperation
+from ..core.result import PerformanceResult
+from .detect import RegressionReport, ThresholdPolicy, compare_trials
+from .facts import regression_facts
+
+
+class RegressionOperation(PerformanceAnalysisOperation):
+    """Compare inputs[1] (candidate) against inputs[0] (baseline).
+
+    ``process_data`` returns one derived result with a single synthetic
+    thread and, per compared metric, a ``"(<metric> change vs <baseline>)"``
+    metric holding each event's relative change — so downstream operations
+    (TopXEvents, charts) compose as usual.  The full statistical report
+    stays available via :meth:`report`.
+    """
+
+    def __init__(
+        self,
+        baseline: PerformanceResult,
+        candidate: PerformanceResult,
+        *,
+        policy: ThresholdPolicy | None = None,
+    ) -> None:
+        super().__init__([baseline, candidate])
+        self.policy = policy or ThresholdPolicy()
+        self._report: RegressionReport | None = None
+
+    def report(self) -> RegressionReport:
+        if self._report is None:
+            base, cand = self.inputs[0], self.inputs[1]
+            self._report = compare_trials(
+                base.trial, cand.trial, policy=self.policy,
+            )
+        return self._report
+
+    # camelCase mirror
+    def getReport(self) -> RegressionReport:
+        return self.report()
+
+    def getFacts(self):
+        """The regression fact list, ready to assert into a harness."""
+        return regression_facts(self.report())
+
+    def process_data(self) -> list[PerformanceResult]:
+        report = self.report()
+        base = self.inputs[0]
+        events = sorted(
+            {d.event for d in report.deltas},
+            key=base.trial.event_index,
+        )
+        metrics = []
+        builder = PerformanceResult.like(
+            base,
+            name=f"{report.candidate_trial} vs {report.baseline_trial}",
+            events=events,
+            metrics=[],
+            n_threads=1,
+        )
+        by_metric: dict[str, dict[str, float]] = {}
+        for d in report.deltas:
+            by_metric.setdefault(d.metric, {})[d.event] = d.relative_change
+        for metric, changes in by_metric.items():
+            name = f"({metric} change vs {report.baseline_trial})"
+            col = np.array(
+                [[changes.get(e, 0.0)] for e in events], dtype=float
+            )
+            builder.set_metric(name, col, col, derived=True)
+            metrics.append(name)
+        builder.set_calls(np.ones((len(events), 1)))
+        self.outputs = [builder.build()]
+        return self.outputs

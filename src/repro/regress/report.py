@@ -1,0 +1,61 @@
+"""Rendering regression reports for humans and CI logs."""
+
+from __future__ import annotations
+
+from ..core.harness import RuleHarness
+from ..knowledge.recommendations import recommendations_of
+from .detect import RegressionReport
+
+
+def render_regression_report(
+    report: RegressionReport,
+    harness: RuleHarness | None = None,
+    *,
+    title: str | None = None,
+) -> str:
+    """The text report ``repro-perf regress check/report`` prints."""
+    title = title or (
+        f"Regression check: {report.application}/{report.experiment}/"
+        f"{report.candidate_trial} vs baseline {report.baseline_trial}"
+    )
+    lines = [title, "=" * len(title), ""]
+    lines.append(
+        f"verdict: {report.verdict.upper()}  "
+        f"(total {report.primary_metric} change "
+        f"{report.total_relative_change:+.1%}, policy: "
+        f">{report.policy.min_relative_change:.0%} per event, "
+        f"alpha={report.policy.alpha})"
+    )
+    offenders = report.top_offenders()
+    if offenders:
+        lines.append("")
+        lines.append(f"top offending events (of {len(report.regressions)}):")
+        for delta in offenders:
+            lines.append(f"  {delta.describe()}")
+    improvements = report.improvements
+    if improvements:
+        lines.append("")
+        lines.append("improved events:")
+        for delta in improvements:
+            lines.append(f"  {delta.describe()}")
+    if report.added_events:
+        lines.append("")
+        lines.append(f"events only in candidate: {', '.join(report.added_events)}")
+    if report.removed_events:
+        lines.append(f"events only in baseline: {', '.join(report.removed_events)}")
+    if harness is not None:
+        if harness.output:
+            lines.append("")
+            lines.append("diagnosis:")
+            for entry in harness.output:
+                lines.append(f"  {entry}")
+        recs = recommendations_of(harness)
+        if recs:
+            lines.append("")
+            lines.append("recommendations (most severe first):")
+            for rec in recs:
+                lines.append(
+                    f"  [{rec.category}] {rec.event}: {rec.message} "
+                    f"(severity {rec.severity:.3f})"
+                )
+    return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""The sentinel driver: watch a PerfDMF experiment like a perf CI gate.
+
+``check`` compares one candidate trial against the active baseline and
+returns an exit-code-friendly outcome; ``watch`` sweeps every trial stored
+after the baseline, auto-promoting accepted improvements so the expected
+performance ratchets forward — the Perun-style closed loop the paper
+leaves as future work.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..core.harness import RuleHarness
+from ..perfdmf import PerfDMF, ProfileError
+from .baseline import BaselineRegistry
+from .detect import IMPROVED, OK, REGRESSED, RegressionReport, ThresholdPolicy, compare_trials
+from .facts import diagnose_regression
+
+
+class Verdict(enum.Enum):
+    """CI-facing verdicts; ``exit_code`` is what a gate should return."""
+
+    OK = OK
+    IMPROVED = IMPROVED
+    REGRESSED = REGRESSED
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self is Verdict.REGRESSED else 0
+
+
+@dataclass
+class CheckOutcome:
+    """Everything one sentinel check produced."""
+
+    verdict: Verdict
+    report: RegressionReport
+    harness: RuleHarness | None = None
+    promoted: bool = False
+    baseline_created: bool = False
+
+    @property
+    def exit_code(self) -> int:
+        return self.verdict.exit_code
+
+    @property
+    def recommendations(self):
+        from ..knowledge.recommendations import recommendations_of
+
+        return recommendations_of(self.harness) if self.harness else []
+
+
+def check(
+    db: PerfDMF,
+    application: str,
+    experiment: str,
+    trial: str | None = None,
+    *,
+    policy: ThresholdPolicy | None = None,
+    diagnose: bool = True,
+    auto_promote: bool = False,
+    registry: BaselineRegistry | None = None,
+) -> CheckOutcome:
+    """Compare ``trial`` (default: the newest stored trial) to the baseline.
+
+    With ``auto_promote``, a verdict of *improved* moves the baseline to
+    the candidate — the sentinel accepts the new expected performance.
+    """
+    registry = registry or BaselineRegistry(db)
+    policy = policy or ThresholdPolicy()
+    trials = db.trials(application, experiment)
+    if not trials:
+        raise ProfileError(f"no trials stored under {application}/{experiment}")
+    candidate_name = trial or trials[-1]
+    baseline_name = registry.baseline_name(application, experiment)
+    if baseline_name is None:
+        raise ProfileError(
+            f"no baseline set for {application!r}/{experiment!r}; run "
+            "`repro-perf regress baseline set` first"
+        )
+    baseline = db.load_trial(application, experiment, baseline_name)
+    candidate = db.load_trial(application, experiment, candidate_name)
+    report = compare_trials(
+        baseline, candidate, policy=policy,
+        application=application, experiment=experiment,
+    )
+    harness = None
+    if diagnose:
+        harness = diagnose_regression(report, candidate)
+    verdict = Verdict(report.verdict)
+    promoted = False
+    if auto_promote and verdict is Verdict.IMPROVED:
+        registry.set_baseline(
+            application, experiment, candidate_name,
+            reason=(
+                f"auto-promoted: {-report.total_relative_change:.1%} faster "
+                f"than {baseline_name}"
+            ),
+        )
+        promoted = True
+    return CheckOutcome(verdict, report, harness, promoted)
+
+
+def watch(
+    db: PerfDMF,
+    application: str,
+    experiment: str,
+    *,
+    policy: ThresholdPolicy | None = None,
+    auto_promote: bool = True,
+    diagnose: bool = False,
+    set_baseline_if_missing: bool = True,
+) -> list[CheckOutcome]:
+    """Compare every trial stored after the baseline, in storage order.
+
+    When no baseline exists yet and ``set_baseline_if_missing`` is on, the
+    oldest trial becomes the first baseline (a watch has to start
+    somewhere).  With ``auto_promote``, each accepted improvement becomes
+    the baseline for the trials after it.
+    """
+    registry = BaselineRegistry(db)
+    trials = db.trials(application, experiment)
+    if not trials:
+        raise ProfileError(f"no trials stored under {application}/{experiment}")
+    baseline_name = registry.baseline_name(application, experiment)
+    outcomes: list[CheckOutcome] = []
+    if baseline_name is None:
+        if not set_baseline_if_missing:
+            raise ProfileError(
+                f"no baseline set for {application!r}/{experiment!r}"
+            )
+        baseline_name = trials[0]
+        registry.set_baseline(
+            application, experiment, baseline_name,
+            reason="watch: first stored trial adopted as baseline",
+        )
+    start = trials.index(baseline_name) + 1 if baseline_name in trials else 0
+    for name in trials[start:]:
+        outcome = check(
+            db, application, experiment, name,
+            policy=policy, diagnose=diagnose,
+            auto_promote=auto_promote, registry=registry,
+        )
+        outcomes.append(outcome)
+    return outcomes

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..machine import (
     AccessSummary,
     CounterVector,
@@ -53,6 +55,8 @@ def execute_work(
     *,
     page_table: PageTable | None = None,
     access: RegionAccess | None = None,
+    rng: np.random.Generator | None = None,
+    noise: float = 0.0,
 ) -> CounterVector:
     """Execute ``work`` on ``cpu``, charging the profiler; returns counters.
 
@@ -60,7 +64,21 @@ def execute_work(
     last cache level are charged against the page placement of the given
     range (first-touching unplaced pages on this CPU's node — exactly the
     OS behaviour that creates the GenIDLEST locality bug).
+
+    ``noise`` adds multiplicative measurement jitter (lognormal with the
+    given sigma) to the charged counters — how regression-sentinel runs
+    model real run-to-run variation.  All randomness flows through the
+    *explicit* ``rng`` generator; there is deliberately no global-state
+    fallback, so a seeded ``numpy.random.Generator`` makes
+    baseline-vs-candidate comparisons bit-reproducible.
     """
+    if noise < 0.0:
+        raise ValueError("noise must be non-negative")
+    if noise > 0.0 and rng is None:
+        raise ValueError(
+            "execute_work: noise requires an explicit numpy.random.Generator "
+            "(pass rng=...); implicit global RNG state is not supported"
+        )
     processor = machine.processor
     placement: MemoryPlacementCost | None = None
     if page_table is not None and access is not None:
@@ -84,5 +102,7 @@ def execute_work(
             latency_cycles=cost.latency_cycles * access.latency_multiplier,
         )
     vector = processor.execute(work, placement)
+    if noise > 0.0:
+        vector = vector * float(rng.lognormal(0.0, noise))
     profiler.charge(cpu, vector)
     return vector

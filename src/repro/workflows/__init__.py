@@ -1,15 +1,18 @@
 """End-to-end workflows: the Fig. 3 pipeline and the closed tuning loops."""
 
 from .pipeline import (
+    GateResult,
     PipelineResult,
     automated_analysis,
     compile_and_profile,
     feedback_directed_inlining,
     iterative_profiling,
+    regression_gate,
 )
 from .tuning import TuningOutcome, genidlest_tuning_loop, msa_tuning_loop
 
 __all__ = [
+    "GateResult",
     "PipelineResult",
     "TuningOutcome",
     "automated_analysis",
@@ -18,4 +21,5 @@ __all__ = [
     "genidlest_tuning_loop",
     "iterative_profiling",
     "msa_tuning_loop",
+    "regression_gate",
 ]

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..core.harness import RuleHarness
+from ..core.result import AnalysisError
 from ..knowledge import render_report, recommendations_of
 from ..knowledge.rulebase import diagnose_genidlest
 from ..machine import Machine, uniform_machine
@@ -63,6 +64,73 @@ def automated_analysis(
         harness, title=title or f"Diagnosis of {application}/{trial.name}"
     )
     return PipelineResult(trial, harness, report, trial_id)
+
+
+@dataclass
+class GateResult:
+    """Outcome of the ``regression_gate`` pipeline stage."""
+
+    trial: Trial
+    verdict: str  # "ok" / "improved" / "regressed" / "baseline-created"
+    exit_code: int
+    report: "object | None" = None  # RegressionReport when a baseline existed
+    harness: RuleHarness | None = None
+    promoted: bool = False
+
+    @property
+    def passed(self) -> bool:
+        return self.exit_code == 0
+
+    @property
+    def recommendations(self):
+        return recommendations_of(self.harness) if self.harness else []
+
+
+def regression_gate(
+    trial: Trial,
+    *,
+    repository: PerfDMF,
+    application: str = "app",
+    experiment: str = "exp",
+    policy=None,
+    auto_promote: bool = True,
+    set_baseline_if_missing: bool = True,
+    diagnose: bool = True,
+) -> GateResult:
+    """The perf-CI stage: store ``trial``, judge it against the baseline.
+
+    First trial through the gate becomes the baseline (when
+    ``set_baseline_if_missing``); later trials return the sentinel's
+    verdict, with accepted improvements optionally promoted so the
+    expected performance ratchets forward.
+    """
+    from ..regress import BaselineRegistry, check
+
+    repository.save_trial(application, experiment, trial, replace=True)
+    registry = BaselineRegistry(repository)
+    if registry.baseline_name(application, experiment) is None:
+        if not set_baseline_if_missing:
+            raise AnalysisError(
+                f"regression_gate: no baseline for {application}/{experiment}"
+            )
+        registry.set_baseline(
+            application, experiment, trial.name,
+            reason="regression_gate: first trial through the gate",
+        )
+        return GateResult(trial, "baseline-created", 0)
+    outcome = check(
+        repository, application, experiment, trial.name,
+        policy=policy, diagnose=diagnose,
+        auto_promote=auto_promote, registry=registry,
+    )
+    return GateResult(
+        trial,
+        outcome.verdict.value,
+        outcome.exit_code,
+        report=outcome.report,
+        harness=outcome.harness,
+        promoted=outcome.promoted,
+    )
 
 
 def compile_and_profile(

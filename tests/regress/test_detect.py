@@ -1,0 +1,212 @@
+"""Change detection: threshold policy, t-test edges, ranking, perturbation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.operations.statistics import paired_t, student_t_sf, welch_t
+from repro.core.result import AnalysisError
+from repro.perfdmf import TrialBuilder
+from repro.regress import (
+    IMPROVED,
+    OK,
+    REGRESSED,
+    ThresholdPolicy,
+    compare_trials,
+    perturb_trial,
+)
+
+
+def build_trial(name, exclusive, events=None, metric="TIME"):
+    """Trial with one metric from a dense (events × threads) array."""
+    exc = np.asarray(exclusive, dtype=float)
+    events = events or [f"e{i}" for i in range(exc.shape[0])]
+    return (
+        TrialBuilder(name, {"threads": exc.shape[1]})
+        .with_events(events)
+        .with_threads(exc.shape[1])
+        .with_metric(metric, exc, exc * 1.5, units="usec")
+        .with_calls(np.ones_like(exc), np.zeros_like(exc))
+        .build()
+    )
+
+
+class TestTTests:
+    def test_welch_matches_reference(self):
+        r = welch_t([1, 2, 3, 4], [2, 3, 4, 5])
+        assert r.t_stat == pytest.approx(-1.0954, abs=1e-3)
+        assert r.p_value == pytest.approx(0.3150, abs=1e-3)
+
+    def test_student_sf_reference(self):
+        assert student_t_sf(2.0, 10) == pytest.approx(0.07339, abs=1e-4)
+
+    def test_single_sample_inapplicable(self):
+        assert not welch_t([1.0], [1.0, 2.0]).applicable
+        assert not paired_t([1.0], [2.0]).applicable
+        assert math.isnan(welch_t([], [1.0, 2.0]).p_value)
+
+    def test_zero_variance_equal_means(self):
+        r = welch_t([3.0, 3.0, 3.0], [3.0, 3.0, 3.0])
+        assert r.t_stat == 0.0 and r.p_value == 1.0
+
+    def test_zero_variance_different_means(self):
+        r = welch_t([3.0, 3.0], [4.0, 4.0])
+        assert math.isinf(r.t_stat) and r.p_value == 0.0
+        r2 = paired_t([3.0, 3.0], [4.0, 4.0])
+        assert math.isinf(r2.t_stat) and r2.p_value == 0.0
+
+    def test_paired_removes_structural_spread(self):
+        # Per-thread values spread widely (imbalance), but each thread
+        # exactly doubles: pairing detects what Welch cannot.
+        base = np.array([1.0, 2.0, 4.0, 8.0, 1.5, 3.0, 6.0, 7.0])
+        cand = base * 2.0 + np.linspace(-0.05, 0.05, 8)
+        unpaired = welch_t(base, cand)
+        paired = paired_t(base, cand)
+        assert paired.p_value < 0.01
+        assert paired.p_value < unpaired.p_value
+
+    def test_paired_falls_back_to_welch_on_size_mismatch(self):
+        a = [1.0, 2.0, 3.0, 4.0]
+        b = [2.0, 3.0, 4.0, 5.0, 6.0]
+        assert paired_t(a, b) == welch_t(a, b)
+
+
+class TestThresholdPolicy:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(AnalysisError):
+            ThresholdPolicy(min_relative_change=0.0)
+        with pytest.raises(AnalysisError):
+            ThresholdPolicy(alpha=1.5)
+        with pytest.raises(AnalysisError):
+            ThresholdPolicy(top_x=0)
+
+    def test_policy_metric_must_be_shared(self):
+        a = build_trial("a", [[1.0, 1.0]], metric="TIME")
+        b = build_trial("b", [[1.0, 1.0]], metric="CPU_CYCLES")
+        with pytest.raises(AnalysisError, match="share no metric"):
+            compare_trials(a, b)
+        with pytest.raises(AnalysisError, match="not shared"):
+            compare_trials(a, a, policy=ThresholdPolicy(metrics=("PAPI_L2_TCM",)))
+
+
+class TestCompareTrials:
+    def test_identical_trials_are_ok(self):
+        base = build_trial("base", [[10.0, 11.0], [5.0, 5.5]])
+        report = compare_trials(base, base.copy("again"))
+        assert report.verdict == OK
+        assert not report.regressions and not report.improvements
+
+    def test_doubled_event_is_named(self):
+        rng = np.random.default_rng(7)
+        base = build_trial("base", rng.uniform(50, 100, size=(3, 8)),
+                           events=["main", "hot_loop", "io"])
+        cand = perturb_trial(base, events=["hot_loop"], factor=2.0)
+        report = compare_trials(base, cand)
+        assert report.verdict == REGRESSED
+        assert [d.event for d in report.regressions] == ["hot_loop"]
+        assert report.top_offenders()[0].event == "hot_loop"
+        assert report.regressions[0].relative_change == pytest.approx(1.0)
+
+    def test_small_change_below_threshold_ignored(self):
+        base = build_trial("base", [[100.0, 101.0, 99.0, 100.0]])
+        cand = perturb_trial(base, factor=1.05)  # 5% < default 10%
+        report = compare_trials(base, cand,
+                                policy=ThresholdPolicy(total_threshold=0.2))
+        assert report.verdict == OK
+
+    def test_min_severity_filters_tiny_events(self):
+        # 'tiny' is 0.1% of runtime; a 3x regression there is not actionable
+        base = build_trial("base", [[1000.0, 1001.0], [1.0, 1.0]],
+                           events=["big", "tiny"])
+        cand = perturb_trial(base, events=["tiny"], factor=3.0)
+        report = compare_trials(
+            base, cand, policy=ThresholdPolicy(total_threshold=0.5))
+        assert report.regressions == []
+        report2 = compare_trials(
+            base, cand,
+            policy=ThresholdPolicy(min_severity=0.0, total_threshold=0.5))
+        assert [d.event for d in report2.regressions] == ["tiny"]
+
+    def test_improvement_detected(self):
+        base = build_trial("base", [[100.0, 102.0, 98.0, 100.0]])
+        cand = perturb_trial(base, factor=0.5, name="fast")
+        report = compare_trials(base, cand)
+        assert report.verdict == IMPROVED
+        assert [d.event for d in report.improvements] == ["e0"]
+        assert report.total_relative_change == pytest.approx(-0.5)
+
+    def test_single_thread_threshold_decides_alone(self):
+        base = build_trial("base", [[100.0], [50.0]])
+        cand = perturb_trial(base, events=["e0"], factor=1.5)
+        report = compare_trials(base, cand)
+        assert report.verdict == REGRESSED
+        d = report.regressions[0]
+        assert d.event == "e0" and not d.welch.applicable
+
+    def test_top_offenders_ranked_by_weighted_slowdown(self):
+        base = build_trial(
+            "base",
+            [[100.0, 100.0], [100.0, 100.0], [10.0, 10.0]],
+            events=["worse", "bad", "small"],
+        )
+        cand = base.copy("cand")
+        for event, factor in [("worse", 3.0), ("bad", 1.5), ("small", 4.0)]:
+            i = cand.event_index(event)
+            for store in (cand._exclusive, cand._inclusive):
+                store["TIME"][i, :] *= factor
+        report = compare_trials(base, cand, policy=ThresholdPolicy(top_x=2))
+        assert [d.event for d in report.top_offenders()] == ["worse", "bad"]
+        # explicit x overrides the policy count
+        assert len(report.top_offenders(3)) == 3
+
+    def test_added_and_removed_events_reported(self):
+        base = build_trial("base", [[10.0, 10.0], [5.0, 5.0]],
+                           events=["main", "old_phase"])
+        cand = build_trial("cand", [[10.0, 10.0], [5.0, 5.0]],
+                           events=["main", "new_phase"])
+        report = compare_trials(base, cand)
+        assert report.added_events == ["new_phase"]
+        assert report.removed_events == ["old_phase"]
+
+    def test_total_threshold_flags_diffuse_regression(self):
+        # every event 8% slower: no single gate trips, the total does
+        base = build_trial("base", np.full((4, 2), 100.0))
+        cand = perturb_trial(base, factor=1.08)
+        report = compare_trials(base, cand)
+        assert report.regressions == []
+        assert report.verdict == REGRESSED
+
+
+class TestPerturbTrial:
+    def test_noise_requires_explicit_rng(self):
+        base = build_trial("base", [[1.0, 2.0]])
+        with pytest.raises(AnalysisError, match="explicit rng"):
+            perturb_trial(base, noise=0.05)
+
+    def test_seeded_noise_is_reproducible(self):
+        base = build_trial("base", [[10.0, 20.0], [5.0, 6.0]])
+        a = perturb_trial(base, noise=0.1, rng=np.random.default_rng(42))
+        b = perturb_trial(base, noise=0.1, rng=np.random.default_rng(42))
+        np.testing.assert_array_equal(
+            a.exclusive_array("TIME"), b.exclusive_array("TIME"))
+        c = perturb_trial(base, noise=0.1, rng=np.random.default_rng(43))
+        assert not np.array_equal(
+            a.exclusive_array("TIME"), c.exclusive_array("TIME"))
+
+    def test_noise_preserves_profile_invariant(self):
+        base = build_trial("base", np.random.default_rng(0).uniform(
+            1, 100, size=(4, 6)))
+        noisy = perturb_trial(base, noise=0.3, rng=np.random.default_rng(1))
+        noisy.validate()  # exclusive <= inclusive must survive the jitter
+        assert np.all(
+            noisy.exclusive_array("TIME") <= noisy.inclusive_array("TIME"))
+
+    def test_factor_only_touches_selected_events(self):
+        base = build_trial("base", [[10.0, 10.0], [5.0, 5.0]])
+        out = perturb_trial(base, events=["e1"], factor=2.0)
+        np.testing.assert_array_equal(
+            out.exclusive_array("TIME")[0], base.exclusive_array("TIME")[0])
+        np.testing.assert_array_equal(
+            out.exclusive_array("TIME")[1], base.exclusive_array("TIME")[1] * 2)
+        assert out.name == "base_perturbed"

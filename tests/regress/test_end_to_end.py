@@ -1,0 +1,87 @@
+"""ISSUE acceptance demo: the sentinel catches an injected 2x slowdown.
+
+Store a baseline MSAP trial, store a perturbed candidate with one event
+slowed 2x, and the CLI gate must exit non-zero, name the offending event,
+and chain into at least one recommendation.  Unperturbed re-runs (noise
+only) must pass across five seeded repetitions — no false positives.
+"""
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.apps.msa import run_msa_trial
+from repro.apps.msa.parallel import EVENT_INNER
+from repro.perfdmf import PerfDMF
+from repro.regress import (
+    ThresholdPolicy,
+    Verdict,
+    check,
+    perturb_trial,
+)
+
+APP, EXP = "MSAP", "static"
+NOISE = 0.02  # ~2% run-to-run measurement jitter
+
+
+@pytest.fixture(scope="module")
+def baseline_trial():
+    return run_msa_trial(n_sequences=60, n_threads=8, schedule="static").trial
+
+
+@pytest.fixture
+def db_path(tmp_path, baseline_trial):
+    path = str(tmp_path / "perf.db")
+    with PerfDMF(path) as db:
+        db.save_trial(APP, EXP, baseline_trial)
+    assert cli.main(["regress", "baseline", "set", "--db", path,
+                     "--app", APP, "--exp", EXP,
+                     "--trial", baseline_trial.name,
+                     "--reason", "acceptance baseline"]) == 0
+    return path
+
+
+def test_injected_slowdown_fails_the_gate(db_path, baseline_trial, capsys):
+    slow = perturb_trial(
+        baseline_trial, events=[EVENT_INNER], factor=2.0,
+        noise=NOISE, rng=np.random.default_rng(99), name="candidate",
+    )
+    with PerfDMF(db_path) as db:
+        db.save_trial(APP, EXP, slow)
+    code = cli.main(["regress", "check", "--db", db_path,
+                     "--app", APP, "--exp", EXP, "--trial", "candidate"])
+    out = capsys.readouterr().out
+    assert code != 0, out
+    assert EVENT_INNER in out  # the offending event is named
+    assert "Recommendation" in out or "recommend" in out.lower()
+    # the chained rulebase produced at least one recommendation
+    with PerfDMF(db_path) as db:
+        outcome = check(db, APP, EXP, "candidate")
+    assert outcome.verdict is Verdict.REGRESSED
+    assert outcome.report.top_offenders()[0].event == EVENT_INNER
+    assert len(outcome.recommendations) >= 1
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_unperturbed_rerun_passes(db_path, baseline_trial, seed, capsys):
+    rerun = perturb_trial(
+        baseline_trial, noise=NOISE, rng=np.random.default_rng(seed),
+        name=f"rerun_{seed}",
+    )
+    with PerfDMF(db_path) as db:
+        db.save_trial(APP, EXP, rerun)
+    code = cli.main(["regress", "check", "--db", db_path,
+                     "--app", APP, "--exp", EXP, "--trial", f"rerun_{seed}"])
+    out = capsys.readouterr().out
+    assert code == 0, f"false positive at seed {seed}:\n{out}"
+
+
+def test_diffuse_slowdown_without_single_offender(db_path, baseline_trial):
+    # every event 8% slower: no event trips its gate, the trial still fails
+    slow = perturb_trial(baseline_trial, factor=1.08, name="diffuse")
+    with PerfDMF(db_path) as db:
+        db.save_trial(APP, EXP, slow)
+        outcome = check(db, APP, EXP, "diffuse",
+                        policy=ThresholdPolicy(min_relative_change=0.10))
+    assert outcome.verdict is Verdict.REGRESSED
+    assert outcome.report.total_relative_change == pytest.approx(0.08, abs=1e-6)

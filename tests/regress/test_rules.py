@@ -1,0 +1,117 @@
+"""Regression facts and the chained RegressionRules rulebase."""
+
+import numpy as np
+import pytest
+
+from repro.core.harness import RuleHarness
+from repro.knowledge import recommendations_of, regression_rulebase
+from repro.perfdmf import TrialBuilder
+from repro.regress import (
+    compare_trials,
+    diagnose_regression,
+    perturb_trial,
+    regression_facts,
+)
+from repro.rules import Fact
+
+
+def build_trial(name, exclusive, events=None):
+    exc = np.asarray(exclusive, dtype=float)
+    events = events or [f"e{i}" for i in range(exc.shape[0])]
+    return (
+        TrialBuilder(name, {"threads": exc.shape[1]})
+        .with_events(events)
+        .with_threads(exc.shape[1])
+        .with_metric("TIME", exc, exc * 1.2, units="usec")
+        .with_calls(np.ones_like(exc), np.zeros_like(exc))
+        .build()
+    )
+
+
+def regressed_report(factor=2.0):
+    base = build_trial(
+        "base", np.random.default_rng(3).uniform(50, 100, size=(3, 8)),
+        events=["main", "hot_loop", "io"],
+    )
+    cand = perturb_trial(base, events=["hot_loop"], factor=factor)
+    return compare_trials(base, cand), base, cand
+
+
+class TestRegressionFacts:
+    def test_summary_and_offender_facts(self):
+        report, _, _ = regressed_report()
+        facts = regression_facts(report)
+        by_type = {}
+        for f in facts:
+            by_type.setdefault(f.fact_type, []).append(f)
+        summary = by_type["RegressionSummaryFact"][0]
+        assert summary["verdict"] == "regressed"
+        assert summary["regressedEvents"] == 1
+        offender = by_type["RegressionFact"][0]
+        assert offender["eventName"] == "hot_loop"
+        assert offender["relativeChange"] == pytest.approx(1.0)
+        assert "ImprovementFact" not in by_type
+
+    def test_improvement_facts(self):
+        base = build_trial("base", [[100.0, 101.0, 99.0, 100.0]])
+        cand = perturb_trial(base, factor=0.6)
+        report = compare_trials(base, cand)
+        facts = regression_facts(report)
+        improvements = [f for f in facts if f.fact_type == "ImprovementFact"]
+        assert improvements and improvements[0]["relativeChange"] < 0
+
+
+class TestChainedRules:
+    def test_regression_yields_recommendation(self):
+        report, _, cand = regressed_report()
+        harness = diagnose_regression(report, cand)
+        recs = recommendations_of(harness)
+        categories = {r.category for r in recs}
+        assert "performance-regression" in categories
+        flagged = next(r for r in recs if r.category == "performance-regression")
+        assert "hot_loop" in flagged.message
+        assert any("hot_loop" in line for line in harness.engine.output)
+
+    def test_regression_joins_imbalance_fact(self):
+        # imbalanced baseline pattern doubled: the join rule should fire
+        base = build_trial(
+            "base",
+            [[100.0] * 8, [10.0, 20.0, 40.0, 80.0, 15.0, 30.0, 60.0, 70.0]],
+            events=["main", "hot_loop"],
+        )
+        cand = perturb_trial(base, events=["hot_loop"], factor=2.0)
+        report = compare_trials(base, cand)
+        harness = diagnose_regression(report, cand)
+        recs = recommendations_of(harness)
+        localized = [r for r in recs if r.category == "regression-load-imbalance"]
+        assert localized, f"join rule did not fire; got {recs}"
+        assert localized[0].details["suggested_schedule"] == "dynamic,1"
+        assert localized[0].event == "hot_loop"
+
+    def test_improvement_proposes_promotion(self):
+        base = build_trial("base", [[100.0, 102.0, 98.0, 100.0]])
+        cand = perturb_trial(base, factor=0.5, name="fast")
+        report = compare_trials(base, cand)
+        harness = diagnose_regression(report)
+        categories = {r.category for r in recommendations_of(harness)}
+        assert "baseline-promotion" in categories
+        assert "performance-regression" not in categories
+
+    def test_tiny_regression_gets_no_recommendation(self):
+        harness = RuleHarness(regression_rulebase())
+        harness.assertObjects([
+            Fact("RegressionFact", trial="t", baseline="b",
+                 eventName="speck", metric="TIME", relativeChange=2.0,
+                 severity=0.001, pValue=0.0, baselineMean=1.0,
+                 candidateMean=3.0),
+        ])
+        harness.processRules()
+        assert recommendations_of(harness) == []
+
+    def test_rulebase_registered_globally(self):
+        harness = RuleHarness.useGlobalRules("regression-rules")
+        report, _, _ = regressed_report()
+        harness.assertObjects(regression_facts(report))
+        harness.processRules()
+        categories = {r.category for r in recommendations_of(harness)}
+        assert "performance-regression" in categories
