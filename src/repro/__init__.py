@@ -13,6 +13,8 @@ Subpackages (see README.md for the architecture):
 * :mod:`repro.power`     — component power model (Eqs. 1-2) + Table I
 * :mod:`repro.knowledge` — the shipped expert rulebase + diagnosis scripts
 * :mod:`repro.workflows` — Fig. 3 pipeline + closed tuning loops
+* :mod:`repro.regress`   — performance-regression sentinel over PerfDMF
+* :mod:`repro.observe`   — self-telemetry: spans, metrics, dogfood bridge
 """
 
 __version__ = "1.0.0"
@@ -22,9 +24,11 @@ __all__ = [
     "core",
     "knowledge",
     "machine",
+    "observe",
     "openuh",
     "perfdmf",
     "power",
+    "regress",
     "rules",
     "runtime",
     "workflows",

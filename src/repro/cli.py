@@ -22,6 +22,21 @@ Subcommands::
         The performance-regression sentinel: tag baselines, gate new
         trials against them (non-zero exit on regression), and render
         full statistical reports with chained diagnoses.
+
+    repro-perf trace <command ...> [--trace-out PREFIX]
+        Run any repro-perf command with self-telemetry on; export the
+        analyzer's own trace as JSONL + Chrome trace_event JSON and, when
+        the inner command used --db, store the self-profile as a PerfDMF
+        trial under repro.observe/<command> (the dogfood loop).
+
+    repro-perf trace report --trace F.jsonl
+    repro-perf trace export --trace F.jsonl --out F.json
+        Digest or convert a previously exported trace.
+
+    repro-perf explain --db F --app A --exp E --trial T
+        Re-run the diagnosis and render the rule-firing audit trail:
+        every firing, plus the why() provenance chain of each
+        recommendation back to the input facts.
 """
 
 from __future__ import annotations
@@ -362,6 +377,118 @@ def _cmd_regress_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_inner_db(argv: list[str]) -> str | None:
+    """The --db value of the traced inner command, if it had one."""
+    for i, tok in enumerate(argv):
+        if tok == "--db" and i + 1 < len(argv):
+            return argv[i + 1]
+        if tok.startswith("--db="):
+            return tok.split("=", 1)[1]
+    return None
+
+
+def _cmd_trace_tools(argv: list[str]) -> int:
+    """``trace report`` / ``trace export`` over a saved JSONL trace."""
+    from repro.observe import export as obs_export
+
+    parser = argparse.ArgumentParser(prog=f"repro-perf trace {argv[0]}")
+    parser.add_argument("--trace", required=True,
+                        help="JSONL trace written by `repro-perf trace ...`")
+    if argv[0] == "report":
+        parser.add_argument("--top", type=int, default=20)
+        a = parser.parse_args(argv[1:])
+        print(obs_export.render_report(obs_export.read_jsonl(a.trace),
+                                       top=a.top))
+        return 0
+    parser.add_argument("--out", required=True,
+                        help="Chrome trace_event JSON to write")
+    a = parser.parse_args(argv[1:])
+    n = obs_export.write_chrome_trace(obs_export.read_jsonl(a.trace), a.out)
+    print(f"wrote {n} trace events to {a.out} "
+          "(load in about:tracing or ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run an inner repro-perf command under self-telemetry and export."""
+    import os
+    from pathlib import Path
+
+    from repro import observe
+    from repro.observe import export as obs_export
+
+    argv = list(args.cmd)
+    if argv and argv[0] in ("report", "export"):
+        return _cmd_trace_tools(argv)
+    if not argv:
+        print("trace: missing command to run "
+              "(e.g. `repro-perf trace run-msa --threads 8`)",
+              file=sys.stderr)
+        return 2
+    if argv[0] == "trace":
+        print("trace: cannot trace the tracer", file=sys.stderr)
+        return 2
+    tracer = observe.enable(fresh=True)
+    try:
+        with observe.span(f"cli.{argv[0]}", argv=" ".join(argv)):
+            rc = main(argv)
+    finally:
+        observe.disable()
+    prefix = Path(args.trace_out or "trace")
+    jsonl_path = prefix.with_suffix(".jsonl")
+    chrome_path = prefix.with_suffix(".json")
+    records = obs_export.to_jsonl_records(tracer)
+    obs_export.write_jsonl(tracer, jsonl_path)
+    obs_export.write_chrome_trace(records, chrome_path, pid=os.getpid())
+    print()
+    print(f"trace: {len(tracer.finished())} spans -> {jsonl_path} (JSONL), "
+          f"{chrome_path} (Chrome trace_event)")
+    db_path = _trace_inner_db(argv)
+    if db_path:
+        from repro.observe.bridge import store_self_profile
+        from repro.perfdmf import PerfDMF
+
+        with PerfDMF(db_path) as db:
+            trial, _ = store_self_profile(
+                tracer, db, experiment=argv[0],
+                metadata={"argv": " ".join(argv), "exit_code": rc},
+            )
+        print(f"self-profile stored as repro.observe/{argv[0]}/{trial.name} "
+              f"in {db_path}")
+    print()
+    print(obs_export.render_report(records, top=12))
+    return rc
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Render the rule-firing audit trail for a stored trial's diagnosis."""
+    from repro.core.harness import RuleHarness
+    from repro.knowledge.rulebase import diagnose_genidlest, diagnose_load_balance
+    from repro.perfdmf import PerfDMF
+
+    with PerfDMF(args.db) as repo:
+        trial = repo.load_trial(args.app, args.exp, args.trial)
+    harness = RuleHarness(args.rules) if args.rules else None
+    diagnose = (
+        diagnose_load_balance if args.script == "load-balance"
+        else diagnose_genidlest
+    )
+    harness = diagnose(trial, harness=harness)
+    print(f"Rule-firing audit trail: {args.app}/{args.exp}/{args.trial}")
+    print("-" * 60)
+    for line in harness.explain():
+        print(f"  {line}")
+    recs = harness.recommendations()
+    if not recs:
+        print("\n(no recommendations asserted)")
+        return 0
+    print(f"\n{len(recs)} recommendation(s); provenance chains:")
+    for fact in recs:
+        print()
+        print(harness.why(fact))
+    return 0
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     if args.app == "msa":
         from repro.workflows import msa_tuning_loop
@@ -477,6 +604,28 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("--alpha", type=float)
     rp.set_defaults(func=_cmd_regress_report)
 
+    p = sub.add_parser(
+        "trace",
+        help="self-telemetry: run a command traced, or report/export traces")
+    p.add_argument("--trace-out", default=None,
+                   help="output path prefix (default ./trace => trace.jsonl "
+                        "+ trace.json)")
+    p.add_argument("cmd", nargs=argparse.REMAINDER,
+                   help="inner repro-perf command, or report/export ...")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "explain",
+        help="rule-firing audit trail + provenance for a stored trial")
+    p.add_argument("--db", required=True)
+    p.add_argument("--app", required=True)
+    p.add_argument("--exp", required=True)
+    p.add_argument("--trial", required=True)
+    p.add_argument("--script", choices=["load-balance", "genidlest"],
+                   default="genidlest")
+    p.add_argument("--rules", help="extra .prl rule file to load")
+    p.set_defaults(func=_cmd_explain)
+
     p = sub.add_parser("tune", help="run a closed tuning loop")
     p.add_argument("app", choices=["msa", "genidlest"])
     p.add_argument("--sequences", type=int, default=200)
@@ -491,7 +640,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    rc = args.func(args)
+    # env-var path: REPRO_OBSERVE=1 enables collection at import;
+    # REPRO_OBSERVE_OUT=trace.jsonl also exports it on exit.
+    import os
+
+    out = os.environ.get("REPRO_OBSERVE_OUT")
+    if out:
+        from repro import observe
+
+        if observe.enabled() and observe.get_tracer().finished():
+            from repro.observe.export import write_jsonl
+
+            write_jsonl(observe.get_tracer(), out)
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

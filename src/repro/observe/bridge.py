@@ -1,0 +1,156 @@
+"""The dogfood bridge: a traced analysis run becomes a PerfDMF trial.
+
+The paper's whole point is that performance knowledge lives as data in a
+repository where rules can reach it.  This module closes the loop on the
+analyzer itself: finished spans are rolled up into TAU-style flat and
+callpath events (``cli.run-msa => perfdmf.save_trial``), with ``TIME`` /
+``CPU_TIME`` metrics and call counts, and stored as an ordinary
+:class:`~repro.perfdmf.Trial`.  From there the existing statistics
+operations, diagnosis rules, and the regression sentinel treat the
+analyzer like any other instrumented application.
+
+Note: this module imports :mod:`repro.perfdmf`, which itself imports the
+:mod:`repro.observe` package root — keep it out of ``observe/__init__``'s
+eager imports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..perfdmf import CALLPATH_SEPARATOR, PerfDMF, Trial
+from .tracer import SpanRecord, Tracer
+
+#: Microseconds, matching TAU's TIME metric convention.
+TIME = "TIME"
+CPU_TIME = "CPU_TIME"
+
+#: Application name self-profiles are stored under.
+SELF_APPLICATION = "repro.observe"
+
+
+def _as_dicts(spans: Iterable[SpanRecord | dict]) -> list[dict]:
+    out = []
+    for s in spans:
+        out.append(s.to_dict() if isinstance(s, SpanRecord) else s)
+    return out
+
+
+def spans_to_trial(
+    spans: Iterable[SpanRecord | dict],
+    *,
+    name: str,
+    metadata: Mapping | None = None,
+) -> Trial:
+    """Roll finished spans up into a TAU-style :class:`Trial`.
+
+    Each OS thread in the trace becomes a profile thread; each span name
+    becomes a flat event and each observed nesting becomes a callpath
+    event (group ``CALLPATH``).  Exclusive time is the span's wall time
+    minus its direct children's; inclusive is the full wall time.  Flat
+    inclusive values skip spans nested under a same-named ancestor, so
+    recursion is not double-counted.
+    """
+    rows = _as_dicts(spans)
+    if not rows:
+        raise ValueError("cannot build a trial from an empty trace")
+    by_id = {r["id"]: r for r in rows}
+    child_wall: dict[int, float] = {}
+    child_cpu: dict[int, float] = {}
+    for r in rows:
+        parent = r.get("parent")
+        if parent is not None and parent in by_id:
+            child_wall[parent] = child_wall.get(parent, 0.0) + float(r["wall"])
+            child_cpu[parent] = child_cpu.get(parent, 0.0) + float(r["cpu"])
+
+    def callpath(r: dict) -> list[str]:
+        names = [r["name"]]
+        seen = {r["id"]}
+        parent = r.get("parent")
+        while parent is not None and parent in by_id and parent not in seen:
+            seen.add(parent)
+            r = by_id[parent]
+            names.append(r["name"])
+            parent = r.get("parent")
+        return names[::-1]
+
+    thread_ids = sorted({r.get("thread", 0) for r in rows})
+    thread_pos = {ident: i for i, ident in enumerate(thread_ids)}
+
+    trial = Trial(name, dict(metadata or {}))
+    trial.add_metric(TIME, units="microseconds")
+    trial.add_metric(CPU_TIME, units="microseconds")
+    for i in range(len(thread_ids)):
+        trial.add_thread(i)
+
+    # accumulate (event, thread) -> [excl_us, incl_us, cpu_excl, cpu_incl, calls]
+    acc: dict[tuple[str, int], list[float]] = {}
+
+    def bump(event: str, t: int, excl: float, incl: float,
+             cpu_excl: float, cpu_incl: float, calls: float) -> None:
+        row = acc.setdefault((event, t), [0.0, 0.0, 0.0, 0.0, 0.0])
+        row[0] += excl
+        row[1] += incl
+        row[2] += cpu_excl
+        row[3] += cpu_incl
+        row[4] += calls
+
+    for r in rows:
+        t = thread_pos[r.get("thread", 0)]
+        wall_us = float(r["wall"]) * 1e6
+        cpu_us = float(r["cpu"]) * 1e6
+        excl_us = max(wall_us - child_wall.get(r["id"], 0.0) * 1e6, 0.0)
+        cpu_excl_us = max(cpu_us - child_cpu.get(r["id"], 0.0) * 1e6, 0.0)
+        path = callpath(r)
+        # flat event: exclusive always; inclusive only from the outermost
+        # occurrence of this name on the path (recursion guard)
+        outermost = path.count(r["name"]) == 1
+        bump(r["name"], t, excl_us,
+             wall_us if outermost else 0.0,
+             cpu_excl_us, cpu_us if outermost else 0.0, 1.0)
+        if len(path) > 1:
+            bump(CALLPATH_SEPARATOR.join(path), t, excl_us, wall_us,
+                 cpu_excl_us, cpu_us, 1.0)
+
+    for (event, t), (excl, incl, cpu_x, cpu_i, calls) in sorted(acc.items()):
+        group = "CALLPATH" if CALLPATH_SEPARATOR in event else "TAU_DEFAULT"
+        trial.add_event(event, group)
+        trial.set_value(event, TIME, t, exclusive=excl, inclusive=incl)
+        trial.set_value(event, CPU_TIME, t, exclusive=cpu_x, inclusive=cpu_i)
+        trial.set_calls(event, t, calls=calls, subroutines=0.0)
+    return trial
+
+
+def next_self_trial_name(db: PerfDMF, experiment: str,
+                         *, application: str = SELF_APPLICATION) -> str:
+    """Sequential self-profile names (``run_0001``, ``run_0002``...), so
+    the regression sentinel's "newest trial" default does the right thing."""
+    try:
+        existing = db.trials(application, experiment)
+    except Exception:
+        existing = []
+    return f"run_{len(existing) + 1:04d}"
+
+
+def store_self_profile(
+    tracer: Tracer,
+    db: PerfDMF,
+    *,
+    experiment: str,
+    application: str = SELF_APPLICATION,
+    name: str | None = None,
+    metadata: Mapping | None = None,
+) -> tuple[Trial, int]:
+    """Convert ``tracer``'s spans to a trial and store it; returns
+    ``(trial, trial_id)``.  The analyzer's profile lands in the same
+    repository as the application profiles it was analyzing."""
+    name = name or next_self_trial_name(db, experiment, application=application)
+    meta = {
+        "source": "repro.observe",
+        "spans": len(tracer.finished()),
+        "dropped_spans": tracer.dropped_spans,
+        **dict(metadata or {}),
+    }
+    trial = spans_to_trial(tracer.finished(), name=name, metadata=meta)
+    trial_id = db.save_trial(application, experiment, trial, replace=True)
+    return trial, trial_id

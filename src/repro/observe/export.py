@@ -1,0 +1,188 @@
+"""Exporters: JSONL, Chrome ``trace_event`` JSON, and a terminal report.
+
+The JSONL form is the durable interchange format (one record per line:
+spans, events, metric snapshots); the Chrome form loads directly into
+``about:tracing`` / Perfetto so the analyzer's own timeline can be eyeballed
+like any application trace.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from .tracer import SpanRecord, Tracer
+
+
+# -- JSONL -----------------------------------------------------------------
+def to_jsonl_records(tracer: Tracer) -> list[dict]:
+    """Every record the tracer holds, as JSON-ready dicts."""
+    records: list[dict] = [{
+        "type": "meta",
+        "epoch": tracer.epoch,
+        "spans": len(tracer.finished()),
+        "dropped_spans": tracer.dropped_spans,
+        "dropped_events": tracer.events.dropped,
+    }]
+    records.extend(r.to_dict() for r in tracer.finished())
+    records.extend({"type": "event", **e} for e in tracer.events.records())
+    records.extend(tracer.metrics.snapshot())
+    return records
+
+
+def write_jsonl(tracer: Tracer, path: str | Path) -> int:
+    """Write the trace as JSONL; returns the number of records."""
+    records = to_jsonl_records(tracer)
+    with open(path, "w") as fh:
+        for rec in records:
+            fh.write(json.dumps(rec, default=str) + "\n")
+    return len(records)
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Parse a JSONL trace back into record dicts (blank lines skipped)."""
+    out = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def spans_from_records(records: Iterable[dict]) -> list[dict]:
+    return [r for r in records if r.get("type") == "span"]
+
+
+# -- Chrome trace_event ----------------------------------------------------
+def to_chrome_trace(records: Iterable[dict], *, pid: int = 1) -> dict:
+    """Convert JSONL records to the Chrome ``trace_event`` JSON format.
+
+    Spans become complete ("X") events, structured events become instants
+    ("i"), and each OS thread gets a metadata name row.  Timestamps are
+    microseconds from the trace epoch, as the format requires.
+    """
+    trace_events: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": "repro analysis stack"},
+    }]
+    threads: dict[int, int] = {}
+    epoch = 0.0
+    for rec in records:
+        if rec.get("type") == "meta":
+            epoch = float(rec.get("epoch", 0.0))
+            continue
+        if rec.get("type") == "span":
+            tid = threads.setdefault(rec.get("thread", 0), len(threads))
+            args = dict(rec.get("attributes") or {})
+            args["span_id"] = rec.get("id")
+            if rec.get("parent") is not None:
+                args["parent_id"] = rec["parent"]
+            args["cpu_us"] = round(float(rec.get("cpu", 0.0)) * 1e6, 3)
+            if rec.get("status") == "error":
+                args["error"] = rec.get("error", "?")
+            trace_events.append({
+                "name": rec["name"],
+                "cat": rec["name"].split(".", 1)[0],
+                "ph": "X",
+                "ts": round(float(rec["start"]) * 1e6, 3),
+                "dur": round(float(rec["wall"]) * 1e6, 3),
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            })
+        elif rec.get("type") == "event":
+            ts = (float(rec.get("ts", epoch)) - epoch) * 1e6 if epoch else 0.0
+            args = {k: v for k, v in rec.items()
+                    if k not in ("type", "name", "ts")}
+            trace_events.append({
+                "name": rec.get("name", "event"),
+                "cat": "event",
+                "ph": "i",
+                "ts": round(max(ts, 0.0), 3),
+                "pid": pid,
+                "tid": 0,
+                "s": "p",
+                "args": args,
+            })
+    for ident, tid in threads.items():
+        trace_events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": f"thread-{ident}"},
+        })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(records: Iterable[dict], path: str | Path,
+                       *, pid: int = 1) -> int:
+    doc = to_chrome_trace(records, pid=pid)
+    Path(path).write_text(json.dumps(doc))
+    return len(doc["traceEvents"])
+
+
+# -- terminal report -------------------------------------------------------
+def span_summary(records: Iterable[dict]) -> list[dict]:
+    """Aggregate spans by name: calls, total/self wall, CPU; slowest first.
+
+    *Self* time is wall time minus the wall time of direct children —
+    the exclusive/inclusive split PerfDMF uses, computed here on the
+    flat export form.
+    """
+    spans = spans_from_records(records)
+    child_wall: dict[int, float] = {}
+    for s in spans:
+        parent = s.get("parent")
+        if parent is not None:
+            child_wall[parent] = child_wall.get(parent, 0.0) + float(s["wall"])
+    agg: dict[str, dict] = {}
+    for s in spans:
+        row = agg.setdefault(s["name"], {
+            "name": s["name"], "calls": 0, "wall": 0.0, "self": 0.0,
+            "cpu": 0.0, "errors": 0,
+        })
+        row["calls"] += 1
+        row["wall"] += float(s["wall"])
+        row["self"] += max(float(s["wall"]) - child_wall.get(s["id"], 0.0), 0.0)
+        row["cpu"] += float(s.get("cpu", 0.0))
+        if s.get("status") == "error":
+            row["errors"] += 1
+    return sorted(agg.values(), key=lambda r: -r["self"])
+
+
+def render_report(records: Iterable[dict], *, top: int = 20) -> str:
+    """Human-readable trace digest: hot spans, metrics, notable events."""
+    records = list(records)
+    rows = span_summary(records)
+    lines = ["Self-telemetry report", "=" * 60]
+    lines.append(f"{'span':<36}{'calls':>6}{'self ms':>10}{'total ms':>10}"
+                 f"{'cpu ms':>9}")
+    for row in rows[:top]:
+        lines.append(
+            f"{row['name'][:36]:<36}{row['calls']:>6}"
+            f"{row['self'] * 1e3:>10.2f}{row['wall'] * 1e3:>10.2f}"
+            f"{row['cpu'] * 1e3:>9.2f}"
+            + ("  !err" if row["errors"] else "")
+        )
+    if len(rows) > top:
+        lines.append(f"... and {len(rows) - top} more span names")
+    metric_rows = [r for r in records
+                   if r.get("type") in ("counter", "gauge", "histogram")]
+    if metric_rows:
+        lines.append("")
+        lines.append("metrics")
+        lines.append("-" * 60)
+        for r in metric_rows:
+            if r["type"] == "histogram":
+                lines.append(
+                    f"{r['name']:<40} n={r['count']} mean={r['mean']:.3g} "
+                    f"p50={r['p50']:.3g} p99={r['p99']:.3g}"
+                )
+            else:
+                lines.append(f"{r['name']:<40} {r['value']:g}")
+    n_events = sum(1 for r in records if r.get("type") == "event")
+    if n_events:
+        lines.append("")
+        lines.append(f"{n_events} structured events "
+                     "(export to JSONL/Chrome for the full stream)")
+    return "\n".join(lines)

@@ -1,0 +1,183 @@
+"""Process-wide metrics: counters, gauges, and histograms.
+
+The registry is deliberately tiny — the analyzer's own telemetry must not
+dominate the analyzer.  Counters and gauges are plain attribute updates;
+histograms keep a bounded reservoir of raw observations so percentiles are
+exact until the cap and uniformly down-sampled after it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+
+class Counter:
+    """Monotonically increasing count (events, rows, firings...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "name": self.name, "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins instantaneous value (agenda size, queue depth...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "name": self.name, "value": self.value}
+
+
+class Histogram:
+    """Distribution of observations with exact percentiles.
+
+    Keeps every observation up to ``max_samples``; past the cap it keeps a
+    deterministic 1-in-k thinning (every k-th observation) so long runs
+    stay bounded without importing a sampling dependency.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max",
+                 "_samples", "_max_samples", "_stride", "_seen")
+
+    def __init__(self, name: str, *, max_samples: int = 4096) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._samples: list[float] = []
+        self._max_samples = max_samples
+        self._stride = 1
+        self._seen = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self._seen += 1
+        if self._seen % self._stride == 0:
+            self._samples.append(value)
+            if len(self._samples) > self._max_samples:
+                # thin in place: keep every other sample, double the stride
+                self._samples = self._samples[::2]
+                self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The p-th percentile (0 <= p <= 100) by linear interpolation."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    def snapshot(self) -> dict:
+        return {"type": "histogram", "name": self.name, **self.summary()}
+
+
+class MetricsRegistry:
+    """Name → instrument map; instruments are created on first use."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            with self._lock:
+                c = self._counters.setdefault(name, Counter(name))
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            with self._lock:
+                g = self._gauges.setdefault(name, Gauge(name))
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            with self._lock:
+                h = self._histograms.setdefault(name, Histogram(name))
+        return h
+
+    def snapshot(self) -> list[dict]:
+        """All instruments, name-ordered, as JSON-ready dicts."""
+        out: list[dict] = []
+        for store in (self._counters, self._gauges, self._histograms):
+            for name in sorted(store):
+                out.append(store[name].snapshot())
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+class _NoopInstrument:
+    """Stands in for every instrument while telemetry is disabled."""
+
+    __slots__ = ()
+    name = "noop"
+    value = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NOOP_INSTRUMENT = _NoopInstrument()

@@ -21,7 +21,16 @@ from typing import Any, Iterable
 
 import numpy as np
 
+from .. import observe
 from .model import Event, Metric, ProfileError, ThreadId, Trial
+
+
+def _stmt(kind: str, rows: int) -> None:
+    """Count executed statements by class (insert/select/delete) and the
+    rows they touched — the repository's query-mix telemetry."""
+    if observe.enabled():
+        observe.counter(f"perfdmf.stmt.{kind}").inc()
+        observe.counter(f"perfdmf.rows.{kind}").inc(rows)
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS application (
@@ -170,7 +179,12 @@ class PerfDMF:
         failure rolls everything back.
         """
         trial.validate()
-        with self._transaction():
+        with observe.span(
+            "perfdmf.save_trial", application=application,
+            experiment=experiment, trial=trial.name,
+            events=trial.event_count, threads=trial.thread_count,
+            metrics=len(trial.metrics), replace=replace,
+        ) as sp, self._transaction():
             app_id = self._get_or_create("application", {"name": application})
             exp_id = self._get_or_create("experiment", {"app_id": app_id, "name": experiment})
             existing = self._conn.execute(
@@ -223,6 +237,7 @@ class PerfDMF:
                 self._conn.executemany(
                     "INSERT INTO value VALUES (?, ?, ?, ?, ?)", rows
                 )
+                _stmt("insert", len(rows))
             calls = trial.calls_array()
             subrs = trial.subroutines_array()
             rows = [
@@ -232,6 +247,8 @@ class PerfDMF:
                 for t in range(len(threads))
             ]
             self._conn.executemany("INSERT INTO callcount VALUES (?, ?, ?, ?)", rows)
+            _stmt("insert", len(rows))
+            sp.set(trial_id=trial_id)
         return trial_id
 
     # -- loading -------------------------------------------------------------
@@ -251,6 +268,14 @@ class PerfDMF:
 
     def load_trial(self, application: str, experiment: str, trial: str) -> Trial:
         """Reconstruct a :class:`Trial` from the repository."""
+        with observe.span("perfdmf.load_trial", application=application,
+                          experiment=experiment, trial=trial) as sp:
+            out = self._load_trial(application, experiment, trial)
+            sp.set(events=out.event_count, threads=out.thread_count,
+                   metrics=len(out.metrics))
+        return out
+
+    def _load_trial(self, application: str, experiment: str, trial: str) -> Trial:
         trial_id, meta_json = self._trial_row(application, experiment, trial)
         out = Trial(trial, json.loads(meta_json))
 
@@ -299,6 +324,7 @@ class PerfDMF:
             ):
                 out._calls[event_pos[event_id], thread_pos[thread_id]] = calls
                 out._subrs[event_pos[event_id], thread_pos[thread_id]] = subrs
+        _stmt("select", len(events) * len(threads) * max(len(metrics), 1))
         return out
 
     # -- listing --------------------------------------------------------------
@@ -322,8 +348,11 @@ class PerfDMF:
 
     def delete_trial(self, application: str, experiment: str, trial: str) -> None:
         trial_id, _ = self._trial_row(application, experiment, trial)
-        with self._transaction():
+        with observe.span("perfdmf.delete_trial", application=application,
+                          experiment=experiment, trial=trial), \
+                self._transaction():
             self._conn.execute("DELETE FROM trial WHERE id = ?", (trial_id,))
+            _stmt("delete", 1)
 
     def trial_metadata(self, application: str, experiment: str, trial: str) -> dict[str, Any]:
         _, meta_json = self._trial_row(application, experiment, trial)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from .. import observe
 from ..core.harness import RuleHarness
 from ..perfdmf import PerfDMF, ProfileError
 from .baseline import BaselineRegistry
@@ -70,36 +71,52 @@ def check(
     """
     registry = registry or BaselineRegistry(db)
     policy = policy or ThresholdPolicy()
-    trials = db.trials(application, experiment)
-    if not trials:
-        raise ProfileError(f"no trials stored under {application}/{experiment}")
-    candidate_name = trial or trials[-1]
-    baseline_name = registry.baseline_name(application, experiment)
-    if baseline_name is None:
-        raise ProfileError(
-            f"no baseline set for {application!r}/{experiment!r}; run "
-            "`repro-perf regress baseline set` first"
+    with observe.span("regress.check", application=application,
+                      experiment=experiment) as sp:
+        trials = db.trials(application, experiment)
+        if not trials:
+            raise ProfileError(
+                f"no trials stored under {application}/{experiment}")
+        candidate_name = trial or trials[-1]
+        baseline_name = registry.baseline_name(application, experiment)
+        if baseline_name is None:
+            raise ProfileError(
+                f"no baseline set for {application!r}/{experiment!r}; run "
+                "`repro-perf regress baseline set` first"
+            )
+        baseline = db.load_trial(application, experiment, baseline_name)
+        candidate = db.load_trial(application, experiment, candidate_name)
+        with observe.span("regress.compare", baseline=baseline_name,
+                          candidate=candidate_name):
+            report = compare_trials(
+                baseline, candidate, policy=policy,
+                application=application, experiment=experiment,
+            )
+        harness = None
+        if diagnose:
+            with observe.span("regress.diagnose"):
+                harness = diagnose_regression(report, candidate)
+        verdict = Verdict(report.verdict)
+        promoted = False
+        if auto_promote and verdict is Verdict.IMPROVED:
+            registry.set_baseline(
+                application, experiment, candidate_name,
+                reason=(
+                    f"auto-promoted: {-report.total_relative_change:.1%} faster "
+                    f"than {baseline_name}"
+                ),
+            )
+            promoted = True
+        sp.set(verdict=verdict.value, candidate=candidate_name,
+               baseline=baseline_name, promoted=promoted)
+        observe.event(
+            "regress.gate", application=application, experiment=experiment,
+            baseline=baseline_name, candidate=candidate_name,
+            verdict=verdict.value, exit_code=verdict.exit_code,
+            total_relative_change=report.total_relative_change,
+            promoted=promoted, span_id=observe.current_span_id(),
         )
-    baseline = db.load_trial(application, experiment, baseline_name)
-    candidate = db.load_trial(application, experiment, candidate_name)
-    report = compare_trials(
-        baseline, candidate, policy=policy,
-        application=application, experiment=experiment,
-    )
-    harness = None
-    if diagnose:
-        harness = diagnose_regression(report, candidate)
-    verdict = Verdict(report.verdict)
-    promoted = False
-    if auto_promote and verdict is Verdict.IMPROVED:
-        registry.set_baseline(
-            application, experiment, candidate_name,
-            reason=(
-                f"auto-promoted: {-report.total_relative_change:.1%} faster "
-                f"than {baseline_name}"
-            ),
-        )
-        promoted = True
+        observe.counter(f"regress.verdict.{verdict.value}").inc()
     return CheckOutcome(verdict, report, harness, promoted)
 
 

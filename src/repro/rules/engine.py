@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
+from .. import observe
 from .agenda import Activation, Agenda
 from .conditions import Bindings, Pattern, Test
 from .facts import Fact, FactHandle
@@ -42,6 +43,10 @@ class FiringRecord:
     bindings_summary: dict
     #: Sequence numbers of facts this firing's action asserted.
     asserted_seqs: tuple[int, ...] = ()
+    #: Id of the telemetry span covering the cycle this firing ran in
+    #: (None when telemetry is disabled) — joins the audit trail to the
+    #: self-profile timeline.
+    span_id: int | None = None
 
 
 class RuleEngine:
@@ -68,6 +73,9 @@ class RuleEngine:
         self.output: list[str] = []
         #: Chronological firing trace.
         self.trace: list[FiringRecord] = []
+        #: True when the last :meth:`run` stopped at ``max_cycles`` with
+        #: activations still queued — quiescence was NOT reached.
+        self.truncated = False
         self._cycle = 0
         #: While an action runs, collects the seqs of facts it asserts.
         self._asserting: list[int] | None = None
@@ -118,8 +126,13 @@ class RuleEngine:
     def emit(self, rule_name: str, message: str) -> None:
         line = f"[{rule_name}] {message}"
         self.output.append(line)
-        if self.echo:  # pragma: no cover - interactive convenience
-            print(line)
+        observe.event("rule.output", rule=rule_name, message=message,
+                      span_id=observe.current_span_id())
+        if self.echo:
+            # routed through the structured event log's console sink (not a
+            # bare print) so the CLI and tests can capture or redirect it;
+            # the scripted API keeps reading self.output either way
+            observe.echo(line)
 
     def reset(self) -> None:
         """Clear facts, agenda, refraction state, output, and trace."""
@@ -128,6 +141,7 @@ class RuleEngine:
         self.agenda.reset_refraction()
         self.output.clear()
         self.trace.clear()
+        self.truncated = False
         self._cycle = 0
 
     # -- matching ----------------------------------------------------------
@@ -180,49 +194,75 @@ class RuleEngine:
         """
         firings = 0
         cycles = 0
-        while True:
-            self._cycle += 1
-            cycles += 1
-            if max_cycles is not None and cycles > max_cycles:
-                break
-            if self._refresh_agenda() == 0 and len(self.agenda) == 0:
-                break
-            fired_this_cycle = 0
+        self.truncated = False
+        with observe.span("rules.run", rules=len(self.rules),
+                          facts=len(self.memory)) as run_span:
             while True:
-                activation = self.agenda.pop()
-                if activation is None:
+                self._cycle += 1
+                cycles += 1
+                if max_cycles is not None and cycles > max_cycles:
+                    # Breaking out mid-cascade is NOT quiescence: facts
+                    # asserted in the last cycle may still activate rules.
+                    # Refresh once so the undrained activations are visible,
+                    # flag the truncation, and leave them queued — a later
+                    # run() picks them up, and explain() says so instead of
+                    # silently looking quiescent.
+                    offered = self._refresh_agenda()
+                    self.truncated = offered > 0 or len(self.agenda) > 0
+                    if self.truncated:
+                        observe.event(
+                            "rules.truncated", cycle=self._cycle,
+                            queued=len(self.agenda),
+                            span_id=observe.current_span_id(),
+                        )
                     break
-                firings += 1
-                fired_this_cycle += 1
-                if firings > self.max_firings:
-                    raise RuleEngineError(
-                        f"rulebase exceeded {self.max_firings} firings; "
-                        "likely a self-activating rule without no_loop"
-                    )
-                ctx = RuleContext(self, activation.rule, activation.bindings, activation.handles)
-                before = len(self.memory)
-                self._asserting = []
-                try:
-                    activation.rule.action(ctx)
-                finally:
-                    asserted = tuple(self._asserting)
-                    self._asserting = None
-                self.trace.append(
-                    FiringRecord(
-                        cycle=self._cycle,
-                        rule_name=activation.rule.name,
-                        fact_seqs=tuple(h.seq for h in activation.handles),
-                        bindings_summary=_summarize_bindings(activation.bindings),
-                        asserted_seqs=asserted,
-                    )
-                )
-                if activation.rule.no_loop and len(self.memory) > before:
-                    # Refract this rule against facts it just asserted by
-                    # pre-registering the would-be activations.
-                    for new_act in self._match_rule(activation.rule):
-                        self.agenda.mark_fired(new_act.key)
-            if fired_this_cycle == 0:
-                break
+                with observe.span("rules.cycle", cycle=self._cycle) as cyc:
+                    if self._refresh_agenda() == 0 and len(self.agenda) == 0:
+                        break
+                    observe.histogram("rules.agenda_size").observe(
+                        len(self.agenda))
+                    cycle_span_id = observe.current_span_id()
+                    fired_this_cycle = 0
+                    while True:
+                        activation = self.agenda.pop()
+                        if activation is None:
+                            break
+                        firings += 1
+                        fired_this_cycle += 1
+                        if firings > self.max_firings:
+                            raise RuleEngineError(
+                                f"rulebase exceeded {self.max_firings} firings; "
+                                "likely a self-activating rule without no_loop"
+                            )
+                        ctx = RuleContext(self, activation.rule, activation.bindings, activation.handles)
+                        before = len(self.memory)
+                        self._asserting = []
+                        try:
+                            activation.rule.action(ctx)
+                        finally:
+                            asserted = tuple(self._asserting)
+                            self._asserting = None
+                        self.trace.append(
+                            FiringRecord(
+                                cycle=self._cycle,
+                                rule_name=activation.rule.name,
+                                fact_seqs=tuple(h.seq for h in activation.handles),
+                                bindings_summary=_summarize_bindings(activation.bindings),
+                                asserted_seqs=asserted,
+                                span_id=cycle_span_id,
+                            )
+                        )
+                        if activation.rule.no_loop and len(self.memory) > before:
+                            # Refract this rule against facts it just asserted by
+                            # pre-registering the would-be activations.
+                            for new_act in self._match_rule(activation.rule):
+                                self.agenda.mark_fired(new_act.key)
+                    cyc.set(fired=fired_this_cycle)
+                if fired_this_cycle == 0:
+                    break
+            observe.counter("rules.firings").inc(firings)
+            run_span.set(firings=firings, cycles=cycles,
+                         truncated=self.truncated)
         return firings
 
     # -- inspection ----------------------------------------------------------
@@ -239,6 +279,12 @@ class RuleEngine:
             facts = ",".join(str(s) for s in rec.fact_seqs)
             lines.append(
                 f"cycle {rec.cycle}: {rec.rule_name} fired on facts [{facts}]"
+            )
+        if self.truncated:
+            lines.append(
+                f"[TRUNCATED] run() stopped at max_cycles with "
+                f"{len(self.agenda)} activation(s) still queued — the "
+                "rulebase did NOT reach quiescence"
             )
         return lines
 

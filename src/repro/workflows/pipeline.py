@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from .. import observe
 from ..core.harness import RuleHarness
 from ..core.result import AnalysisError
 from ..knowledge import render_report, recommendations_of
@@ -55,14 +56,22 @@ def automated_analysis(
     title: str | None = None,
 ) -> PipelineResult:
     """Store a trial and run the knowledge-based diagnosis over it."""
-    trial_id = None
-    if repository is not None:
-        trial_id = repository.save_trial(application, experiment, trial,
-                                         replace=True)
-    harness = diagnose(trial)
-    report = render_report(
-        harness, title=title or f"Diagnosis of {application}/{trial.name}"
-    )
+    with observe.span("pipeline.automated_analysis",
+                      application=application, experiment=experiment,
+                      trial=trial.name) as sp:
+        trial_id = None
+        if repository is not None:
+            with observe.span("pipeline.store"):
+                trial_id = repository.save_trial(application, experiment,
+                                                 trial, replace=True)
+        with observe.span("pipeline.diagnose"):
+            harness = diagnose(trial)
+        with observe.span("pipeline.report"):
+            report = render_report(
+                harness,
+                title=title or f"Diagnosis of {application}/{trial.name}",
+            )
+        sp.set(recommendations=len(harness.facts("Recommendation")))
     return PipelineResult(trial, harness, report, trial_id)
 
 
@@ -106,23 +115,30 @@ def regression_gate(
     """
     from ..regress import BaselineRegistry, check
 
-    repository.save_trial(application, experiment, trial, replace=True)
-    registry = BaselineRegistry(repository)
-    if registry.baseline_name(application, experiment) is None:
-        if not set_baseline_if_missing:
-            raise AnalysisError(
-                f"regression_gate: no baseline for {application}/{experiment}"
+    with observe.span("pipeline.regression_gate", application=application,
+                      experiment=experiment, trial=trial.name) as sp:
+        repository.save_trial(application, experiment, trial, replace=True)
+        registry = BaselineRegistry(repository)
+        if registry.baseline_name(application, experiment) is None:
+            if not set_baseline_if_missing:
+                raise AnalysisError(
+                    f"regression_gate: no baseline for {application}/{experiment}"
+                )
+            registry.set_baseline(
+                application, experiment, trial.name,
+                reason="regression_gate: first trial through the gate",
             )
-        registry.set_baseline(
-            application, experiment, trial.name,
-            reason="regression_gate: first trial through the gate",
+            sp.set(verdict="baseline-created")
+            observe.event("regress.gate", application=application,
+                          experiment=experiment, trial=trial.name,
+                          verdict="baseline-created", exit_code=0)
+            return GateResult(trial, "baseline-created", 0)
+        outcome = check(
+            repository, application, experiment, trial.name,
+            policy=policy, diagnose=diagnose,
+            auto_promote=auto_promote, registry=registry,
         )
-        return GateResult(trial, "baseline-created", 0)
-    outcome = check(
-        repository, application, experiment, trial.name,
-        policy=policy, diagnose=diagnose,
-        auto_promote=auto_promote, registry=registry,
-    )
+        sp.set(verdict=outcome.verdict.value, exit_code=outcome.exit_code)
     return GateResult(
         trial,
         outcome.verdict.value,
@@ -145,19 +161,24 @@ def compile_and_profile(
 ) -> tuple[CompiledProgram, Trial]:
     """OpenUH front half: compile, instrument, execute, emit a trial."""
     machine = machine or uniform_machine(1)
-    compiled = compile_program(program, level)
-    spec = instrumentation or InstrumentationSpec(procedures=True)
-    plan = plan_instrumentation(program, spec, call_counts=call_counts)
-    profiler = Profiler(machine)
-    run_instrumented(compiled, plan, machine, profiler, 0, calls=calls)
-    trial = profiler.to_trial(
-        trial_name or f"{program.name}_{level}",
-        {
-            "application": program.name,
-            "optimization_level": level,
-            "instrumented_events": plan.selected_events(),
-        },
-    )
+    with observe.span("pipeline.compile_and_profile",
+                      program=program.name, level=level):
+        with observe.span("pipeline.compile"):
+            compiled = compile_program(program, level)
+        spec = instrumentation or InstrumentationSpec(procedures=True)
+        with observe.span("pipeline.instrument"):
+            plan = plan_instrumentation(program, spec, call_counts=call_counts)
+        profiler = Profiler(machine)
+        with observe.span("pipeline.execute", calls=calls):
+            run_instrumented(compiled, plan, machine, profiler, 0, calls=calls)
+        trial = profiler.to_trial(
+            trial_name or f"{program.name}_{level}",
+            {
+                "application": program.name,
+                "optimization_level": level,
+                "instrumented_events": plan.selected_events(),
+            },
+        )
     return compiled, trial
 
 

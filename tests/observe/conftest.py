@@ -1,0 +1,17 @@
+"""Shared fixture: enable telemetry for one test, always disable after.
+
+Telemetry is process-global; leaking an enabled tracer into unrelated
+tests would silently change their behavior (and timings), so the fixture
+guarantees cleanup.
+"""
+
+import pytest
+
+from repro import observe
+
+
+@pytest.fixture
+def traced():
+    tracer = observe.enable(fresh=True)
+    yield tracer
+    observe.disable()

@@ -1,0 +1,117 @@
+"""CLI: `repro-perf trace ...`, `trace report/export`, and `explain`."""
+
+import json
+
+import pytest
+
+from repro import observe
+from repro.cli import main
+from repro.observe.bridge import SELF_APPLICATION
+
+
+@pytest.fixture(autouse=True)
+def _observe_cleanup():
+    """The trace verb toggles global telemetry; never leak it."""
+    yield
+    observe.disable()
+
+
+class TestTraceVerb:
+    def test_traced_run_exports_and_dogfoods(self, tmp_path, capsys):
+        db = tmp_path / "t.db"
+        prefix = tmp_path / "trace"
+        rc = main([
+            "trace", "--trace-out", str(prefix),
+            "run-msa", "--sequences", "40", "--threads", "4",
+            "--db", str(db),
+        ])
+        assert rc == 0
+        jsonl = tmp_path / "trace.jsonl"
+        chrome = tmp_path / "trace.json"
+        assert jsonl.exists() and chrome.exists()
+        doc = json.loads(chrome.read_text())
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+        # self-profile landed next to the application profile
+        from repro.perfdmf import PerfDMF
+
+        with PerfDMF(db) as repo:
+            assert SELF_APPLICATION in repo.applications()
+            assert repo.trials(SELF_APPLICATION, "run-msa") == ["run_0001"]
+            self_trial = repo.load_trial(SELF_APPLICATION, "run-msa",
+                                         "run_0001")
+        assert "cli.run-msa" in self_trial.event_names()
+        out = capsys.readouterr().out
+        assert "Self-telemetry report" in out
+        assert "self-profile stored" in out
+
+    def test_trace_then_regress_check_end_to_end(self, tmp_path):
+        """The acceptance criterion: two traced runs, then the sentinel
+        gates the analyzer's own profile."""
+        db = str(tmp_path / "t.db")
+        for _ in range(2):
+            rc = main(["trace", "--trace-out", str(tmp_path / "trace"),
+                       "run-msa", "--sequences", "40", "--threads", "4",
+                       "--db", db])
+            assert rc == 0
+        assert main(["regress", "baseline", "set", "--db", db,
+                     "--app", SELF_APPLICATION, "--exp", "run-msa",
+                     "--trial", "run_0001"]) == 0
+        rc = main(["regress", "check", "--db", db,
+                   "--app", SELF_APPLICATION, "--exp", "run-msa",
+                   "--threshold", "1000", "--no-diagnose"])
+        # the gate ran end to end on the analyzer's own profile; whether
+        # run-to-run jitter trips the total-change threshold is timing-
+        # dependent, so accept both gate outcomes (but not an error)
+        assert rc in (0, 1)
+
+    def test_trace_without_command_errors(self, capsys):
+        assert main(["trace"]) == 2
+        assert "missing command" in capsys.readouterr().err
+
+    def test_trace_trace_rejected(self, capsys):
+        assert main(["trace", "trace", "run-msa"]) == 2
+        assert "cannot trace the tracer" in capsys.readouterr().err
+
+    def test_telemetry_off_after_trace(self, tmp_path):
+        main(["trace", "--trace-out", str(tmp_path / "t"),
+              "run-msa", "--sequences", "40", "--threads", "2"])
+        assert not observe.enabled()
+
+
+class TestTraceTools:
+    @pytest.fixture
+    def trace_file(self, tmp_path):
+        prefix = tmp_path / "trace"
+        main(["trace", "--trace-out", str(prefix),
+              "run-msa", "--sequences", "40", "--threads", "2"])
+        return tmp_path / "trace.jsonl"
+
+    def test_report(self, trace_file, capsys):
+        assert main(["trace", "report", "--trace", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Self-telemetry report" in out
+        assert "cli.run-msa" in out
+
+    def test_export_chrome(self, trace_file, tmp_path, capsys):
+        out_path = tmp_path / "chrome.json"
+        assert main(["trace", "export", "--trace", str(trace_file),
+                     "--out", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "cli.run-msa" in names
+
+
+class TestExplainVerb:
+    def test_explain_renders_audit_trail(self, tmp_path, capsys):
+        db = str(tmp_path / "t.db")
+        main(["run-msa", "--sequences", "40", "--threads", "4", "--db", db])
+        capsys.readouterr()
+        rc = main(["explain", "--db", db, "--app", "MSAP", "--exp", "static",
+                   "--trial", "1_4", "--script", "load-balance"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Rule-firing audit trail" in out
+        assert "fired on facts" in out
+        # every recommendation comes with a provenance chain
+        if "recommendation(s)" in out:
+            assert "asserted by rule" in out

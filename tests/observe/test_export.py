@@ -1,0 +1,114 @@
+"""Exporters: JSONL round-trip, Chrome trace_event structure, report."""
+
+import json
+
+from repro import observe
+from repro.observe import export as ex
+
+
+def _sample_trace(traced):
+    with observe.span("cli.run", argv="run-msa"):
+        with observe.span("perfdmf.save_trial", rows=10):
+            pass
+        with observe.span("rules.run"):
+            with observe.span("rules.cycle", cycle=1):
+                pass
+    observe.counter("rules.firings").inc(3)
+    observe.histogram("rules.agenda_size").observe(2.0)
+    observe.event("regress.gate", verdict="ok", exit_code=0)
+    return traced
+
+
+class TestJsonlRoundTrip:
+    def test_write_read_identity(self, traced, tmp_path):
+        _sample_trace(traced)
+        path = tmp_path / "trace.jsonl"
+        n = ex.write_jsonl(traced, path)
+        records = ex.read_jsonl(path)
+        assert len(records) == n
+        assert records[0]["type"] == "meta"
+        spans = ex.spans_from_records(records)
+        assert [s["name"] for s in spans] == [
+            "perfdmf.save_trial", "rules.cycle", "rules.run", "cli.run"]
+        # structure survives: parent links resolve within the file
+        ids = {s["id"] for s in spans}
+        for s in spans:
+            assert s["parent"] is None or s["parent"] in ids
+        kinds = {r["type"] for r in records}
+        assert {"meta", "span", "event", "counter", "histogram"} <= kinds
+
+    def test_roundtrip_preserves_attributes(self, traced, tmp_path):
+        _sample_trace(traced)
+        path = tmp_path / "t.jsonl"
+        ex.write_jsonl(traced, path)
+        spans = ex.spans_from_records(ex.read_jsonl(path))
+        save = next(s for s in spans if s["name"] == "perfdmf.save_trial")
+        assert save["attributes"] == {"rows": 10}
+
+
+class TestChromeTrace:
+    def test_export_shape(self, traced, tmp_path):
+        _sample_trace(traced)
+        records = ex.to_jsonl_records(traced)
+        doc = ex.to_chrome_trace(records, pid=42)
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        metas = [e for e in events if e["ph"] == "M"]
+        assert len(complete) == 4
+        assert len(instants) == 1
+        assert metas  # process/thread names present
+        for e in complete:
+            assert e["pid"] == 42
+            assert e["ts"] >= 0.0
+            assert e["dur"] >= 0.0
+            assert e["cat"] == e["name"].split(".", 1)[0]
+            assert "span_id" in e["args"]
+
+    def test_file_is_valid_json_and_loadable(self, traced, tmp_path):
+        _sample_trace(traced)
+        out = tmp_path / "chrome.json"
+        n = ex.write_chrome_trace(ex.to_jsonl_records(traced), out)
+        doc = json.loads(out.read_text())
+        assert len(doc["traceEvents"]) == n
+
+    def test_roundtrip_through_jsonl_file(self, traced, tmp_path):
+        """JSONL written to disk converts to the same Chrome doc as the
+        in-memory records — the `trace export` CLI path."""
+        _sample_trace(traced)
+        jsonl = tmp_path / "t.jsonl"
+        ex.write_jsonl(traced, jsonl)
+        direct = ex.to_chrome_trace(ex.to_jsonl_records(traced))
+        via_file = ex.to_chrome_trace(ex.read_jsonl(jsonl))
+        assert direct == via_file
+
+    def test_error_span_marked(self, traced):
+        try:
+            with observe.span("doomed"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        doc = ex.to_chrome_trace(ex.to_jsonl_records(traced))
+        doomed = next(e for e in doc["traceEvents"] if e["name"] == "doomed")
+        assert "error" in doomed["args"]
+
+
+class TestReport:
+    def test_summary_self_vs_total(self, traced):
+        _sample_trace(traced)
+        rows = ex.span_summary(ex.to_jsonl_records(traced))
+        by_name = {r["name"]: r for r in rows}
+        cli = by_name["cli.run"]
+        assert cli["calls"] == 1
+        # self time excludes the two direct children
+        assert cli["self"] <= cli["wall"]
+        assert by_name["rules.cycle"]["wall"] <= by_name["rules.run"]["wall"]
+
+    def test_render_contains_spans_and_metrics(self, traced):
+        _sample_trace(traced)
+        text = ex.render_report(ex.to_jsonl_records(traced))
+        assert "cli.run" in text
+        assert "rules.firings" in text
+        assert "rules.agenda_size" in text
+        assert "structured events" in text

@@ -1,0 +1,83 @@
+"""Counters, gauges, and histogram percentiles."""
+
+import pytest
+
+from repro.observe import Histogram, MetricsRegistry
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(4)
+        assert reg.counter("c").value == 5
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(3)
+        reg.gauge("g").set(7)
+        assert reg.gauge("g").value == 7.0
+
+    def test_snapshot_is_name_ordered_and_typed(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc(2)
+        reg.gauge("depth").set(4)
+        reg.histogram("h").observe(1.0)
+        snap = reg.snapshot()
+        assert [r["name"] for r in snap] == ["a", "b", "depth", "h"]
+        assert snap[0]["type"] == "counter"
+        assert snap[2]["type"] == "gauge"
+        assert snap[3]["type"] == "histogram"
+
+
+class TestHistogram:
+    def test_exact_percentiles_small(self):
+        h = Histogram("lat")
+        for v in [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]:
+            h.observe(v)
+        assert h.percentile(0) == 1
+        assert h.percentile(100) == 10
+        assert h.percentile(50) == pytest.approx(5.5)
+        assert h.percentile(90) == pytest.approx(9.1)
+        assert h.count == 10
+        assert h.mean == pytest.approx(5.5)
+        assert h.min == 1 and h.max == 10
+
+    def test_percentile_interpolates(self):
+        h = Histogram("x")
+        h.observe(0.0)
+        h.observe(100.0)
+        assert h.percentile(25) == pytest.approx(25.0)
+
+    def test_percentile_bounds_checked(self):
+        h = Histogram("x")
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_empty_histogram_summary(self):
+        h = Histogram("x")
+        s = h.summary()
+        assert s["count"] == 0
+        assert s["p50"] == 0.0
+        assert s["min"] == 0.0 and s["max"] == 0.0
+
+    def test_reservoir_thins_but_keeps_extremes_and_count(self):
+        h = Histogram("big", max_samples=128)
+        n = 10_000
+        for v in range(n):
+            h.observe(float(v))
+        assert h.count == n
+        assert h.min == 0.0 and h.max == float(n - 1)
+        assert len(h._samples) <= 128
+        # thinned percentiles stay within a few percent of truth
+        assert h.percentile(50) == pytest.approx(n / 2, rel=0.10)
+        assert h.percentile(90) == pytest.approx(0.9 * n, rel=0.10)
+
+    def test_single_observation(self):
+        h = Histogram("one")
+        h.observe(42.0)
+        assert h.percentile(50) == 42.0
+        assert h.percentile(99) == 42.0
