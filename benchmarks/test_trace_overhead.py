@@ -1,0 +1,94 @@
+"""Application-tracing overhead benchmark.
+
+The tracing hooks in :class:`~repro.runtime.Profiler` and the MPI/OpenMP
+runtimes are a single ``if self.trace is not None`` attribute check when
+tracing is off.  The contract: an *untraced* run of the instrumented code
+stays within noise of the seed's untraced runtime (< 2× band here, far
+looser than the observed delta), while full tracing's cost is reported for
+the record.  Run with ``-s`` to see the numbers.
+"""
+
+import time
+
+import pytest
+
+from conftest import print_series
+
+from repro.apps.msa import run_msa_trial
+from repro.apps.msa.sequences import generate_sequences
+from repro.runtime import EventTrace, Profiler, SnapshotProfiler
+from repro.machine import uniform_machine
+
+
+def _best_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.fixture(scope="module")
+def seqs():
+    return generate_sequences(120, seed=0)
+
+
+def _run(seqs, profiler=None):
+    return run_msa_trial(n_sequences=len(seqs), n_threads=8,
+                         schedule="static", sequences=seqs,
+                         machine=None if profiler else uniform_machine(8),
+                         profiler=profiler)
+
+
+def test_tracing_off_within_noise_of_untraced(seqs):
+    """Profiler without a trace attached is the untraced baseline; the
+    hooks must not slow it down measurably."""
+    untraced = _best_of(lambda: _run(seqs))
+
+    def traced_off():
+        # instrumented path, tracing disabled: trace=None profiler
+        _run(seqs, profiler=Profiler(uniform_machine(8)))
+
+    off = _best_of(traced_off)
+
+    def traced_on():
+        trace = EventTrace()
+        _run(seqs, profiler=SnapshotProfiler(uniform_machine(8),
+                                             trace=trace))
+        return trace
+
+    on = _best_of(traced_on)
+
+    print_series(
+        "MSA run (120 sequences, 8 threads): wall seconds by tracing mode",
+        [
+            ("untraced", untraced, 1.0),
+            ("tracing off", off, off / untraced),
+            ("tracing on", on, on / untraced),
+        ],
+        ["mode", "seconds", "vs untraced"],
+    )
+    # tracing off must stay within the noise band of the untraced path
+    assert off < untraced * 2.0
+    # and full tracing stays within an order of magnitude (sanity)
+    assert on < untraced * 10.0
+
+
+def test_trace_event_volume_scales_with_run(seqs):
+    trace = EventTrace()
+    _run(seqs, profiler=SnapshotProfiler(uniform_machine(8), trace=trace))
+    small = EventTrace()
+    run_msa_trial(n_sequences=40, n_threads=8, schedule="static",
+                  profiler=SnapshotProfiler(uniform_machine(8), trace=small))
+    assert len(trace) > 0
+    assert len(small) > 0
+    # larger run, at least as many events
+    assert len(trace) >= len(small)
+    per_event_bytes = 200  # rough upper bound per TraceEvent record
+    print_series(
+        "trace volume",
+        [(len(small.events), len(trace.events),
+          len(trace.events) * per_event_bytes / 1024.0)],
+        ["events (40 seq)", "events (120 seq)", "~KiB (120 seq)"],
+    )

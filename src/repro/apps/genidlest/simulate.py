@@ -216,10 +216,23 @@ def _contention_factor(
 
 
 def run_genidlest(
-    config: RunConfig, *, machine: Machine | None = None
+    config: RunConfig,
+    *,
+    machine: Machine | None = None,
+    profiler: Profiler | None = None,
 ) -> GenidlestResult:
-    """Simulate one configuration; returns the trial-bearing result."""
-    machine = machine or default_machine(config.n_procs)
+    """Simulate one configuration; returns the trial-bearing result.
+
+    Pass a pre-built ``profiler`` (e.g. a
+    :class:`~repro.runtime.SnapshotProfiler` with an attached
+    :class:`~repro.runtime.EventTrace`) to record the run's event timeline
+    and cut one interval snapshot per solver iteration; the profiler's
+    machine is used and must have at least ``n_procs`` CPUs.
+    """
+    if profiler is not None:
+        machine = profiler.machine
+    else:
+        machine = machine or default_machine(config.n_procs)
     if machine.n_cpus < config.n_procs:
         raise SimulationError(
             f"machine has {machine.n_cpus} cpus; need {config.n_procs}"
@@ -228,7 +241,8 @@ def run_genidlest(
     page_table = machine.new_page_table()
     for block in mesh.blocks:
         page_table.allocate(_block_region(block.id), block.bytes)
-    profiler = Profiler(machine)
+    if profiler is None:
+        profiler = Profiler(machine)
 
     if config.version == "mpi":
         _run_mpi(config, machine, mesh, page_table, profiler)
@@ -309,7 +323,7 @@ def _run_openmp(
 
     pressure = _node_pressure(page_table, mesh, owners, machine, cpus)
 
-    for _ in range(config.iterations):
+    for iteration in range(config.iterations):
         # --- ghost-cell update -------------------------------------------
         # The sequential (single-thread) exchange sees no controller
         # contention — only the concurrent parallel-copy path does.
@@ -398,6 +412,8 @@ def _run_openmp(
             schedule=Schedule("static"),
             cpus=cpus,
         )
+        # all threads are synchronized at bicgstab's implicit barrier
+        profiler.phase(f"iteration_{iteration}")
 
     end = max(profiler.clock(c) for c in cpus)
     for cpu in cpus:
@@ -476,7 +492,7 @@ def _run_mpi(
                 mpi.waitall(r, recvs[r])
             profiler.exit(cpu, EVENT_EXCHANGE)
 
-    for _ in range(config.iterations):
+    for iteration in range(config.iterations):
         for _exchange in range(EXCHANGES_PER_ITERATION):
             ghost_exchange()
 
@@ -512,6 +528,7 @@ def _run_mpi(
             profiler.exit(cpu, EVENT_BICGSTAB)
         # dot products synchronize the solver every iteration
         mpi.allreduce(8)
+        profiler.phase(f"iteration_{iteration}")
 
     for r in range(n):
         profiler.exit(mpi.cpu_of(r), EVENT_MAIN)

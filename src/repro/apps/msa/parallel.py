@@ -108,17 +108,29 @@ def run_msa_trial(
     seed: int = 0,
     machine: Machine | None = None,
     sequences: SequenceSet | None = None,
+    profiler: Profiler | None = None,
 ) -> MSATrialResult:
-    """Simulate one MSAP configuration and emit its TAU-style profile."""
+    """Simulate one MSAP configuration and emit its TAU-style profile.
+
+    Pass a pre-built ``profiler`` (e.g. a
+    :class:`~repro.runtime.SnapshotProfiler` with an attached
+    :class:`~repro.runtime.EventTrace`) to record the run's event timeline
+    and cut interval snapshots at the three algorithm phases; the
+    profiler's machine is used and must have at least ``n_threads`` CPUs.
+    """
     if isinstance(schedule, str):
         schedule = Schedule.parse(schedule)
-    machine = machine or uniform_machine(max(n_threads, 1))
+    if profiler is not None:
+        machine = profiler.machine
+    else:
+        machine = machine or uniform_machine(max(n_threads, 1))
     if machine.n_cpus < n_threads:
         raise ValueError(
             f"machine has {machine.n_cpus} cpus; need {n_threads}"
         )
     seqs = sequences or generate_sequences(n_sequences, seed=seed)
-    profiler = Profiler(machine)
+    if profiler is None:
+        profiler = Profiler(machine)
     omp = OpenMPRuntime(machine, profiler)
     cpus = list(range(n_threads))
 
@@ -132,11 +144,13 @@ def run_msa_trial(
         schedule=schedule,
         cpus=cpus,
     )
+    profiler.phase("distance_matrix")
     # Stages 2 and 3 run on the master thread; others idle at the join.
     tree_sig, merge_sig = _serial_stage_signatures(seqs)
     profiler.enter(0, EVENT_GUIDE_TREE)
     profiler.charge(0, machine.processor.execute(tree_sig))
     profiler.exit(0, EVENT_GUIDE_TREE)
+    profiler.phase("guide_tree")
     profiler.enter(0, EVENT_PROGRESSIVE)
     profiler.charge(0, machine.processor.execute(merge_sig))
     profiler.exit(0, EVENT_PROGRESSIVE)
@@ -144,6 +158,7 @@ def run_msa_trial(
     for cpu in cpus:
         profiler.advance_clock_to(cpu, end)
         profiler.exit(cpu, EVENT_MAIN)
+    profiler.phase("progressive_alignment")
 
     trial = profiler.to_trial(
         f"1_{n_threads}",

@@ -33,6 +33,14 @@ Subcommands::
     repro-perf trace export --trace F.jsonl --out F.json
         Digest or convert a previously exported trace.
 
+    repro-perf trace-app {msa,genidlest} [--out F.json] [--db F] ...
+        Run an *application* simulation with event tracing on: record the
+        per-CPU event timeline, cut interval profile snapshots at phase
+        boundaries (stored as PerfDMF sub-trials with --db), diagnose
+        wait states and phase-imbalance trajectories, and optionally
+        export a Chrome trace_event timeline with one lane per
+        rank/thread.
+
     repro-perf explain --db F --app A --exp E --trial T
         Re-run the diagnosis and render the rule-firing audit trail:
         every firing, plus the why() provenance chain of each
@@ -460,6 +468,72 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return rc
 
 
+def _cmd_trace_app(args: argparse.Namespace) -> int:
+    """Traced application run: timeline, snapshots, wait-state diagnosis."""
+    from repro.workflows import trace_application
+
+    if args.app == "msa":
+        run_kwargs = dict(
+            n_sequences=args.sequences, n_threads=args.threads,
+            schedule=args.schedule, seed=args.seed,
+        )
+    else:
+        from repro.apps.genidlest import RIB45, RIB90, RunConfig
+
+        case = RIB45 if args.case == "45rib" else RIB90
+        run_kwargs = dict(config=RunConfig(
+            case=case, version=args.version, optimized=args.optimized,
+            n_procs=args.procs, iterations=args.iterations,
+        ))
+
+    if args.db:
+        from repro.perfdmf import PerfDMF
+
+        with PerfDMF(args.db) as repo:
+            result = trace_application(
+                args.app, repository=repo, out=args.out, **run_kwargs
+            )
+    else:
+        result = trace_application(args.app, out=args.out, **run_kwargs)
+
+    trace = result.trace
+    print(f"traced {args.app} trial {result.trial.name}: "
+          f"{len(trace)} events on {len(trace.cpu_ids())} cpus, "
+          f"{trace.duration():.6f} s simulated")
+    labels = [
+        snap.metadata.get("interval", {}).get("label") or snap.name
+        for snap in result.snapshots
+    ]
+    print(f"{len(result.snapshots)} interval snapshots: " + ", ".join(labels))
+
+    if result.wait_states:
+        top = sorted(result.wait_states,
+                     key=lambda s: s.wait_seconds, reverse=True)[:10]
+        print(f"\n{len(result.wait_states)} wait states "
+              f"(top {len(top)} by wait time):")
+        for ws in top:
+            who = "thread" if ws.construct == "openmp" else "rank"
+            print(f"  {ws.kind:>18}  {who} {ws.rank} delays "
+                  f"{who} {ws.victim}  {ws.wait_seconds * 1e3:9.3f} ms"
+                  f"  in {ws.event}")
+    else:
+        print("\n(no wait states detected)")
+
+    print("\nRule-firing audit trail:")
+    for line in result.harness.explain():
+        print(f"  {line}")
+    print()
+    print(result.report)
+
+    if result.trial_id is not None:
+        print(f"stored trial + {len(result.interval_ids)} interval "
+              f"sub-trials in {args.db}")
+    if result.chrome_path:
+        print(f"Chrome trace: {result.chrome_path} "
+              "(load in about:tracing or ui.perfetto.dev)")
+    return 0
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     """Render the rule-firing audit trail for a stored trial's diagnosis."""
     from repro.core.harness import RuleHarness
@@ -613,6 +687,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("cmd", nargs=argparse.REMAINDER,
                    help="inner repro-perf command, or report/export ...")
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "trace-app",
+        help="run an app simulation with event tracing + timeline diagnosis")
+    p.add_argument("app", choices=["msa", "genidlest"])
+    p.add_argument("--out", help="Chrome trace_event JSON to write")
+    p.add_argument("--db",
+                   help="PerfDMF sqlite file for the trial + interval "
+                        "sub-trials")
+    # msa options
+    p.add_argument("--sequences", type=int, default=200)
+    p.add_argument("--threads", type=int, default=16)
+    p.add_argument("--schedule", default="static")
+    p.add_argument("--seed", type=int, default=0)
+    # genidlest options
+    p.add_argument("--case", choices=["45rib", "90rib"], default="90rib")
+    p.add_argument("--version", choices=["openmp", "mpi"], default="mpi")
+    p.add_argument("--procs", type=int, default=8)
+    p.add_argument("--iterations", type=int, default=3)
+    p.add_argument("--optimized", action="store_true")
+    p.set_defaults(func=_cmd_trace_app)
 
     p = sub.add_parser(
         "explain",

@@ -24,10 +24,31 @@ from .statistics import (
     trial_mean_result,
     trial_total_result,
 )
+from .tracing import (
+    CriticalPathOperation,
+    CriticalPathResult,
+    ImbalanceTimeline,
+    PhaseImbalanceOperation,
+    TraceToProfileOperation,
+    WaitState,
+    WaitStateOperation,
+    critical_path,
+    detect_wait_states,
+    interval_imbalance,
+    replay_trace,
+    total_wait_by_rank,
+)
 
 __all__ = [
     "BasicStatisticsOperation",
     "CorrelationOperation",
+    "CriticalPathOperation",
+    "CriticalPathResult",
+    "ImbalanceTimeline",
+    "PhaseImbalanceOperation",
+    "TraceToProfileOperation",
+    "WaitState",
+    "WaitStateOperation",
     "DeriveMetricOperation",
     "DifferenceOperation",
     "ExtractEventOperation",
@@ -44,9 +65,14 @@ __all__ = [
     "TopXEvents",
     "TopXPercentEvents",
     "TrialRatioOperation",
+    "critical_path",
     "derive_chain",
+    "detect_wait_states",
     "event_correlation",
+    "interval_imbalance",
     "kmeans",
+    "replay_trace",
+    "total_wait_by_rank",
     "trial_mean_result",
     "trial_total_result",
 ]

@@ -1,0 +1,573 @@
+"""Trace analysis operations: reduction, wait states, critical path.
+
+These operate on the event timelines recorded by
+:class:`repro.runtime.trace.EventTrace` (and the interval trials cut by
+:class:`repro.runtime.snapshot.SnapshotProfiler`) rather than on stored
+profiles, mirroring the trace-analysis half of the TAU toolchain:
+
+* :func:`replay_trace` / :class:`TraceToProfileOperation` — trace→profile
+  reduction.  A trace is a complete replay log, so feeding it through a
+  fresh profiler reproduces the original accounting exactly (the
+  consistency property ``tests/runtime/test_trace_consistency.py`` checks).
+* :func:`detect_wait_states` / :class:`WaitStateOperation` — the classic
+  SPMD wait-state patterns: **late sender** (a receiver blocks in
+  ``MPI_Waitall`` until the message lands), **late receiver** (the message
+  sat fully transferred before the receiver entered its wait — the eager-
+  protocol symmetric case), and **barrier stragglers** (MPI collectives and
+  OpenMP barriers where one participant's late arrival makes everyone
+  wait).
+* :func:`critical_path` / :class:`CriticalPathOperation` — backward walk
+  from the last CPU to finish, hopping across ranks through the wait
+  dependencies, yielding the chain of compute segments that bounds the
+  makespan.
+* :func:`interval_imbalance` / :class:`PhaseImbalanceOperation` — per-event
+  imbalance ratio (stddev/mean across threads) per interval snapshot, the
+  timeline evidence behind ``PhaseImbalanceFact``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ... import observe
+from ...machine import Machine
+from ...machine import counters as C
+from ...perfdmf import Trial
+from ...runtime import trace as T
+from ...runtime.tau import Profiler
+from ..result import AnalysisError, PerformanceResult, trial_result
+from .base import _ResultList
+
+__all__ = [
+    "WaitState",
+    "PathSegment",
+    "CriticalPathResult",
+    "ImbalanceTimeline",
+    "replay_trace",
+    "detect_wait_states",
+    "critical_path",
+    "interval_imbalance",
+    "TraceToProfileOperation",
+    "WaitStateOperation",
+    "CriticalPathOperation",
+    "PhaseImbalanceOperation",
+]
+
+
+# -- trace → profile reduction ---------------------------------------------
+
+def replay_trace(
+    trace: T.EventTrace, machine: Machine, *, callpaths: bool = False
+) -> Profiler:
+    """Reduce an event trace back to a profile by replaying it.
+
+    Only region events (enter/exit/charge/calls) drive the replay; MPI and
+    OpenMP events are derived views of the same activity and are skipped.
+    Requires the trace to have been recorded with ``record_charges=True``.
+    """
+    prof = Profiler(machine, callpaths=callpaths)
+    for ev in trace.events:
+        if ev.kind == T.ENTER:
+            prof.enter(ev.cpu, ev.name, group=ev.get("group", "TAU_DEFAULT"))
+        elif ev.kind == T.EXIT:
+            prof.exit(ev.cpu, ev.name)
+        elif ev.kind == T.CHARGE:
+            vec = ev.get("vector")
+            if vec is None:
+                raise AnalysisError(
+                    "replay_trace: trace was recorded without charge vectors "
+                    "(EventTrace(record_charges=False)); cannot reduce to a "
+                    "profile"
+                )
+            prof.charge(ev.cpu, vec, _idle=ev.get("idle", False))
+        elif ev.kind == T.CALLS:
+            prof.add_calls(ev.cpu, ev.name, ev.get("count", 0.0))
+    return prof
+
+
+# -- wait-state detection --------------------------------------------------
+
+@dataclass(frozen=True)
+class WaitState:
+    """One diagnosed wait-state instance.
+
+    ``rank`` is the *offending* participant (the late sender, the late
+    receiver, the barrier straggler); ``victim`` is the participant that
+    paid the most wait time.  For OpenMP constructs, ranks are thread
+    indices and ``construct`` is ``"openmp"``.
+    """
+
+    kind: str  # "late-sender" | "late-receiver" | "barrier-straggler"
+    rank: int
+    victim: int
+    wait_seconds: float
+    event: str
+    t_start: float
+    t_end: float
+    construct: str = "mpi"
+
+
+def _barrier_states(
+    groups: dict, *, construct: str, min_wait: float
+) -> list[WaitState]:
+    out: list[WaitState] = []
+    for (name, _seq), members in sorted(groups.items(), key=lambda kv: kv[0][1]):
+        if len(members) < 2:
+            continue
+        straggler = max(members, key=lambda m: m["arrive"])
+        worst = min(members, key=lambda m: m["arrive"])
+        wait = straggler["arrive"] - worst["arrive"]
+        if wait > min_wait:
+            out.append(WaitState(
+                kind="barrier-straggler",
+                rank=straggler["rank"],
+                victim=worst["rank"],
+                wait_seconds=wait,
+                event=name,
+                t_start=worst["arrive"],
+                t_end=straggler["arrive"],
+                construct=construct,
+            ))
+    return out
+
+
+def detect_wait_states(
+    trace: T.EventTrace, *, min_wait_seconds: float = 1e-9
+) -> list[WaitState]:
+    """Scan a trace for late-sender / late-receiver / straggler patterns."""
+    states: list[WaitState] = []
+    mpi_groups: dict = {}
+    omp_groups: dict = {}
+    for ev in trace.events:
+        if ev.kind == T.WAIT:
+            rank = ev.get("rank")
+            start = ev.get("start", ev.ts)
+            end = ev.get("end", ev.ts)
+            for req in ev.get("requests", ()):
+                if req.get("kind") != "recv":
+                    continue
+                ready = req.get("ready_at")
+                partner = req.get("partner")
+                if ready is None or partner is None:
+                    continue
+                if ready - start > min_wait_seconds:
+                    # Receiver blocked until the partner's message landed.
+                    states.append(WaitState(
+                        kind="late-sender",
+                        rank=partner,
+                        victim=rank,
+                        wait_seconds=ready - start,
+                        event=ev.name,
+                        t_start=start,
+                        t_end=min(ready, end),
+                    ))
+                elif start - ready > min_wait_seconds:
+                    # Message sat fully transferred before the receiver
+                    # entered its wait (the eager-protocol late-receiver
+                    # symptom: the receiver itself is late).
+                    states.append(WaitState(
+                        kind="late-receiver",
+                        rank=rank,
+                        victim=partner,
+                        wait_seconds=start - ready,
+                        event=ev.name,
+                        t_start=ready,
+                        t_end=start,
+                    ))
+        elif ev.kind == T.COLLECTIVE:
+            key = (ev.name, ev.get("seq"))
+            mpi_groups.setdefault(key, []).append(
+                {"rank": ev.get("rank"), "arrive": ev.get("arrive", ev.ts),
+                 "release": ev.get("release", ev.ts), "cpu": ev.cpu}
+            )
+        elif ev.kind == T.BARRIER:
+            key = (ev.name, ev.get("seq"))
+            omp_groups.setdefault(key, []).append(
+                {"rank": ev.get("thread"), "arrive": ev.get("arrive", ev.ts),
+                 "release": ev.get("release", ev.ts), "cpu": ev.cpu}
+            )
+    states.extend(_barrier_states(
+        mpi_groups, construct="mpi", min_wait=min_wait_seconds))
+    states.extend(_barrier_states(
+        omp_groups, construct="openmp", min_wait=min_wait_seconds))
+    states.sort(key=lambda s: s.t_start)
+    return states
+
+
+def total_wait_by_rank(states: Sequence[WaitState]) -> dict[int, float]:
+    """Total wait seconds *caused* per offending rank."""
+    totals: dict[int, float] = {}
+    for s in states:
+        totals[s.rank] = totals.get(s.rank, 0.0) + s.wait_seconds
+    return totals
+
+
+# -- critical path ---------------------------------------------------------
+
+@dataclass(frozen=True)
+class PathSegment:
+    cpu: int
+    event: str
+    t_start: float
+    t_end: float
+    idle: bool
+
+    @property
+    def seconds(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclass
+class CriticalPathResult:
+    """The rank-crossing chain of segments bounding the makespan."""
+
+    segments: list[PathSegment]  # forward time order
+    makespan: float
+
+    @property
+    def per_event_seconds(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for seg in self.segments:
+            if not seg.idle:
+                out[seg.event] = out.get(seg.event, 0.0) + seg.seconds
+        return out
+
+    @property
+    def compute_seconds(self) -> float:
+        return sum(s.seconds for s in self.segments if not s.idle)
+
+    @property
+    def wait_seconds(self) -> float:
+        return sum(s.seconds for s in self.segments if s.idle)
+
+    @property
+    def cpus_visited(self) -> list[int]:
+        return sorted({s.cpu for s in self.segments})
+
+
+@dataclass(frozen=True)
+class _Blocking:
+    """An interval during which a CPU was provably waiting on another."""
+
+    start: float
+    end: float
+    origin_cpu: int
+    origin_time: float
+
+
+def _blocking_intervals(trace: T.EventTrace) -> dict[int, list[_Blocking]]:
+    rank_cpu = {r: c for c, r in trace.rank_of_cpu().items()}
+    out: dict[int, list[_Blocking]] = {}
+
+    def add(cpu: int, b: _Blocking) -> None:
+        out.setdefault(cpu, []).append(b)
+
+    groups: dict = {}
+    for ev in trace.events:
+        if ev.kind == T.WAIT:
+            start = ev.get("start", ev.ts)
+            end = ev.get("end", ev.ts)
+            if end - start <= 0:
+                continue
+            # The message that completed last is the one the wait was for.
+            recvs = [r for r in ev.get("requests", ())
+                     if r.get("kind") == "recv" and r.get("ready_at") is not None]
+            if not recvs:
+                continue
+            last = max(recvs, key=lambda r: r["ready_at"])
+            origin_cpu = rank_cpu.get(last.get("partner"))
+            if origin_cpu is None:
+                continue
+            add(ev.cpu, _Blocking(start, end, origin_cpu,
+                                  last.get("posted_at") or 0.0))
+        elif ev.kind in (T.COLLECTIVE, T.BARRIER):
+            groups.setdefault((ev.kind, ev.name, ev.get("seq")), []).append(ev)
+    for members in groups.values():
+        if len(members) < 2:
+            continue
+        straggler = max(members, key=lambda e: e.get("arrive", e.ts))
+        s_arrive = straggler.get("arrive", straggler.ts)
+        for ev in members:
+            if ev is straggler:
+                continue
+            arrive = ev.get("arrive", ev.ts)
+            release = ev.get("release", ev.ts)
+            if release - arrive > 0:
+                add(ev.cpu, _Blocking(arrive, release, straggler.cpu, s_arrive))
+    for lst in out.values():
+        lst.sort(key=lambda b: b.end)
+    return out
+
+
+def critical_path(trace: T.EventTrace) -> CriticalPathResult:
+    """Extract the critical path by walking backward from the last CPU to
+    finish, hopping to the blocking CPU whenever the walk lands in an idle
+    interval caused by a message or barrier dependency."""
+    eps = 1e-12
+    charges: dict[int, list[tuple[float, float, str, bool]]] = {}
+    for ev in trace.events:
+        if ev.kind == T.CHARGE:
+            sec = ev.get("seconds", 0.0)
+            charges.setdefault(ev.cpu, []).append(
+                (ev.ts, ev.ts + sec, ev.name, bool(ev.get("idle")))
+            )
+    if not charges:
+        return CriticalPathResult([], 0.0)
+    blocking = _blocking_intervals(trace)
+    clocks = trace.final_clocks()
+    cpu = max(clocks, key=lambda c: clocks[c])
+    t = clocks[cpu]
+    makespan = t
+    raw: list[PathSegment] = []
+    budget = 4 * sum(len(v) for v in charges.values()) + 16
+    while t > eps and budget > 0:
+        budget -= 1
+        lane = charges.get(cpu, [])
+        # Last charge starting strictly before t: charges tile each CPU's
+        # clock, so t falls inside (start, end] of exactly one of them.
+        lo, hi = 0, len(lane)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if lane[mid][0] < t - eps:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == 0:
+            break
+        start, end, name, idle = lane[lo - 1]
+        if idle:
+            jump = None
+            for b in blocking.get(cpu, ()):
+                if b.start - eps <= t <= b.end + eps and b.origin_time < t - eps:
+                    jump = b
+                    break
+            if jump is not None:
+                hop = max(start, jump.origin_time)
+                raw.append(PathSegment(cpu, name, hop, t, True))
+                cpu, t = jump.origin_cpu, jump.origin_time
+                continue
+            raw.append(PathSegment(cpu, name, start, t, True))
+        else:
+            raw.append(PathSegment(cpu, name, start, t, False))
+        t = start
+    # merge adjacent same-(cpu, event, idle) segments, forward order
+    raw.reverse()
+    merged: list[PathSegment] = []
+    for seg in raw:
+        if seg.seconds <= eps:
+            continue
+        if (merged
+                and merged[-1].cpu == seg.cpu
+                and merged[-1].event == seg.event
+                and merged[-1].idle == seg.idle
+                and abs(merged[-1].t_end - seg.t_start) <= eps):
+            merged[-1] = PathSegment(
+                seg.cpu, seg.event, merged[-1].t_start, seg.t_end, seg.idle
+            )
+        else:
+            merged.append(seg)
+    return CriticalPathResult(merged, makespan)
+
+
+# -- interval imbalance ----------------------------------------------------
+
+@dataclass(frozen=True)
+class ImbalanceTimeline:
+    """Per-interval imbalance ratios for one event across snapshots."""
+
+    event: str
+    ratios: tuple[float, ...]
+    labels: tuple  # interval labels (may contain None)
+    #: The event's mean share of total exclusive time across intervals —
+    #: a severity proxy, like the profile rules' severity.
+    mean_share: float
+
+    @property
+    def first_ratio(self) -> float:
+        return self.ratios[0]
+
+    @property
+    def last_ratio(self) -> float:
+        return self.ratios[-1]
+
+    @property
+    def max_ratio(self) -> float:
+        return max(self.ratios)
+
+    @property
+    def worst_interval(self) -> int:
+        return int(np.argmax(self.ratios))
+
+    @property
+    def growth(self) -> float:
+        """last/first ratio; inf when imbalance appears from nothing."""
+        if self.first_ratio > 0:
+            return self.last_ratio / self.first_ratio
+        return float("inf") if self.last_ratio > 0 else 1.0
+
+    @property
+    def slope(self) -> float:
+        """Least-squares slope of ratio over interval index."""
+        if len(self.ratios) < 2:
+            return 0.0
+        x = np.arange(len(self.ratios), dtype=float)
+        return float(np.polyfit(x, np.asarray(self.ratios), 1)[0])
+
+    @property
+    def trend(self) -> str:
+        if len(self.ratios) >= 2 and self.slope > 0 and \
+                self.last_ratio >= 1.2 * self.first_ratio:
+            return "growing"
+        if len(self.ratios) >= 2 and self.slope < 0 and \
+                self.last_ratio <= 0.8 * self.first_ratio:
+            return "shrinking"
+        return "steady"
+
+
+def interval_imbalance(
+    snapshots: Sequence[Trial],
+    *,
+    metric: str = C.TIME,
+    min_share: float = 0.0,
+) -> list[ImbalanceTimeline]:
+    """Compute per-event imbalance ratios over a snapshot sequence.
+
+    For each flat event, each interval contributes stddev/mean of the
+    event's exclusive ``metric`` across threads — the paper's imbalance
+    statistic, now resolved in time.  Events whose share of total time is
+    at most ``min_share`` are dropped.
+    """
+    if not snapshots:
+        raise AnalysisError("interval_imbalance: no snapshots")
+    n = len(snapshots)
+    # pre-sized rows keep interval alignment for events that only appear
+    # partway through the run (absent intervals contribute ratio/share 0)
+    ratio_rows: dict[str, list[float]] = {}
+    share_rows: dict[str, list[float]] = {}
+    labels = []
+    for i, trial in enumerate(snapshots):
+        labels.append((trial.metadata.get("interval") or {}).get("label"))
+        excl = trial.exclusive_array(metric)
+        total = float(excl.sum())
+        for e, event in enumerate(trial.events):
+            if event.is_callpath:
+                continue
+            row = excl[e]
+            mean = float(row.mean())
+            ratio = float(row.std() / mean) if mean > 0 else 0.0
+            share = float(row.sum() / total) if total > 0 else 0.0
+            ratio_rows.setdefault(event.name, [0.0] * n)[i] = ratio
+            share_rows.setdefault(event.name, [0.0] * n)[i] = share
+    out = []
+    for name, ratios in ratio_rows.items():
+        shares = share_rows[name]
+        mean_share = float(np.mean(shares)) if shares else 0.0
+        if mean_share <= min_share:
+            continue
+        out.append(ImbalanceTimeline(
+            event=name,
+            ratios=tuple(ratios),
+            labels=tuple(labels),
+            mean_share=mean_share,
+        ))
+    out.sort(key=lambda tl: tl.mean_share, reverse=True)
+    return out
+
+
+# -- operation wrappers ----------------------------------------------------
+
+class _TraceOperation:
+    """Minimal operation shim for trace inputs (not PerformanceResults):
+    same ``process_data``/``processData`` contract as
+    :class:`PerformanceAnalysisOperation`, wrapped in a telemetry span."""
+
+    def __init__(self) -> None:
+        self.outputs: list = []
+
+    def _run(self) -> list:
+        raise NotImplementedError
+
+    def process_data(self) -> list:
+        if observe.enabled():
+            with observe.span(f"operation.{type(self).__name__}") as sp:
+                self.outputs = self._run()
+                sp.set(outputs=len(self.outputs))
+        else:
+            self.outputs = self._run()
+        return self.outputs
+
+    def processData(self) -> _ResultList:
+        return _ResultList(self.process_data())
+
+
+class TraceToProfileOperation(_TraceOperation):
+    """Reduce an event trace to a profile result (TAU's trace2profile)."""
+
+    def __init__(
+        self,
+        trace: T.EventTrace,
+        machine: Machine,
+        *,
+        name: str = "replayed",
+        callpaths: bool = False,
+    ) -> None:
+        super().__init__()
+        self.trace = trace
+        self.machine = machine
+        self.name = name
+        self.callpaths = callpaths
+
+    def _run(self) -> list[PerformanceResult]:
+        prof = replay_trace(self.trace, self.machine, callpaths=self.callpaths)
+        return [trial_result(prof.to_trial(self.name))]
+
+
+class WaitStateOperation(_TraceOperation):
+    """Detect late-sender / late-receiver / straggler wait states."""
+
+    def __init__(
+        self, trace: T.EventTrace, *, min_wait_seconds: float = 1e-9
+    ) -> None:
+        super().__init__()
+        self.trace = trace
+        self.min_wait_seconds = min_wait_seconds
+
+    def _run(self) -> list[WaitState]:
+        return detect_wait_states(
+            self.trace, min_wait_seconds=self.min_wait_seconds
+        )
+
+
+class CriticalPathOperation(_TraceOperation):
+    """Extract the cross-rank critical path from a trace."""
+
+    def __init__(self, trace: T.EventTrace) -> None:
+        super().__init__()
+        self.trace = trace
+
+    def _run(self) -> list[CriticalPathResult]:
+        return [critical_path(self.trace)]
+
+
+class PhaseImbalanceOperation(_TraceOperation):
+    """Per-interval imbalance timelines over snapshot sub-trials."""
+
+    def __init__(
+        self,
+        snapshots: Sequence[Trial],
+        *,
+        metric: str = C.TIME,
+        min_share: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self.snapshots = list(snapshots)
+        self.metric = metric
+        self.min_share = min_share
+
+    def _run(self) -> list[ImbalanceTimeline]:
+        return interval_imbalance(
+            self.snapshots, metric=self.metric, min_share=self.min_share
+        )

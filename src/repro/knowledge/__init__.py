@@ -7,11 +7,13 @@ from .facts_gen import (
     imbalance_facts,
     inefficiency_facts,
     locality_facts,
+    phase_imbalance_facts,
     power_level_facts,
     serialization_facts,
     stall_decomposition_facts,
     stall_rate_facts,
     thread_cluster_facts,
+    wait_state_facts,
 )
 from .recommendations import (
     Recommendation,
@@ -30,6 +32,7 @@ from .rulebase import (
     diagnose_load_balance,
     diagnose_locality,
     diagnose_stalls,
+    diagnose_timeline,
     openuh_rules,
     prl_rules,
     recommend_power_levels,
@@ -39,6 +42,7 @@ from .rules_def import (
     IMBALANCE_SEVERITY_THRESHOLD,
     STALL_COVERAGE_THRESHOLD,
     STALL_RATE_SEVERITY_THRESHOLD,
+    WAIT_STATE_SEVERITY_THRESHOLD,
 )
 
 __all__ = [
@@ -51,14 +55,17 @@ __all__ = [
     "STALL_COVERAGE_THRESHOLD",
     "STALL_RATE_METRIC",
     "STALL_RATE_SEVERITY_THRESHOLD",
+    "WAIT_STATE_SEVERITY_THRESHOLD",
     "diagnose_genidlest",
     "diagnose_load_balance",
     "diagnose_locality",
     "diagnose_stalls",
+    "diagnose_timeline",
     "imbalance_facts",
     "inefficiency_facts",
     "locality_facts",
     "openuh_rules",
+    "phase_imbalance_facts",
     "power_level_facts",
     "prl_rules",
     "recommend_power_levels",
@@ -71,4 +78,5 @@ __all__ = [
     "stall_rate_facts",
     "summarize_categories",
     "thread_cluster_facts",
+    "wait_state_facts",
 ]

@@ -321,3 +321,79 @@ def power_level_facts(measurements: list[LevelMeasurement]) -> list[Fact]:
         )
         for m in measurements
     ]
+
+
+def wait_state_facts(
+    states,
+    *,
+    trial: str = "trace",
+    wall_seconds: float | None = None,
+) -> list[Fact]:
+    """Trace script: aggregate diagnosed wait states into rule facts.
+
+    Instances are grouped by (kind, offending rank, construct, event) and
+    their wait seconds summed, so one fact says "rank 3's late sends cost
+    4.2 ms across 12 waits" instead of twelve separate whispers.  Severity
+    is the group's share of the run's wall time (like the profile rules'
+    severity), or the raw seconds when ``wall_seconds`` is unknown.
+    """
+    groups: dict[tuple, list] = {}
+    for s in states:
+        groups.setdefault((s.kind, s.rank, s.construct, s.event), []).append(s)
+    facts = []
+    for (kind, rank, construct, event), members in sorted(groups.items()):
+        total = sum(m.wait_seconds for m in members)
+        victims = {}
+        for m in members:
+            victims[m.victim] = victims.get(m.victim, 0.0) + m.wait_seconds
+        worst_victim = max(victims, key=lambda v: victims[v])
+        severity = total / wall_seconds if wall_seconds else total
+        facts.append(
+            Fact(
+                "WaitStateFact",
+                trial=trial,
+                kind=kind,
+                rank=rank,
+                victimRank=worst_victim,
+                construct=construct,
+                eventName=event,
+                occurrences=len(members),
+                waitSeconds=total,
+                severity=float(severity),
+            )
+        )
+    return facts
+
+
+def phase_imbalance_facts(
+    snapshots,
+    *,
+    trial: str = "run",
+    metric: str = C.TIME,
+    min_share: float = 0.01,
+) -> list[Fact]:
+    """Timeline script: per-event imbalance trajectories over interval
+    snapshots — the evidence behind "imbalance grows over iterations"."""
+    from ..core.operations.tracing import interval_imbalance
+
+    facts = []
+    for tl in interval_imbalance(snapshots, metric=metric, min_share=min_share):
+        worst = tl.worst_interval
+        facts.append(
+            Fact(
+                "PhaseImbalanceFact",
+                trial=trial,
+                eventName=tl.event,
+                intervals=len(tl.ratios),
+                firstRatio=tl.first_ratio,
+                lastRatio=tl.last_ratio,
+                maxRatio=tl.max_ratio,
+                worstInterval=worst,
+                worstLabel=tl.labels[worst],
+                growth=tl.growth,
+                slope=tl.slope,
+                trend=tl.trend,
+                severity=tl.mean_share,
+            )
+        )
+    return facts

@@ -26,10 +26,12 @@ from .facts_gen import (
     thread_cluster_facts,
     inefficiency_facts,
     locality_facts,
+    phase_imbalance_facts,
     power_level_facts,
     serialization_facts,
     stall_decomposition_facts,
     stall_rate_facts,
+    wait_state_facts,
 )
 
 RULEBASE_NAME = "openuh-rules"
@@ -84,6 +86,11 @@ def openuh_rules(**threshold_overrides) -> list[Rule]:
         take(rules_def.data_locality_rule, "severity_threshold"),
         take(rules_def.sequential_bottleneck_rule,
              "concentration_threshold", "severity_threshold"),
+        take(rules_def.late_sender_rule, "severity_threshold"),
+        take(rules_def.late_receiver_rule, "severity_threshold"),
+        take(rules_def.barrier_straggler_rule, "severity_threshold"),
+        take(rules_def.phase_imbalance_rule,
+             "ratio_threshold", "severity_threshold"),
         rules_def.thread_population_rule(),
         rules_def.lowest_power_rule(),
         rules_def.lowest_energy_rule(),
@@ -152,6 +159,35 @@ def diagnose_genidlest(
     h.assertObjects(locality_facts(result))
     h.assertObjects(serialization_facts(result))
     h.assertObjects(trial_metadata_facts(result))
+    h.processRules()
+    return h
+
+
+def diagnose_timeline(
+    *,
+    trace=None,
+    snapshots=None,
+    trial: str = "run",
+    harness: RuleHarness | None = None,
+    min_wait_seconds: float = 1e-9,
+    **overrides,
+) -> RuleHarness:
+    """Trace/timeline diagnosis: wait states from an event trace plus
+    phase-imbalance trajectories from interval snapshots.
+
+    Either input may be omitted; whatever evidence is available becomes
+    facts and the timeline rules fire over it.
+    """
+    from ..core.operations.tracing import detect_wait_states
+
+    h = harness or _harness(**overrides)
+    if trace is not None:
+        states = detect_wait_states(trace, min_wait_seconds=min_wait_seconds)
+        h.assertObjects(wait_state_facts(
+            states, trial=trial, wall_seconds=trace.duration() or None
+        ))
+    if snapshots:
+        h.assertObjects(phase_imbalance_facts(snapshots, trial=trial))
     h.processRules()
     return h
 

@@ -490,3 +490,227 @@ def balanced_power_energy_rule() -> Rule:
         .then(action)
         .build()
     )
+
+
+# -- trace/timeline rules -----------------------------------------------------
+WAIT_STATE_SEVERITY_THRESHOLD = 0.05
+
+
+def late_sender_rule(
+    *, severity_threshold: float = WAIT_STATE_SEVERITY_THRESHOLD
+) -> Rule:
+    """Trace diagnosis: a rank whose late sends make receivers block."""
+
+    def action(ctx: RuleContext) -> None:
+        ctx.log(
+            f"Late sender: rank {ctx['r']} delivered messages late "
+            f"{ctx['n']} time(s); receivers (worst: rank {ctx['v']}) spent "
+            f"{ctx['ws']*1e3:.3f} ms blocked in {ctx['ev']}."
+        )
+        ctx.log(
+            "    Post the matching sends earlier, or overlap the wait with "
+            "independent computation on the receiving rank."
+        )
+        ctx.insert(
+            "Recommendation",
+            category="late-sender",
+            event=ctx["ev"],
+            rank=ctx["r"],
+            victim=ctx["v"],
+            severity=ctx["sev"],
+            wait_seconds=ctx["ws"],
+            message=f"rank {ctx['r']} sends late; receivers idle in {ctx['ev']}",
+        )
+
+    return (
+        RuleBuilder(
+            "Late sender",
+            salience=9,
+            doc="wait-state analysis: receiver blocked until a message landed",
+        )
+        .when(
+            "w",
+            "WaitStateFact",
+            ("kind", "==", "late-sender"),
+            "r := rank",
+            "v := victimRank",
+            "ws := waitSeconds",
+            "n := occurrences",
+            "ev := eventName",
+            "sev := severity",
+            ("severity", ">", severity_threshold),
+        )
+        .then(action)
+        .build()
+    )
+
+
+def late_receiver_rule(
+    *, severity_threshold: float = WAIT_STATE_SEVERITY_THRESHOLD
+) -> Rule:
+    """Trace diagnosis: messages sat fully transferred while the receiver
+    was busy elsewhere (eager-protocol late receiver)."""
+
+    def action(ctx: RuleContext) -> None:
+        ctx.log(
+            f"Late receiver: rank {ctx['r']} entered {ctx['ev']} after its "
+            f"messages (from rank {ctx['v']}) had already arrived, "
+            f"{ctx['n']} time(s), {ctx['ws']*1e3:.3f} ms of queueing."
+        )
+        ctx.insert(
+            "Recommendation",
+            category="late-receiver",
+            event=ctx["ev"],
+            rank=ctx["r"],
+            victim=ctx["v"],
+            severity=ctx["sev"],
+            wait_seconds=ctx["ws"],
+            message=f"rank {ctx['r']} consumes messages late in {ctx['ev']}",
+        )
+
+    return (
+        RuleBuilder(
+            "Late receiver",
+            salience=9,
+            doc="wait-state analysis: message queued before the receiver waited",
+        )
+        .when(
+            "w",
+            "WaitStateFact",
+            ("kind", "==", "late-receiver"),
+            "r := rank",
+            "v := victimRank",
+            "ws := waitSeconds",
+            "n := occurrences",
+            "ev := eventName",
+            "sev := severity",
+            ("severity", ">", severity_threshold),
+        )
+        .then(action)
+        .build()
+    )
+
+
+def barrier_straggler_rule(
+    *, severity_threshold: float = WAIT_STATE_SEVERITY_THRESHOLD
+) -> Rule:
+    """Trace diagnosis: one participant's late arrival stalls a barrier or
+    collective for everyone (MPI ranks or OpenMP threads)."""
+
+    def action(ctx: RuleContext) -> None:
+        who = "thread" if ctx["con"] == "openmp" else "rank"
+        ctx.log(
+            f"Barrier straggler: {who} {ctx['r']} arrived last at "
+            f"{ctx['ev']} {ctx['n']} time(s); the earliest {who} "
+            f"({ctx['v']}) lost {ctx['ws']*1e3:.3f} ms waiting."
+        )
+        ctx.log(
+            f"    Rebalance the work feeding {ctx['ev']} so {who} "
+            f"{ctx['r']} stops arriving last."
+        )
+        ctx.insert(
+            "Recommendation",
+            category="barrier-straggler",
+            event=ctx["ev"],
+            rank=ctx["r"],
+            victim=ctx["v"],
+            construct=ctx["con"],
+            severity=ctx["sev"],
+            wait_seconds=ctx["ws"],
+            message=f"{who} {ctx['r']} straggles into {ctx['ev']}",
+        )
+
+    return (
+        RuleBuilder(
+            "Barrier straggler",
+            salience=9,
+            doc="wait-state analysis: last arrival dominates barrier time",
+        )
+        .when(
+            "w",
+            "WaitStateFact",
+            ("kind", "==", "barrier-straggler"),
+            "r := rank",
+            "v := victimRank",
+            "ws := waitSeconds",
+            "n := occurrences",
+            "ev := eventName",
+            "con := construct",
+            "sev := severity",
+            ("severity", ">", severity_threshold),
+        )
+        .then(action)
+        .build()
+    )
+
+
+def phase_imbalance_rule(
+    *,
+    ratio_threshold: float = IMBALANCE_RATIO_THRESHOLD,
+    severity_threshold: float = IMBALANCE_SEVERITY_THRESHOLD,
+) -> Rule:
+    """Timeline diagnosis: imbalance resolved over interval snapshots.
+
+    Where the §III.A rule can only say "imbalance exists", the snapshot
+    timeline lets this rule say *when*: growing across iterations (an
+    evolving decomposition problem), or persistent with a worst interval.
+    """
+
+    def action(ctx: RuleContext) -> None:
+        trend = ctx["trend"]
+        worst = ctx["wi"]
+        label = ctx["wl"] or f"interval {worst}"
+        if trend == "growing":
+            ctx.log(
+                f"Phase imbalance: {ctx['e']} imbalance GROWS over "
+                f"{ctx['k']} intervals (ratio {ctx['fr']:.3f} -> "
+                f"{ctx['lr']:.3f}); worst at {label}."
+            )
+            ctx.log(
+                "    The decomposition degrades as the run progresses — "
+                "rebalance periodically, not just at startup."
+            )
+        else:
+            ctx.log(
+                f"Phase imbalance: {ctx['e']} is unbalanced in time "
+                f"(max ratio {ctx['mr']:.3f} at {label}, trend {trend})."
+            )
+        ctx.insert(
+            "Recommendation",
+            category="phase-imbalance",
+            event=ctx["e"],
+            severity=ctx["sev"],
+            trend=trend,
+            worst_interval=worst,
+            worst_label=ctx["wl"],
+            first_ratio=ctx["fr"],
+            last_ratio=ctx["lr"],
+            message=f"imbalance in {ctx['e']} is {trend} over intervals "
+                    f"(worst: {label})",
+        )
+
+    return (
+        RuleBuilder(
+            "Phase imbalance over intervals",
+            salience=9,
+            doc="snapshot timeline: imbalance trajectory across phases",
+        )
+        .when(
+            "p",
+            "PhaseImbalanceFact",
+            "e := eventName",
+            "k := intervals",
+            "fr := firstRatio",
+            "lr := lastRatio",
+            "mr := maxRatio",
+            "wi := worstInterval",
+            "wl := worstLabel",
+            "trend := trend",
+            "sev := severity",
+            ("maxRatio", ">", ratio_threshold),
+            ("severity", ">", severity_threshold),
+            ("intervals", ">=", 2),
+        )
+        .then(action)
+        .build()
+    )

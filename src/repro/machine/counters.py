@@ -144,6 +144,16 @@ class CounterVector:
                 del self._values[k]
         return self
 
+    def __sub__(self, other: "CounterVector") -> "CounterVector":
+        if not isinstance(other, CounterVector):
+            return NotImplemented
+        out = dict(self._values)
+        for k, v in other._values.items():
+            out[k] = out.get(k, 0.0) - v
+        result = CounterVector()
+        result._values = {k: v for k, v in out.items() if v}
+        return result
+
     def __mul__(self, factor: float) -> "CounterVector":
         result = CounterVector()
         result._values = {k: v * factor for k, v in self._values.items() if v * factor}

@@ -186,3 +186,100 @@ def render_report(records: Iterable[dict], *, top: int = 20) -> str:
         lines.append(f"{n_events} structured events "
                      "(export to JSONL/Chrome for the full stream)")
     return "\n".join(lines)
+
+
+# -- application event traces ----------------------------------------------
+def app_trace_to_chrome(trace, *, label: str = "simulated application") -> dict:
+    """Render a :class:`repro.runtime.trace.EventTrace` of an *application*
+    run as Chrome ``trace_event`` JSON — one process lane per CPU, named
+    after its MPI rank (or OpenMP thread) when the trace identifies one.
+
+    Region enter/exit become B/E duration events (category = TAU group),
+    messages become flow arrows from the send to the wait that consumed
+    them, and phase marks become global instants.
+    """
+    from ..runtime import trace as T
+
+    rank_of = trace.rank_of_cpu()
+    thread_of: dict[int, int] = {}
+    for ev in trace.events:
+        if ev.kind == T.FORK and ev.attrs and "thread" in ev.attrs:
+            thread_of.setdefault(ev.cpu, ev.attrs["thread"])
+
+    def pid_of(cpu: int) -> int:
+        return cpu + 1
+
+    def msg_id(src, dest, tag, ready_at) -> str:
+        return f"{src}->{dest}:{tag}@{ready_at:.9e}"
+
+    cpus = trace.cpu_ids()
+    events: list[dict] = []
+    for cpu in cpus:
+        if cpu in rank_of:
+            name = f"rank {rank_of[cpu]}"
+        elif cpu in thread_of:
+            name = f"thread {thread_of[cpu]}"
+        else:
+            name = f"cpu {cpu}"
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid_of(cpu), "tid": 0,
+            "args": {"name": name},
+        })
+        events.append({
+            "name": "process_sort_index", "ph": "M", "pid": pid_of(cpu),
+            "tid": 0, "args": {"sort_index": cpu},
+        })
+    for ev in trace.events:
+        ts = round(ev.ts * 1e6, 3)
+        if ev.kind == T.ENTER:
+            events.append({
+                "name": ev.name, "cat": ev.get("group", "TAU_DEFAULT"),
+                "ph": "B", "ts": ts, "pid": pid_of(ev.cpu), "tid": 0,
+            })
+        elif ev.kind == T.EXIT:
+            events.append({
+                "name": ev.name, "ph": "E", "ts": ts,
+                "pid": pid_of(ev.cpu), "tid": 0,
+            })
+        elif ev.kind == T.SEND:
+            events.append({
+                "name": "message", "cat": "MPI_MSG", "ph": "s",
+                "id": msg_id(ev.get("rank"), ev.get("dest"),
+                             ev.get("tag", 0), ev.get("ready_at", 0.0)),
+                "ts": ts, "pid": pid_of(ev.cpu), "tid": 0,
+                "args": {"bytes": ev.get("bytes"), "dest": ev.get("dest")},
+            })
+        elif ev.kind == T.WAIT:
+            end = ev.get("end", ev.ts)
+            for req in ev.get("requests", ()):
+                if req.get("kind") != "recv" or req.get("ready_at") is None:
+                    continue
+                events.append({
+                    "name": "message", "cat": "MPI_MSG", "ph": "f",
+                    "bp": "e",
+                    "id": msg_id(req.get("partner"), ev.get("rank"),
+                                 req.get("tag", 0), req["ready_at"]),
+                    "ts": round(min(end, req["ready_at"]) * 1e6, 3),
+                    "pid": pid_of(ev.cpu), "tid": 0,
+                    "args": {"bytes": req.get("bytes")},
+                })
+        elif ev.kind == T.PHASE:
+            events.append({
+                "name": ev.name, "cat": "PHASE", "ph": "i", "ts": ts,
+                "pid": pid_of(cpus[0]) if cpus else 1, "tid": 0, "s": "g",
+                "args": {"index": ev.get("index")},
+            })
+    events.append({
+        "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+        "args": {"name": label},
+    })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_app_chrome_trace(trace, path: str | Path,
+                           *, label: str = "simulated application") -> int:
+    """Write an application event trace as Chrome JSON; returns the number
+    of trace events emitted."""
+    doc = app_trace_to_chrome(trace, label=label)
+    Path(path).write_text(json.dumps(doc))
+    return len(doc["traceEvents"])

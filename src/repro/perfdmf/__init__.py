@@ -33,6 +33,11 @@ from .query import (
     get_default_repository,
     set_default_repository,
 )
+from .snapshots import (
+    interval_experiment,
+    load_interval_trials,
+    store_interval_trials,
+)
 
 __all__ = [
     "Application",
@@ -48,12 +53,15 @@ __all__ = [
     "TrialBuilder",
     "Utilities",
     "get_default_repository",
+    "interval_experiment",
+    "load_interval_trials",
     "parse_gprof_text",
     "read_csv_profile",
     "read_gprof_profile",
     "read_json_profile",
     "read_tau_profile",
     "set_default_repository",
+    "store_interval_trials",
     "trial_from_dict",
     "trial_to_dict",
     "write_csv_profile",

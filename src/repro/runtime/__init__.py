@@ -2,6 +2,10 @@
 
 * :mod:`~repro.runtime.tau` — the profiler (region stacks, counter
   accumulation, virtual clocks, trial emission);
+* :mod:`~repro.runtime.trace` — the event-trace recorder (TAU's tracing
+  mode: timestamped enter/exit/charge, MPI messages, OpenMP constructs);
+* :mod:`~repro.runtime.snapshot` — interval profile snapshots cut at
+  application phase boundaries;
 * :mod:`~repro.runtime.exec` — the execute-and-charge primitive;
 * :mod:`~repro.runtime.openmp` — fork-join loops with
   static/dynamic/guided schedules and barrier accounting;
@@ -18,10 +22,13 @@ from .openmp import (
     ParallelForResult,
     Schedule,
 )
+from .snapshot import SnapshotProfiler
 from .tau import MeasurementError, Profiler
+from .trace import EventTrace, TraceEvent
 
 __all__ = [
     "CommModel",
+    "EventTrace",
     "LoopTask",
     "MPIError",
     "MPIRuntime",
@@ -33,5 +40,7 @@ __all__ = [
     "RegionAccess",
     "Request",
     "Schedule",
+    "SnapshotProfiler",
+    "TraceEvent",
     "execute_work",
 ]

@@ -18,6 +18,7 @@ import itertools
 from dataclasses import dataclass, field
 
 from ..machine import Machine, WorkSignature
+from . import trace as T
 from .exec import RegionAccess, execute_work
 from .tau import Profiler
 
@@ -56,6 +57,8 @@ class _Message:
     nbytes: float
     #: Virtual time at which the payload is available at the receiver.
     ready_at: float
+    #: Sender's virtual time when the send was posted.
+    posted_at: float = 0.0
 
 
 @dataclass
@@ -71,15 +74,32 @@ class Request:
 
     _ids = itertools.count(1)
 
-    __slots__ = ("id", "kind", "rank", "complete_at", "matched")
+    __slots__ = (
+        "id", "kind", "rank", "complete_at", "matched",
+        "partner", "nbytes", "tag", "posted_at",
+    )
 
-    def __init__(self, kind: str, rank: int) -> None:
+    def __init__(
+        self,
+        kind: str,
+        rank: int,
+        *,
+        partner: int | None = None,
+        nbytes: float = 0.0,
+        tag: int = 0,
+    ) -> None:
         self.id = next(Request._ids)
         self.kind = kind  # 'send' | 'recv'
         self.rank = rank
         #: Completion time; None until matched (recv) / immediately (send).
         self.complete_at: float | None = None
         self.matched = False
+        #: Peer rank (dest for sends, source for recvs).
+        self.partner = partner
+        self.nbytes = nbytes
+        self.tag = tag
+        #: When the matching send was posted (recvs; own post time for sends).
+        self.posted_at: float | None = None
 
 
 class MPIRuntime:
@@ -119,6 +139,12 @@ class MPIRuntime:
         self._pending: dict[int, list[tuple[Request, _PendingRecv]]] = {
             r: [] for r in range(n_ranks)
         }
+        #: Sequence numbers grouping the participants of one collective.
+        self._collective_seq = itertools.count(0)
+
+    @property
+    def _trace(self) -> "T.EventTrace | None":
+        return self.profiler.trace
 
     # -- helpers --------------------------------------------------------------
     def _check_rank(self, rank: int) -> None:
@@ -158,21 +184,36 @@ class MPIRuntime:
             raise MPIError("self-sends are not modeled")
         self._mpi_event(rank, "MPI_Isend()", self.POST_OVERHEAD_S)
         transfer = self.comm.transfer_seconds(nbytes, self._hops(rank, dest))
-        msg = _Message(rank, dest, tag, nbytes, self.clock(rank) + transfer)
+        posted = self.clock(rank)
+        msg = _Message(rank, dest, tag, nbytes, posted + transfer,
+                       posted_at=posted)
         self._in_flight.setdefault((dest, rank, tag), []).append(msg)
-        req = Request("send", rank)
+        req = Request("send", rank, partner=dest, nbytes=nbytes, tag=tag)
         # Nonblocking send completes locally once the payload is handed to
         # the NIC; we charge that in the post overhead.
-        req.complete_at = self.clock(rank)
+        req.complete_at = posted
         req.matched = True
+        req.posted_at = posted
+        if self._trace is not None:
+            self._trace.emit(
+                T.SEND, self.cpu_of(rank), posted, "MPI_Isend()",
+                {"rank": rank, "dest": dest, "bytes": nbytes, "tag": tag,
+                 "ready_at": msg.ready_at, "req_id": req.id},
+            )
         return req
 
     def irecv(self, rank: int, source: int, nbytes: float, *, tag: int = 0) -> Request:
         self._check_rank(rank)
         self._check_rank(source)
         self._mpi_event(rank, "MPI_Irecv()", self.POST_OVERHEAD_S)
-        req = Request("recv", rank)
+        req = Request("recv", rank, partner=source, nbytes=nbytes, tag=tag)
         self._pending[rank].append((req, _PendingRecv(rank, source, tag, nbytes)))
+        if self._trace is not None:
+            self._trace.emit(
+                T.RECV, self.cpu_of(rank), self.clock(rank), "MPI_Irecv()",
+                {"rank": rank, "source": source, "bytes": nbytes, "tag": tag,
+                 "req_id": req.id},
+            )
         return req
 
     def _match(self, req: Request, spec: _PendingRecv) -> None:
@@ -188,6 +229,7 @@ class MPIRuntime:
             del self._in_flight[key]
         req.complete_at = msg.ready_at
         req.matched = True
+        req.posted_at = msg.posted_at
 
     def wait(self, rank: int, request: Request) -> None:
         self.waitall(rank, [request])
@@ -209,13 +251,35 @@ class MPIRuntime:
                         break
                 else:
                     raise MPIError("unknown request")
+        start = self.clock(rank)
         target = max(
             [req.complete_at for req in requests if req.complete_at is not None],
-            default=self.clock(rank),
+            default=start,
         )
         self.profiler.enter(cpu, "MPI_Waitall()", group="MPI")
         self.profiler.advance_clock_to(cpu, target)
         self.profiler.exit(cpu, "MPI_Waitall()")
+        if self._trace is not None:
+            self._trace.emit(
+                T.WAIT, cpu, start, "MPI_Waitall()",
+                {
+                    "rank": rank,
+                    "start": start,
+                    "end": self.clock(rank),
+                    "requests": [
+                        {
+                            "kind": req.kind,
+                            "partner": req.partner,
+                            "bytes": req.nbytes,
+                            "tag": req.tag,
+                            "ready_at": req.complete_at,
+                            "posted_at": req.posted_at,
+                            "req_id": req.id,
+                        }
+                        for req in requests
+                    ],
+                },
+            )
 
     def send_recv(
         self, rank: int, dest: int, source: int, nbytes: float, *, tag: int = 0
@@ -235,8 +299,15 @@ class MPIRuntime:
         )
         clocks = [self.clock(r) for r in range(self.n_ranks)]
         target = max(clocks) + cost
+        seq = next(self._collective_seq)
         for r in range(self.n_ranks):
             cpu = self.cpu_of(r)
+            if self._trace is not None:
+                self._trace.emit(
+                    T.COLLECTIVE, cpu, clocks[r], event,
+                    {"rank": r, "arrive": clocks[r], "release": target,
+                     "seq": seq},
+                )
             self.profiler.enter(cpu, event, group="MPI")
             self.profiler.advance_clock_to(cpu, target)
             self.profiler.exit(cpu, event)
@@ -250,8 +321,15 @@ class MPIRuntime:
         per_round = self.comm.transfer_seconds(nbytes, max_hops)
         clocks = [self.clock(r) for r in range(self.n_ranks)]
         target = max(clocks) + rounds * per_round
+        seq = next(self._collective_seq)
         for r in range(self.n_ranks):
             cpu = self.cpu_of(r)
+            if self._trace is not None:
+                self._trace.emit(
+                    T.COLLECTIVE, cpu, clocks[r], "MPI_Allreduce()",
+                    {"rank": r, "arrive": clocks[r], "release": target,
+                     "seq": seq, "bytes": nbytes},
+                )
             self.profiler.enter(cpu, "MPI_Allreduce()", group="MPI")
             self.profiler.advance_clock_to(cpu, target)
             self.profiler.exit(cpu, "MPI_Allreduce()")

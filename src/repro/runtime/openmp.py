@@ -22,10 +22,12 @@ threads).
 from __future__ import annotations
 
 import heapq
+import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from ..machine import Machine, PageTable, WorkSignature
+from . import trace as T
 from .exec import RegionAccess, execute_work
 from .tau import Profiler
 
@@ -165,6 +167,12 @@ class OpenMPRuntime:
         self.page_table = page_table
         self.dispatch_overhead_us = dispatch_overhead_us
         self.fork_join_overhead_us = fork_join_overhead_us
+        #: Sequence numbers grouping one construct's fork/barrier/join set.
+        self._construct_seq = itertools.count(0)
+
+    @property
+    def _trace(self) -> "T.EventTrace | None":
+        return self.profiler.trace
 
     # -- helpers --------------------------------------------------------------
     def _cpus_for(self, n_threads: int, cpus: Sequence[int] | None) -> list[int]:
@@ -206,8 +214,15 @@ class OpenMPRuntime:
             raise OpenMPError("parallel loop with no tasks")
         cpus = self._cpus_for(n_threads, cpus)
         prof = self.profiler
+        seq = next(self._construct_seq)
 
-        for cpu in cpus:
+        for t, cpu in enumerate(cpus):
+            if self._trace is not None:
+                self._trace.emit(
+                    T.FORK, cpu, prof.clock(cpu), region_event,
+                    {"thread": t, "n_threads": n_threads,
+                     "schedule": str(schedule), "seq": seq},
+                )
             prof.enter(cpu, region_event, group="OPENMP")
             prof.charge_idle(cpu, self.fork_join_overhead_us / 2e6)
 
@@ -247,11 +262,23 @@ class OpenMPRuntime:
 
         # Implicit barrier: everyone waits for the slowest thread.
         barrier_at = max(prof.clock(c) for c in cpus)
+        if self._trace is not None:
+            for t in range(n_threads):
+                self._trace.emit(
+                    T.BARRIER, cpus[t], prof.clock(cpus[t]), region_event,
+                    {"thread": t, "arrive": prof.clock(cpus[t]),
+                     "release": barrier_at, "seq": seq},
+                )
         barrier = [prof.advance_clock_to(cpus[t], barrier_at) for t in range(n_threads)]
 
-        for cpu in cpus:
+        for t, cpu in enumerate(cpus):
             prof.charge_idle(cpu, self.fork_join_overhead_us / 2e6)
             prof.exit(cpu, region_event)
+            if self._trace is not None:
+                self._trace.emit(
+                    T.JOIN, cpu, prof.clock(cpu), region_event,
+                    {"thread": t, "seq": seq},
+                )
 
         return ParallelForResult(
             region_event=region_event,
@@ -311,7 +338,13 @@ class OpenMPRuntime:
         if not 0 <= master_thread < n_threads:
             raise OpenMPError("master_thread out of range")
         prof = self.profiler
-        for cpu in cpus:
+        seq = next(self._construct_seq)
+        for t, cpu in enumerate(cpus):
+            if self._trace is not None:
+                self._trace.emit(
+                    T.FORK, cpu, prof.clock(cpu), region_event,
+                    {"thread": t, "n_threads": n_threads, "seq": seq},
+                )
             prof.enter(cpu, region_event, group="OPENMP")
         master_cpu = cpus[master_thread]
         t0 = prof.clock(master_cpu)
@@ -328,7 +361,19 @@ class OpenMPRuntime:
         prof.exit(master_cpu, body_event)
         elapsed = prof.clock(master_cpu) - t0
         barrier_at = max(prof.clock(c) for c in cpus)
-        for cpu in cpus:
+        if self._trace is not None:
+            for t in range(n_threads):
+                self._trace.emit(
+                    T.BARRIER, cpus[t], prof.clock(cpus[t]), region_event,
+                    {"thread": t, "arrive": prof.clock(cpus[t]),
+                     "release": barrier_at, "seq": seq},
+                )
+        for t, cpu in enumerate(cpus):
             prof.advance_clock_to(cpu, barrier_at)
             prof.exit(cpu, region_event)
+            if self._trace is not None:
+                self._trace.emit(
+                    T.JOIN, cpu, prof.clock(cpu), region_event,
+                    {"thread": t, "seq": seq},
+                )
         return elapsed

@@ -1,0 +1,152 @@
+"""Interval profile snapshots — TAU's profile-snapshot mode for the
+simulated runtime.
+
+A :class:`SnapshotProfiler` is a :class:`~repro.runtime.tau.Profiler` that
+can *cut* the accumulated measurements at application phase boundaries
+(iteration ends, algorithm stages).  Each cut produces a standard
+:class:`~repro.perfdmf.Trial` holding only the counters charged **since the
+previous cut** — an interval profile — so every existing analysis operation
+(statistics, correlation, the regression sentinel) works per-interval with
+no changes.  Store the intervals as PerfDMF sub-trials with
+:func:`repro.perfdmf.store_interval_trials`.
+
+Cuts are taken via :meth:`Profiler.phase`, which applications call at
+globally synchronized points; on the base profiler that is a trace mark
+only, on this subclass it also materializes the interval trial.  Open
+regions are handled by including each open frame's partial inclusive time
+in the cumulative capture, so a region spanning several intervals
+attributes each interval its share.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..machine import CounterVector, Machine
+from ..perfdmf import Trial
+from .tau import MeasurementError, Profiler
+from .trace import EventTrace
+
+__all__ = ["SnapshotProfiler"]
+
+
+def _vector_delta(
+    cur: Mapping[tuple[str, int], CounterVector],
+    prev: Mapping[tuple[str, int], CounterVector],
+) -> dict[tuple[str, int], CounterVector]:
+    out: dict[tuple[str, int], CounterVector] = {}
+    for key, vec in cur.items():
+        p = prev.get(key)
+        delta = vec - p if p is not None else vec.copy()
+        if delta:
+            out[key] = delta
+    return out
+
+
+def _count_delta(
+    cur: Mapping[tuple[str, int], float],
+    prev: Mapping[tuple[str, int], float],
+) -> dict[tuple[str, int], float]:
+    out: dict[tuple[str, int], float] = {}
+    for key, count in cur.items():
+        delta = count - prev.get(key, 0.0)
+        if delta:
+            out[key] = delta
+    return out
+
+
+class _Capture:
+    """Cumulative accounting at one instant (closed + open-frame partials)."""
+
+    __slots__ = ("exclusive", "inclusive", "calls", "subrs", "t")
+
+    def __init__(self, exclusive, inclusive, calls, subrs, t) -> None:
+        self.exclusive = exclusive
+        self.inclusive = inclusive
+        self.calls = calls
+        self.subrs = subrs
+        self.t = t
+
+
+_EMPTY = _Capture({}, {}, {}, {}, 0.0)
+
+
+class SnapshotProfiler(Profiler):
+    """Profiler that cuts interval profile snapshots at phase boundaries.
+
+    Parameters
+    ----------
+    interval_prefix:
+        Sub-trial names are ``f"{interval_prefix}_{index:04d}"`` so interval
+        sequences sort lexicographically.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        *,
+        callpaths: bool = False,
+        trace: EventTrace | None = None,
+        interval_prefix: str = "interval",
+    ) -> None:
+        super().__init__(machine, callpaths=callpaths, trace=trace)
+        self.interval_prefix = interval_prefix
+        self.snapshots: list[Trial] = []
+        self._prev: _Capture = _EMPTY
+
+    def phase(self, label: str) -> None:
+        super().phase(label)
+        self.snapshot(label)
+
+    def _capture(self) -> _Capture:
+        exclusive = {k: v.copy() for k, v in self._exclusive.items()}
+        inclusive = {k: v.copy() for k, v in self._inclusive.items()}
+        # Regions still open at the cut contribute their inclusive-so-far;
+        # when they eventually close, exit() folds the full amount into
+        # _inclusive, and the next capture's delta stays non-negative
+        # because the partial only ever grows.
+        for cpu, state in self._cpus.items():
+            for frame in state.stack:
+                key = (frame.name, cpu)
+                if key in inclusive:
+                    inclusive[key] += frame.inclusive
+                else:
+                    inclusive[key] = frame.inclusive.copy()
+                if frame.path is not None and frame.path != frame.name:
+                    pkey = (frame.path, cpu)
+                    if pkey in inclusive:
+                        inclusive[pkey] += frame.path_inclusive
+                    else:
+                        inclusive[pkey] = frame.path_inclusive.copy()
+        t = max((s.clock_seconds for s in self._cpus.values()), default=0.0)
+        return _Capture(exclusive, inclusive, dict(self._calls),
+                        dict(self._subrs), t)
+
+    def snapshot(self, label: str | None = None, *, validate: bool = True) -> Trial:
+        """Cut an interval: emit a trial of everything charged since the
+        previous cut (or since the start of the run)."""
+        cpus = sorted(self._cpus)
+        if not cpus:
+            raise MeasurementError("snapshot before any profiled activity")
+        cur = self._capture()
+        prev = self._prev
+        index = len(self.snapshots)
+        meta = {
+            "interval": {
+                "index": index,
+                "label": label,
+                "t_start": prev.t,
+                "t_end": cur.t,
+            },
+        }
+        trial = self._materialize(
+            f"{self.interval_prefix}_{index:04d}", meta,
+            exclusive=_vector_delta(cur.exclusive, prev.exclusive),
+            inclusive=_vector_delta(cur.inclusive, prev.inclusive),
+            calls=_count_delta(cur.calls, prev.calls),
+            subrs=_count_delta(cur.subrs, prev.subrs),
+            cpus=cpus, validate=validate,
+        )
+        self._prev = cur
+        self.snapshots.append(trial)
+        return trial

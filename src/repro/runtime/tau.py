@@ -27,6 +27,7 @@ import numpy as np
 from ..machine import CounterVector, Machine
 from ..machine import counters as C
 from ..perfdmf import Trial, TrialBuilder
+from . import trace as T
 
 
 class MeasurementError(Exception):
@@ -63,11 +64,23 @@ class Profiler:
         does: each path accumulates its own exclusive/inclusive counters
         and call counts, so the same leaf called from two parents is
         distinguishable.
+    trace:
+        Optional :class:`~repro.runtime.trace.EventTrace`; when attached,
+        every enter/exit/charge is also logged as a timestamped event
+        (TAU's tracing mode).  ``None`` (the default) keeps the hooks to a
+        single attribute check per call.
     """
 
-    def __init__(self, machine: Machine, *, callpaths: bool = False) -> None:
+    def __init__(
+        self,
+        machine: Machine,
+        *,
+        callpaths: bool = False,
+        trace: "T.EventTrace | None" = None,
+    ) -> None:
         self.machine = machine
         self.callpaths = callpaths
+        self.trace = trace
         self._cpus: dict[int, _CPUState] = {}
         # (event, cpu) → accumulated exclusive / inclusive / calls
         self._exclusive: dict[tuple[str, int], CounterVector] = {}
@@ -77,6 +90,7 @@ class Profiler:
         self._groups: dict[str, str] = {}
         self._edges: set[tuple[str, str]] = set()
         self._event_order: list[str] = []
+        self._phase_count = 0
 
     def _cpu(self, cpu: int) -> _CPUState:
         if not 0 <= cpu < self.machine.n_cpus:
@@ -92,10 +106,20 @@ class Profiler:
             self._groups[event] = group
             self._event_order.append(event)
 
+    def _open_stack(self, state: _CPUState) -> str:
+        """Render a CPU's open-region stack for error messages."""
+        if not state.stack:
+            return "<empty>"
+        return " -> ".join(r.name for r in state.stack)
+
     # -- region lifecycle ---------------------------------------------------
     def enter(self, cpu: int, event: str, *, group: str = "TAU_DEFAULT") -> None:
         state = self._cpu(cpu)
         self._register_event(event, group)
+        if self.trace is not None:
+            self.trace.emit(
+                T.ENTER, cpu, state.clock_seconds, event, {"group": group}
+            )
         path = None
         if state.stack:
             parent = state.stack[-1].name
@@ -117,13 +141,20 @@ class Profiler:
     def exit(self, cpu: int, event: str) -> None:
         state = self._cpu(cpu)
         if not state.stack:
-            raise MeasurementError(f"exit({event!r}) on cpu {cpu} with empty stack")
-        top = state.stack.pop()
+            raise MeasurementError(
+                f"exit({event!r}) on cpu {cpu} with empty stack: "
+                "no regions are open"
+            )
+        top = state.stack[-1]
         if top.name != event:
             raise MeasurementError(
                 f"unbalanced regions on cpu {cpu}: exit({event!r}) while "
-                f"{top.name!r} is open"
+                f"{top.name!r} is innermost; open stack: "
+                f"[{self._open_stack(state)}]"
             )
+        state.stack.pop()
+        if self.trace is not None:
+            self.trace.emit(T.EXIT, cpu, state.clock_seconds, event)
         key = (event, cpu)
         if key in self._inclusive:
             self._inclusive[key] += top.inclusive
@@ -136,12 +167,19 @@ class Profiler:
             else:
                 self._inclusive[pkey] = top.path_inclusive.copy()
 
-    def charge(self, cpu: int, vector: CounterVector) -> None:
+    def charge(self, cpu: int, vector: CounterVector, *, _idle: bool = False) -> None:
         """Attribute ``vector`` to the CPU's innermost open region."""
         state = self._cpu(cpu)
         if not state.stack:
-            raise MeasurementError(f"charge on cpu {cpu} outside any region")
+            raise MeasurementError(
+                f"charge on cpu {cpu} outside any region: no regions are open"
+            )
         top = state.stack[-1]
+        if self.trace is not None:
+            attrs: dict = {"seconds": vector[C.TIME] / 1e6, "idle": _idle}
+            if self.trace.record_charges:
+                attrs["vector"] = vector.copy()
+            self.trace.emit(T.CHARGE, cpu, state.clock_seconds, top.name, attrs)
         key = (top.name, cpu)
         if key in self._exclusive:
             self._exclusive[key] += vector
@@ -171,6 +209,11 @@ class Profiler:
             raise MeasurementError("call count must be non-negative")
         if event not in self._groups:
             raise MeasurementError(f"unknown event {event!r}")
+        if self.trace is not None:
+            self.trace.emit(
+                T.CALLS, cpu, self._cpu(cpu).clock_seconds, event,
+                {"count": count},
+            )
         key = (event, cpu)
         self._calls[key] = self._calls.get(key, 0.0) + count
 
@@ -180,7 +223,7 @@ class Profiler:
             raise MeasurementError("idle time must be non-negative")
         if seconds == 0:
             return
-        self.charge(cpu, self.machine.processor.idle_vector(seconds))
+        self.charge(cpu, self.machine.processor.idle_vector(seconds), _idle=True)
 
     # -- virtual time ---------------------------------------------------------
     def clock(self, cpu: int) -> float:
@@ -200,6 +243,25 @@ class Profiler:
     def open_depth(self, cpu: int) -> int:
         return len(self._cpu(cpu).stack)
 
+    # -- phases -----------------------------------------------------------
+    def phase(self, label: str) -> None:
+        """Mark an application phase boundary (iteration end, stage change).
+
+        On the base profiler this only records a ``PHASE`` event in the
+        attached trace (no-op without one); :class:`SnapshotProfiler
+        <repro.runtime.snapshot.SnapshotProfiler>` overrides it to also cut
+        an interval profile snapshot.  Applications should call it at
+        globally synchronized points (after a barrier/allreduce/implicit
+        loop barrier) so interval profiles are well-defined.
+        """
+        index = self._phase_count
+        self._phase_count += 1
+        if self.trace is not None:
+            ts = max(
+                (s.clock_seconds for s in self._cpus.values()), default=0.0
+            )
+            self.trace.phase(label, ts, index=index)
+
     # -- output -----------------------------------------------------------
     @property
     def callgraph_edges(self) -> set[tuple[str, str]]:
@@ -213,15 +275,37 @@ class Profiler:
             if state.stack:
                 raise MeasurementError(
                     f"cpu {cpu} still has open regions: "
-                    f"{[r.name for r in state.stack]}"
+                    f"[{self._open_stack(state)}]"
                 )
         cpus = sorted(self._cpus)
         if not cpus:
             raise MeasurementError("profiler saw no activity")
+        return self._materialize(
+            name, metadata,
+            exclusive=self._exclusive, inclusive=self._inclusive,
+            calls=self._calls, subrs=self._subrs,
+            cpus=cpus, validate=validate,
+        )
+
+    def _materialize(
+        self,
+        name: str,
+        metadata: Mapping | None,
+        *,
+        exclusive: Mapping[tuple[str, int], CounterVector],
+        inclusive: Mapping[tuple[str, int], CounterVector],
+        calls: Mapping[tuple[str, int], float],
+        subrs: Mapping[tuple[str, int], float],
+        cpus: list[int],
+        validate: bool = True,
+    ) -> Trial:
+        """Build a trial from (event, cpu)-keyed stores — the whole-run
+        accumulators for ``to_trial``, or interval deltas for
+        :class:`~repro.runtime.snapshot.SnapshotProfiler`."""
         events = list(self._event_order)
         metrics: list[str] = []
         seen = set()
-        for store in (self._exclusive, self._inclusive):
+        for store in (exclusive, inclusive):
             for vec in store.values():
                 for metric in vec.keys():
                     if metric not in seen:
@@ -251,19 +335,22 @@ class Profiler:
             for e, ev in enumerate(events):
                 for cpu in cpus:
                     t = cpu_pos[cpu]
-                    xv = self._exclusive.get((ev, cpu))
-                    iv = self._inclusive.get((ev, cpu))
+                    xv = exclusive.get((ev, cpu))
+                    iv = inclusive.get((ev, cpu))
                     if xv is not None:
                         exc[e, t] = xv[metric]
                     if iv is not None:
                         inc[e, t] = iv[metric]
             units = "usec" if metric == C.TIME else "counts"
             builder.with_metric(metric, exc, inc, units=units)
-        calls = np.zeros((n_e, n_t))
-        subrs = np.zeros((n_e, n_t))
-        for (ev, cpu), count in self._calls.items():
-            calls[events.index(ev), cpu_pos[cpu]] = count
-        for (ev, cpu), count in self._subrs.items():
-            subrs[events.index(ev), cpu_pos[cpu]] = count
-        builder.with_calls(calls, subrs)
+        calls_arr = np.zeros((n_e, n_t))
+        subrs_arr = np.zeros((n_e, n_t))
+        event_pos = {ev: i for i, ev in enumerate(events)}
+        for (ev, cpu), count in calls.items():
+            if cpu in cpu_pos:
+                calls_arr[event_pos[ev], cpu_pos[cpu]] = count
+        for (ev, cpu), count in subrs.items():
+            if cpu in cpu_pos:
+                subrs_arr[event_pos[ev], cpu_pos[cpu]] = count
+        builder.with_calls(calls_arr, subrs_arr)
         return builder.build(validate=validate)

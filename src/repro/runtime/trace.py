@@ -1,0 +1,208 @@
+"""Event-trace recording for the simulated measurement runtime.
+
+TAU can run in *tracing* mode instead of (or alongside) profiling mode: every
+region entry/exit and message event is logged with a timestamp, and tools
+downstream reduce the trace back to profiles, detect wait states, or render
+timelines.  This module is that mode for the simulated runtime.
+
+An :class:`EventTrace` is an append-only log of :class:`TraceEvent` records.
+The :class:`~repro.runtime.tau.Profiler` emits ``ENTER``/``EXIT``/``CHARGE``/
+``CALLS`` events when a trace is attached (``Profiler(machine, trace=...)``);
+the MPI and OpenMP simulators add communication and fork/join/barrier events
+with partners, byte counts, and arrival/release times.  Timestamps are the
+per-CPU *virtual* clocks the simulators advance, in seconds.
+
+Because ``CHARGE`` events carry the exact :class:`CounterVector` that was
+charged, a trace is a complete replay log: feeding it back through a fresh
+profiler (``repro.core.operations.TraceToProfileOperation`` /
+:func:`replay_trace`) reproduces the original accounting bit-for-bit.
+
+When no trace is attached the hooks cost a single attribute check — tracing
+off stays within noise of the untraced runtime (see
+``benchmarks/test_trace_overhead.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+__all__ = [
+    "TraceEvent",
+    "EventTrace",
+    # event kinds
+    "ENTER", "EXIT", "CHARGE", "CALLS",
+    "SEND", "RECV", "WAIT", "COLLECTIVE",
+    "FORK", "JOIN", "BARRIER", "PHASE",
+    "REGION_KINDS", "MPI_KINDS", "OPENMP_KINDS",
+]
+
+# -- event kinds -----------------------------------------------------------
+#: Region entry on a CPU (``name`` = event, ``attrs["group"]`` = TAU group).
+ENTER = "enter"
+#: Region exit on a CPU.
+EXIT = "exit"
+#: A counter vector charged to the innermost open region
+#: (``attrs["vector"]``, ``attrs["seconds"]``, ``attrs["idle"]``).
+CHARGE = "charge"
+#: Out-of-band call-count bump (``attrs["count"]``).
+CALLS = "calls"
+#: Nonblocking send posted (``attrs``: rank, dest, bytes, tag, ready_at,
+#: msg_id — ready_at is when the payload lands at the receiver).
+SEND = "send"
+#: Nonblocking receive posted (``attrs``: rank, source, tag, bytes, req_id).
+RECV = "recv"
+#: A wait/waitall interval (``attrs``: rank, start, end, requests=[...]).
+WAIT = "wait"
+#: One rank's participation in a collective (``attrs``: rank, arrive,
+#: release, seq — seq groups the participants of one collective call).
+COLLECTIVE = "collective"
+#: OpenMP parallel-region fork on one thread.
+FORK = "fork"
+#: OpenMP parallel-region join on one thread.
+JOIN = "join"
+#: One thread's arrival at an OpenMP barrier (``attrs``: arrive, release,
+#: thread, seq).
+BARRIER = "barrier"
+#: Application phase mark (snapshot cut / iteration boundary); ``cpu`` is -1
+#: because the mark is global.
+PHASE = "phase"
+
+REGION_KINDS = frozenset({ENTER, EXIT, CHARGE, CALLS})
+MPI_KINDS = frozenset({SEND, RECV, WAIT, COLLECTIVE})
+OPENMP_KINDS = frozenset({FORK, JOIN, BARRIER})
+
+
+class TraceEvent:
+    """One timestamped record in an event trace.
+
+    ``ts`` is the virtual wall clock of ``cpu`` when the event was recorded,
+    in seconds.  ``attrs`` holds kind-specific payload (documented on the
+    kind constants above); it is ``None`` for attribute-free events to keep
+    records small.
+    """
+
+    __slots__ = ("kind", "cpu", "ts", "name", "attrs")
+
+    def __init__(
+        self,
+        kind: str,
+        cpu: int,
+        ts: float,
+        name: str,
+        attrs: dict[str, Any] | None = None,
+    ) -> None:
+        self.kind = kind
+        self.cpu = cpu
+        self.ts = ts
+        self.name = name
+        self.attrs = attrs
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return default if self.attrs is None else self.attrs.get(key, default)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly form; counter vectors become plain dicts."""
+        rec: dict[str, Any] = {
+            "kind": self.kind, "cpu": self.cpu, "ts": self.ts, "name": self.name,
+        }
+        if self.attrs:
+            attrs = dict(self.attrs)
+            vec = attrs.get("vector")
+            if vec is not None and hasattr(vec, "as_dict"):
+                attrs["vector"] = vec.as_dict()
+            rec["attrs"] = attrs
+        return rec
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        extra = f" {self.attrs}" if self.attrs else ""
+        return (
+            f"TraceEvent({self.kind} cpu={self.cpu} ts={self.ts:.9f} "
+            f"{self.name!r}{extra})"
+        )
+
+
+class EventTrace:
+    """Append-only timeline of :class:`TraceEvent` records.
+
+    Parameters
+    ----------
+    record_charges:
+        When True (default), ``CHARGE`` events keep a reference to the
+        charged :class:`CounterVector` so the trace is a complete replay
+        log.  Turn off to halve memory when only the timeline structure
+        (regions, messages, barriers) matters.
+    """
+
+    def __init__(self, *, record_charges: bool = True) -> None:
+        self.record_charges = record_charges
+        self.events: list[TraceEvent] = []
+
+    # -- recording ---------------------------------------------------------
+    def emit(
+        self,
+        kind: str,
+        cpu: int,
+        ts: float,
+        name: str,
+        attrs: dict[str, Any] | None = None,
+    ) -> None:
+        self.events.append(TraceEvent(kind, cpu, ts, name, attrs))
+
+    def phase(self, label: str, ts: float, *, index: int | None = None) -> None:
+        """Record a global phase mark (iteration/snapshot boundary)."""
+        attrs = {"index": index} if index is not None else None
+        self.emit(PHASE, -1, ts, label, attrs)
+
+    # -- access ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def of_kind(self, *kinds: str) -> list[TraceEvent]:
+        want = frozenset(kinds)
+        return [e for e in self.events if e.kind in want]
+
+    def of_cpu(self, cpu: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.cpu == cpu]
+
+    def cpu_ids(self) -> list[int]:
+        """CPUs that appear in the trace, sorted (PHASE's -1 excluded)."""
+        return sorted({e.cpu for e in self.events if e.cpu >= 0})
+
+    def final_clocks(self) -> dict[int, float]:
+        """Last observed timestamp per CPU — the virtual clock at the end
+        of the run (CHARGE events carry pre-charge timestamps, so their
+        ``ts + seconds`` end time counts too)."""
+        clocks: dict[int, float] = {}
+        for e in self.events:
+            if e.cpu < 0:
+                continue
+            t = e.ts
+            if e.kind == CHARGE:
+                t += e.get("seconds", 0.0)
+            if t > clocks.get(e.cpu, 0.0):
+                clocks[e.cpu] = t
+        return clocks
+
+    def duration(self) -> float:
+        """Trace makespan in seconds (max final clock over CPUs)."""
+        clocks = self.final_clocks()
+        return max(clocks.values()) if clocks else 0.0
+
+    def rank_of_cpu(self) -> dict[int, int]:
+        """cpu → MPI rank mapping recovered from communication events."""
+        mapping: dict[int, int] = {}
+        for e in self.events:
+            if e.kind in MPI_KINDS and e.attrs and "rank" in e.attrs:
+                mapping.setdefault(e.cpu, e.attrs["rank"])
+        return mapping
+
+    def phase_marks(self) -> list[TraceEvent]:
+        return self.of_kind(PHASE)
+
+    def to_records(self) -> list[dict[str, Any]]:
+        """The whole trace as JSON-friendly dicts (see
+        :meth:`TraceEvent.to_dict`)."""
+        return [e.to_dict() for e in self.events]

@@ -3,17 +3,20 @@
 from .pipeline import (
     GateResult,
     PipelineResult,
+    TracedRunResult,
     automated_analysis,
     compile_and_profile,
     feedback_directed_inlining,
     iterative_profiling,
     regression_gate,
+    trace_application,
 )
 from .tuning import TuningOutcome, genidlest_tuning_loop, msa_tuning_loop
 
 __all__ = [
     "GateResult",
     "PipelineResult",
+    "TracedRunResult",
     "TuningOutcome",
     "automated_analysis",
     "compile_and_profile",
@@ -22,4 +25,5 @@ __all__ = [
     "iterative_profiling",
     "msa_tuning_loop",
     "regression_gate",
+    "trace_application",
 ]

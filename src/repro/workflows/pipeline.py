@@ -28,8 +28,8 @@ from ..openuh import (
     plan_instrumentation,
     run_instrumented,
 )
-from ..perfdmf import PerfDMF, Trial
-from ..runtime import Profiler
+from ..perfdmf import PerfDMF, Trial, store_interval_trials
+from ..runtime import EventTrace, Profiler, SnapshotProfiler
 
 
 @dataclass
@@ -146,6 +146,138 @@ def regression_gate(
         report=outcome.report,
         harness=outcome.harness,
         promoted=outcome.promoted,
+    )
+
+
+@dataclass
+class TracedRunResult:
+    """Everything one traced application run produced."""
+
+    trial: Trial
+    trace: EventTrace
+    snapshots: list[Trial]
+    wait_states: list
+    harness: RuleHarness
+    report: str
+    chrome_path: str | None = None
+    trial_id: int | None = None
+    interval_ids: list[int] = field(default_factory=list)
+
+    @property
+    def recommendations(self):
+        return recommendations_of(self.harness)
+
+
+def trace_application(
+    app: str = "msa",
+    *,
+    repository: PerfDMF | None = None,
+    application: str | None = None,
+    experiment: str = "traced",
+    out: str | None = None,
+    machine: Machine | None = None,
+    record_charges: bool = True,
+    min_wait_seconds: float = 1e-9,
+    **run_kwargs,
+) -> TracedRunResult:
+    """Run a simulated application with tracing on and diagnose its timeline.
+
+    The back half of Fig. 3 for *traces*: the app runs under a
+    :class:`~repro.runtime.SnapshotProfiler` with an attached
+    :class:`~repro.runtime.EventTrace`, producing (a) the usual TAU-style
+    trial, (b) one interval snapshot per phase — stored as PerfDMF
+    sub-trials when a ``repository`` is given, (c) diagnosed wait states,
+    and (d) optionally a Chrome ``trace_event`` file at ``out`` with one
+    lane per rank/thread.
+
+    ``app`` is ``"msa"`` or ``"genidlest"``; ``run_kwargs`` go to the app
+    runner (:func:`~repro.apps.msa.parallel.run_msa_trial` keyword
+    arguments, or :class:`~repro.apps.genidlest.simulate.RunConfig` fields
+    — alternatively pass ``config=RunConfig(...)``).
+    """
+    from ..core.operations.tracing import detect_wait_states
+    from ..knowledge.rulebase import diagnose_timeline
+
+    with observe.span("pipeline.trace_application", app=app) as sp:
+        trace = EventTrace(record_charges=record_charges)
+        if app == "msa":
+            from ..apps.msa.parallel import run_msa_trial
+
+            n_threads = int(run_kwargs.get("n_threads", 16))
+            machine = machine or uniform_machine(max(n_threads, 1))
+            profiler = SnapshotProfiler(machine, trace=trace)
+            trial = run_msa_trial(profiler=profiler, **run_kwargs).trial
+            application = application or "MSAP"
+        elif app == "genidlest":
+            from ..apps.genidlest.simulate import (
+                RunConfig,
+                default_machine,
+                run_genidlest,
+            )
+
+            config = run_kwargs.pop("config", None) or RunConfig(**run_kwargs)
+            machine = machine or default_machine(config.n_procs)
+            profiler = SnapshotProfiler(machine, trace=trace)
+            trial = run_genidlest(config, profiler=profiler).trial
+            application = application or "GenIDLEST"
+        else:
+            raise AnalysisError(
+                f"trace_application: unknown app {app!r}; "
+                "expected 'msa' or 'genidlest'"
+            )
+
+        snapshots = list(profiler.snapshots)
+        with observe.span("pipeline.trace_diagnose"):
+            wait_states = detect_wait_states(
+                trace, min_wait_seconds=min_wait_seconds
+            )
+            harness = diagnose_timeline(
+                trace=trace,
+                snapshots=snapshots,
+                trial=trial.name,
+                min_wait_seconds=min_wait_seconds,
+            )
+        report = render_report(
+            harness,
+            title=f"Timeline diagnosis of {application}/{trial.name}",
+        )
+
+        trial_id = None
+        interval_ids: list[int] = []
+        if repository is not None:
+            with observe.span("pipeline.trace_store"):
+                trial_id = repository.save_trial(
+                    application, experiment, trial, replace=True
+                )
+                interval_ids = store_interval_trials(
+                    repository, application, experiment, trial.name, snapshots
+                )
+
+        chrome_path = None
+        if out is not None:
+            from ..observe.export import write_app_chrome_trace
+
+            write_app_chrome_trace(
+                trace, out, label=f"{application}/{trial.name}"
+            )
+            chrome_path = str(out)
+
+        sp.set(
+            events=len(trace),
+            snapshots=len(snapshots),
+            wait_states=len(wait_states),
+            recommendations=len(harness.facts("Recommendation")),
+        )
+    return TracedRunResult(
+        trial=trial,
+        trace=trace,
+        snapshots=snapshots,
+        wait_states=wait_states,
+        harness=harness,
+        report=report,
+        chrome_path=chrome_path,
+        trial_id=trial_id,
+        interval_ids=interval_ids,
     )
 
 

@@ -1,0 +1,114 @@
+"""Timeline knowledge: wait-state facts, phase-imbalance facts, and the
+rules that fire over them (diagnose_timeline)."""
+
+import pytest
+
+from repro.core.operations import WaitState
+from repro.knowledge import (
+    diagnose_timeline,
+    phase_imbalance_facts,
+    recommendations_of,
+    wait_state_facts,
+)
+from repro.machine import CounterVector, uniform_machine
+from repro.machine import counters as C
+from repro.runtime import EventTrace, MPIRuntime, Profiler, SnapshotProfiler
+
+
+def _ws(kind, rank, victim, wait, event="MPI_Waitall()", construct="mpi"):
+    return WaitState(kind=kind, rank=rank, victim=victim, wait_seconds=wait,
+                     event=event, t_start=0.0, t_end=wait,
+                     construct=construct)
+
+
+def test_wait_state_facts_aggregate_by_offender():
+    states = [
+        _ws("late-sender", 3, 0, 0.5),
+        _ws("late-sender", 3, 1, 0.25),
+        _ws("late-sender", 2, 0, 0.1),
+        _ws("barrier-straggler", 3, 1, 0.2, event="MPI_Barrier()"),
+    ]
+    facts = wait_state_facts(states, wall_seconds=2.0)
+    senders = [f for f in facts if f["kind"] == "late-sender"]
+    assert len(senders) == 2
+    rank3 = next(f for f in senders if f["rank"] == 3)
+    assert rank3["occurrences"] == 2
+    assert rank3["waitSeconds"] == pytest.approx(0.75)
+    assert rank3["victimRank"] == 0  # worst victim by summed wait
+    assert rank3["severity"] == pytest.approx(0.75 / 2.0)
+    straggler = next(f for f in facts if f["kind"] == "barrier-straggler")
+    assert straggler["eventName"] == "MPI_Barrier()"
+
+
+def test_phase_imbalance_facts_carry_trend_and_worst_label():
+    prof = SnapshotProfiler(uniform_machine(2))
+    for cpu in (0, 1):
+        prof.enter(cpu, "main")
+    for i, weights in enumerate(([500.0, 500.0], [900.0, 100.0])):
+        for cpu, w in enumerate(weights):
+            prof.enter(cpu, "kernel")
+            prof.charge(cpu, CounterVector({C.TIME: w}))
+            prof.exit(cpu, "kernel")
+        prof.phase(f"iteration_{i}")
+    facts = phase_imbalance_facts(prof.snapshots, trial="t")
+    kernel = next(f for f in facts if f["eventName"] == "kernel")
+    assert kernel["intervals"] == 2
+    assert kernel["trend"] == "growing"
+    assert kernel["worstLabel"] == "iteration_1"
+    assert kernel["maxRatio"] > 0.5
+
+
+def _skewed_mpi_run(n_ranks=3, iterations=3):
+    machine = uniform_machine(n_ranks)
+    trace = EventTrace()
+    prof = SnapshotProfiler(machine, trace=trace)
+    mpi = MPIRuntime(machine, prof, n_ranks)
+    for it in range(iterations):
+        for r in range(n_ranks):
+            cpu = mpi.cpu_of(r)
+            prof.enter(cpu, "kernel")
+            # rank skew grows with the iteration index
+            us = 1e5 * (1.0 + r * 0.5 * (it + 1))
+            prof.charge(cpu, CounterVector({C.TIME: us}))
+            prof.exit(cpu, "kernel")
+        mpi.allreduce(8)
+        prof.phase(f"iteration_{it}")
+    return trace, prof
+
+
+def test_diagnose_timeline_names_rank_and_iteration():
+    trace, prof = _skewed_mpi_run()
+    h = diagnose_timeline(trace=trace, snapshots=prof.snapshots, trial="run")
+    cats = {r.category for r in recommendations_of(h)}
+    assert "barrier-straggler" in cats
+    assert "phase-imbalance" in cats
+    text = "\n".join(h.output)
+    # the straggling rank and the worst interval are named in the findings
+    assert "rank 2" in text
+    assert "iteration_" in text
+    fired = "\n".join(h.explain())
+    assert "Barrier straggler" in fired
+    assert "Phase imbalance over intervals" in fired
+
+
+def test_diagnose_timeline_trace_only_and_snapshots_only():
+    trace, prof = _skewed_mpi_run(iterations=2)
+    h1 = diagnose_timeline(trace=trace)
+    assert any(f["kind"] == "barrier-straggler"
+               for f in h1.facts("WaitStateFact"))
+    assert not h1.facts("PhaseImbalanceFact")
+    h2 = diagnose_timeline(snapshots=prof.snapshots)
+    assert h2.facts("PhaseImbalanceFact")
+    assert not h2.facts("WaitStateFact")
+
+
+def test_wait_state_rules_respect_severity_threshold():
+    # a tiny wait relative to the wall time must not fire
+    from repro.knowledge.rulebase import _harness
+
+    states = [_ws("late-sender", 1, 0, 1e-4)]
+
+    harness = _harness()
+    harness.assertObjects(wait_state_facts(states, wall_seconds=10.0))
+    harness.processRules()
+    assert not recommendations_of(harness)

@@ -1,0 +1,110 @@
+"""Trace ↔ profile consistency.
+
+The event trace is a complete replay log: reducing it back through a
+fresh :class:`Profiler` must reproduce the original profiler's
+exclusive/inclusive/call-count accounting *exactly* (bitwise, not
+approximately), for arbitrary region nestings.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.operations import TraceToProfileOperation, replay_trace
+from repro.machine import CounterVector, uniform_machine
+from repro.machine import counters as C
+from repro.runtime import EventTrace, Profiler
+
+_names = st.sampled_from(["alpha", "beta", "gamma", "delta"])
+_charge_us = st.floats(min_value=0.0, max_value=1e6,
+                       allow_nan=False, allow_infinity=False)
+
+# a region is (name, [charge microseconds...], [child regions...])
+_region = st.recursive(
+    st.tuples(_names, st.lists(_charge_us, max_size=3),
+              st.just([])),
+    lambda children: st.tuples(
+        _names,
+        st.lists(_charge_us, max_size=3),
+        st.lists(children, min_size=1, max_size=3),
+    ),
+    max_leaves=8,
+)
+_program = st.lists(  # one list of top-level regions per cpu
+    st.lists(_region, min_size=1, max_size=3), min_size=1, max_size=3
+)
+
+
+def _run_region(prof, cpu, region):
+    name, charges, children = region
+    prof.enter(cpu, name)
+    for child in children:
+        _run_region(prof, cpu, child)
+    for us in charges:
+        prof.charge(
+            cpu, CounterVector({C.TIME: us, C.FP_OPS: us * 2.0,
+                                C.CPU_CYCLES: us * 0.5})
+        )
+    prof.exit(cpu, name)
+
+
+def _assert_identical_accounting(orig, rep):
+    assert sorted(orig.event_names()) == sorted(rep.event_names())
+    assert sorted(orig.metric_names()) == sorted(rep.metric_names())
+    order = [rep.event_index(name) for name in orig.event_names()]
+    for metric in orig.metric_names():
+        assert np.array_equal(orig.exclusive_array(metric),
+                              rep.exclusive_array(metric)[order])
+        assert np.array_equal(orig.inclusive_array(metric),
+                              rep.inclusive_array(metric)[order])
+    assert np.array_equal(orig.calls_array(), rep.calls_array()[order])
+    assert np.array_equal(orig.subroutines_array(),
+                          rep.subroutines_array()[order])
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=_program, callpaths=st.booleans())
+def test_replay_reproduces_profiler_accounting(program, callpaths):
+    n_cpus = len(program)
+    machine = uniform_machine(n_cpus)
+    trace = EventTrace()
+    prof = Profiler(machine, callpaths=callpaths, trace=trace)
+    for cpu, regions in enumerate(program):
+        for region in regions:
+            _run_region(prof, cpu, region)
+    original = prof.to_trial("original")
+
+    replayed = replay_trace(trace, uniform_machine(n_cpus),
+                            callpaths=callpaths).to_trial("replayed")
+    _assert_identical_accounting(original, replayed)
+
+
+@settings(max_examples=20, deadline=None)
+@given(program=_program)
+def test_replay_clocks_match(program):
+    """Virtual clocks after replay equal the trace's final clocks."""
+    n_cpus = len(program)
+    trace = EventTrace()
+    prof = Profiler(uniform_machine(n_cpus), trace=trace)
+    for cpu, regions in enumerate(program):
+        for region in regions:
+            _run_region(prof, cpu, region)
+    rep = replay_trace(trace, uniform_machine(n_cpus))
+    final = trace.final_clocks()
+    for cpu in range(n_cpus):
+        assert rep.clock(cpu) == prof.clock(cpu)
+        assert np.isclose(final.get(cpu, 0.0), prof.clock(cpu))
+
+
+def test_trace_to_profile_operation():
+    machine = uniform_machine(2)
+    trace = EventTrace()
+    prof = Profiler(machine, trace=trace)
+    for cpu in (0, 1):
+        prof.enter(cpu, "main")
+        prof.charge(cpu, CounterVector({C.TIME: 1000.0 * (cpu + 1)}))
+        prof.exit(cpu, "main")
+    op = TraceToProfileOperation(trace, uniform_machine(2), name="red")
+    (result,) = op.processData()
+    assert result.trial.name == "red"
+    assert np.array_equal(result.trial.exclusive_array(C.TIME),
+                          prof.to_trial("t").exclusive_array(C.TIME))
