@@ -1,0 +1,122 @@
+"""Service throughput: cold analyses vs the content-addressed cache.
+
+The serve subsystem's claim is architectural: a 4-worker pool overlaps
+independent analyses, and the result cache makes repeated submissions
+effectively free.  This bench pushes one batch of distinct diagnose
+jobs through the pool cold, replays the identical batch against the
+warm cache, and reports jobs/s plus the queue-wait percentiles that
+``serve stats`` exposes.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import print_series
+from repro.perfdmf import TrialBuilder
+from repro.serve import AnalysisService
+
+N_TRIALS = 12
+WORKERS = 4
+
+
+def _trial(name, skew):
+    rng = np.random.default_rng(5)
+    exc = rng.uniform(40, 90, size=(3, 8))
+    exc[-1, 0] *= skew
+    return (
+        TrialBuilder(name, {"threads": 8})
+        .with_events(["main", "compute", "exchange"])
+        .with_threads(8)
+        .with_metric("TIME", exc, exc * 1.4, units="usec")
+        .with_calls(np.ones_like(exc), np.zeros_like(exc))
+        .build()
+    )
+
+
+def _submit_batch(svc):
+    jobs = [
+        svc.submit("diagnose", {"app": "Bench", "exp": "E",
+                                "trial": f"t{n}", "script": "load-balance"})
+        for n in range(N_TRIALS)
+    ]
+    for job in jobs:
+        assert job.wait(120.0), f"job {job.id} never finished"
+        assert job.status == "done", (job.id, job.error)
+    return jobs
+
+
+class TestServeThroughput:
+    def test_cold_vs_cached_throughput(self, run_once):
+        svc = AnalysisService(workers=WORKERS, default_timeout=60.0).start()
+        try:
+            for n in range(N_TRIALS):
+                svc.db.save_trial("Bench", "E",
+                                  _trial(f"t{n}", skew=1.0 + n % 4))
+
+            def experiment():
+                t0 = time.perf_counter()
+                cold_jobs = _submit_batch(svc)
+                cold_s = time.perf_counter() - t0
+
+                t0 = time.perf_counter()
+                warm_jobs = _submit_batch(svc)
+                warm_s = time.perf_counter() - t0
+                return cold_jobs, cold_s, warm_jobs, warm_s
+
+            cold_jobs, cold_s, warm_jobs, warm_s = run_once(experiment)
+            stats = svc.stats()
+        finally:
+            svc.stop()
+
+        assert all(not j.cache_hit for j in cold_jobs)
+        assert all(j.cache_hit for j in warm_jobs)
+        assert stats["cache"]["hits"] == N_TRIALS
+
+        cold_rate = N_TRIALS / cold_s
+        warm_rate = N_TRIALS / warm_s
+        print_series(
+            f"Serve throughput ({WORKERS} workers, {N_TRIALS} diagnose jobs)",
+            [("cold", cold_s, cold_rate),
+             ("cached", warm_s, warm_rate),
+             ("speedup", cold_s / warm_s, warm_rate / cold_rate)],
+            ["batch", "seconds", "jobs/s"],
+        )
+        qw = stats["queue_wait"]
+        print_series(
+            "Queue-wait percentiles (all jobs)",
+            [(qw["count"], qw["p50"], qw["p90"], qw["p99"], qw["max"])],
+            ["samples", "p50 (s)", "p90 (s)", "p99 (s)", "max (s)"],
+        )
+        # The cache should beat recomputation by an order of magnitude.
+        assert warm_s < cold_s / 10, (
+            f"cached batch {warm_s:.4f}s vs cold {cold_s:.4f}s"
+        )
+
+    def test_pool_overlaps_independent_jobs(self, run_once):
+        """Four workers on embarrassingly parallel sleeps: the batch
+        finishes in roughly batch/WORKERS wall time, not serial time."""
+        svc = AnalysisService(workers=WORKERS, default_timeout=30.0).start()
+        try:
+            nap = 0.15
+
+            def experiment():
+                t0 = time.perf_counter()
+                jobs = [svc.submit("sleep", {"seconds": nap, "tag": n})
+                        for n in range(8)]
+                for job in jobs:
+                    assert job.wait(30.0) and job.status == "done"
+                return time.perf_counter() - t0
+
+            elapsed = run_once(experiment)
+        finally:
+            svc.stop()
+
+        serial = 8 * nap
+        print_series(
+            "Worker-pool overlap (8 × 0.15s sleeps)",
+            [(serial, elapsed, serial / elapsed)],
+            ["serial (s)", "pool (s)", "speedup"],
+        )
+        # 8 naps over 4 workers is 2 waves; allow generous scheduling slack.
+        assert elapsed < serial * 0.6

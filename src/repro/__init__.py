@@ -17,7 +17,7 @@ Subpackages (see README.md for the architecture):
 * :mod:`repro.observe`   — self-telemetry: spans, metrics, dogfood bridge
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "apps",

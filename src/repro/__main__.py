@@ -1,0 +1,13 @@
+"""``python -m repro`` — the same CLI as the ``repro-perf`` script.
+
+One parser, two front doors: environments where entry-point scripts are
+awkward (CI containers, ``PYTHONPATH=src`` checkouts) can still reach
+every verb, including the long-running ``serve start``.
+"""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

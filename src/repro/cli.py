@@ -50,7 +50,24 @@ Subcommands::
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+
+#: Every ``--db`` option falls back to this environment variable, so a
+#: shell (or CI job) can set the repository once instead of repeating it.
+DB_ENV_VAR = "REPRO_PERFDMF_DB"
+
+
+def _add_db_arg(parser: argparse.ArgumentParser, *, required: bool = False,
+                help: str | None = None) -> None:
+    """``--db`` with an ``$REPRO_PERFDMF_DB`` default."""
+    env = os.environ.get(DB_ENV_VAR)
+    parser.add_argument(
+        "--db", default=env, required=required and not env,
+        help=(help or "PerfDMF sqlite file")
+        + f" (default: ${DB_ENV_VAR}" + (f" = {env}" if env else "") + ")",
+    )
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
@@ -563,6 +580,137 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_endpoint(db_path: str) -> str:
+    """A predictable per-repository endpoint so the two-terminal flow
+    needs no coordination: serve the file next to itself."""
+    if db_path and db_path != ":memory:" and "mode=memory" not in db_path:
+        return f"unix:{db_path}.sock"
+    return "unix:repro-serve.sock"
+
+
+def _serve_errors(handler):
+    """Client verbs print clean errors (no traceback) and exit 2 when the
+    service is unreachable or rejects the request."""
+
+    def wrapped(args: argparse.Namespace) -> int:
+        from repro.core.result import AnalysisError
+
+        try:
+            return handler(args)
+        except (AnalysisError, ConnectionError, FileNotFoundError,
+                TimeoutError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    return wrapped
+
+
+def _serve_client(args: argparse.Namespace):
+    from repro.serve import SocketClient
+
+    endpoint = args.endpoint or _default_endpoint(args.db or "")
+    return SocketClient(endpoint, timeout=args.client_timeout)
+
+
+def _parse_job_params(args: argparse.Namespace) -> dict:
+    """``--params '{json}'`` plus repeated ``--param key=value`` (values
+    JSON-coerced, bare words kept as strings)."""
+    params: dict = {}
+    if args.params:
+        loaded = json.loads(args.params)
+        if not isinstance(loaded, dict):
+            raise ValueError("--params must be a JSON object")
+        params.update(loaded)
+    for item in args.param or []:
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise ValueError(f"--param needs key=value, got {item!r}")
+        try:
+            params[key] = json.loads(value)
+        except ValueError:
+            params[key] = value
+    return params
+
+
+def _cmd_serve_start(args: argparse.Namespace) -> int:
+    from repro.serve import AnalysisService, ServeServer
+
+    db = args.db or ":memory:"
+    endpoint = args.endpoint or _default_endpoint(db)
+    service = AnalysisService(
+        db_path=db, workers=args.workers, mode=args.mode,
+        queue_depth=args.queue_depth, default_timeout=args.job_timeout,
+    )
+    service.start()
+    server = ServeServer(service, endpoint).start()
+    print(f"serving {db} at {server.endpoint} "
+          f"({args.workers} {args.mode} workers, "
+          f"queue depth {args.queue_depth})")
+    print(f"submit with: repro-perf serve submit "
+          f"--endpoint {server.endpoint} diagnose --param app=... ")
+    sys.stdout.flush()
+    try:
+        server.serve_forever()
+    finally:
+        service.stop()
+    print("service stopped")
+    return 0
+
+
+@_serve_errors
+def _cmd_serve_submit(args: argparse.Namespace) -> int:
+    try:
+        params = _parse_job_params(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with _serve_client(args) as client:
+        job = client.submit(
+            args.kind, params, priority=args.priority,
+            timeout=args.job_timeout, block=args.block,
+        )
+        if args.wait and job["status"] not in ("done", "failed",
+                                               "timeout", "cancelled"):
+            job = client.wait(job["id"], timeout=args.wait_timeout)
+    print(json.dumps(job, indent=None if args.compact else 2, default=str))
+    if args.wait and job["status"] != "done":
+        return 1
+    return 0
+
+
+@_serve_errors
+def _cmd_serve_status(args: argparse.Namespace) -> int:
+    with _serve_client(args) as client:
+        payload = client.status(args.id)
+    print(json.dumps(payload, indent=None if args.compact else 2,
+                     default=str))
+    return 0
+
+
+@_serve_errors
+def _cmd_serve_stats(args: argparse.Namespace) -> int:
+    with _serve_client(args) as client:
+        stats = client.stats()
+    print(json.dumps(stats, indent=None if args.compact else 2, default=str))
+    return 0
+
+
+@_serve_errors
+def _cmd_serve_diagnose(args: argparse.Namespace) -> int:
+    with _serve_client(args) as client:
+        payload = client.diagnose()
+    print(payload["report"])
+    return 0
+
+
+@_serve_errors
+def _cmd_serve_stop(args: argparse.Namespace) -> int:
+    with _serve_client(args) as client:
+        client.shutdown()
+    print("service stopping")
+    return 0
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     if args.app == "msa":
         from repro.workflows import msa_tuning_loop
@@ -599,7 +747,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threads", type=int, default=16)
     p.add_argument("--schedule", default="static")
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--db", help="PerfDMF sqlite file to store the trial in")
+    _add_db_arg(p, help="PerfDMF sqlite file to store the trial in")
     p.set_defaults(func=_cmd_run_msa)
 
     p = sub.add_parser("run-genidlest",
@@ -609,11 +757,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--procs", type=int, default=16)
     p.add_argument("--iterations", type=int, default=3)
     p.add_argument("--optimized", action="store_true")
-    p.add_argument("--db", help="PerfDMF sqlite file to store the trial in")
+    _add_db_arg(p, help="PerfDMF sqlite file to store the trial in")
     p.set_defaults(func=_cmd_run_genidlest)
 
     p = sub.add_parser("diagnose", help="diagnose a stored trial")
-    p.add_argument("--db", required=True)
+    _add_db_arg(p, required=True)
     p.add_argument("--app", required=True)
     p.add_argument("--exp", required=True)
     p.add_argument("--trial", required=True)
@@ -623,12 +771,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_diagnose)
 
     p = sub.add_parser("list", help="browse a PerfDMF repository")
-    p.add_argument("--db", required=True)
+    _add_db_arg(p, required=True)
     p.set_defaults(func=_cmd_list)
 
     p = sub.add_parser("compare",
                        help="per-event ratio of two stored trials")
-    p.add_argument("--db", required=True)
+    _add_db_arg(p, required=True)
     p.add_argument("--app", required=True)
     p.add_argument("--exp", required=True)
     p.add_argument("trial_a")
@@ -641,7 +789,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     rp = rsub.add_parser("baseline", help="tag or list baseline trials")
     rp.add_argument("action", choices=["set", "list"])
-    rp.add_argument("--db", required=True)
+    _add_db_arg(rp, required=True)
     rp.add_argument("--app")
     rp.add_argument("--exp")
     rp.add_argument("--trial")
@@ -651,7 +799,7 @@ def build_parser() -> argparse.ArgumentParser:
     rp = rsub.add_parser(
         "check",
         help="gate a trial against its baseline (exit 1 on regression)")
-    rp.add_argument("--db", required=True)
+    _add_db_arg(rp, required=True)
     rp.add_argument("--app", required=True)
     rp.add_argument("--exp", required=True)
     rp.add_argument("--trial", help="candidate trial (default: newest)")
@@ -669,7 +817,7 @@ def build_parser() -> argparse.ArgumentParser:
     rp = rsub.add_parser(
         "report",
         help="full regression report with explanation chains (exit 0)")
-    rp.add_argument("--db", required=True)
+    _add_db_arg(rp, required=True)
     rp.add_argument("--app", required=True)
     rp.add_argument("--exp", required=True)
     rp.add_argument("--trial")
@@ -693,9 +841,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="run an app simulation with event tracing + timeline diagnosis")
     p.add_argument("app", choices=["msa", "genidlest"])
     p.add_argument("--out", help="Chrome trace_event JSON to write")
-    p.add_argument("--db",
-                   help="PerfDMF sqlite file for the trial + interval "
-                        "sub-trials")
+    _add_db_arg(p, help="PerfDMF sqlite file for the trial + interval "
+                   "sub-trials")
     # msa options
     p.add_argument("--sequences", type=int, default=200)
     p.add_argument("--threads", type=int, default=16)
@@ -712,7 +859,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "explain",
         help="rule-firing audit trail + provenance for a stored trial")
-    p.add_argument("--db", required=True)
+    _add_db_arg(p, required=True)
     p.add_argument("--app", required=True)
     p.add_argument("--exp", required=True)
     p.add_argument("--trial", required=True)
@@ -720,6 +867,76 @@ def build_parser() -> argparse.ArgumentParser:
                    default="genidlest")
     p.add_argument("--rules", help="extra .prl rule file to load")
     p.set_defaults(func=_cmd_explain)
+
+    p = sub.add_parser(
+        "serve",
+        help="analysis service: job queue + worker pool + result cache")
+    ssub = p.add_subparsers(dest="serve_command", required=True)
+
+    sp = ssub.add_parser("start", help="start serving a repository")
+    _add_db_arg(sp, help="PerfDMF sqlite file to serve")
+    sp.add_argument("--endpoint",
+                    help="unix:PATH or tcp:HOST:PORT "
+                         "(default: unix:<db>.sock)")
+    sp.add_argument("--workers", type=int, default=4)
+    sp.add_argument("--mode", choices=["thread", "process"],
+                    default="thread",
+                    help="execution vehicles: in-process threads or "
+                         "killable child processes (needs a file db)")
+    sp.add_argument("--queue-depth", type=int, default=64,
+                    help="bounded queue depth (backpressure past this)")
+    sp.add_argument("--job-timeout", type=float, default=30.0,
+                    help="default per-job wall-clock budget, seconds")
+    sp.set_defaults(func=_cmd_serve_start)
+
+    def _client_args(cp: argparse.ArgumentParser) -> None:
+        _add_db_arg(cp, help="repository the service was started on "
+                             "(to derive the default endpoint)")
+        cp.add_argument("--endpoint",
+                        help="unix:PATH or tcp:HOST:PORT "
+                             "(default: unix:<db>.sock)")
+        cp.add_argument("--client-timeout", type=float, default=60.0,
+                        help="socket timeout, seconds")
+        cp.add_argument("--compact", action="store_true",
+                        help="single-line JSON output")
+
+    sp = ssub.add_parser("submit", help="submit one analysis job")
+    _client_args(sp)
+    sp.add_argument("kind",
+                    help="job kind (diagnose, compare, regress-check, "
+                         "trace-app, pipeline, sleep, ...)")
+    sp.add_argument("--param", action="append", metavar="KEY=VALUE",
+                    help="job parameter (repeatable; value JSON-coerced)")
+    sp.add_argument("--params", help="job parameters as one JSON object")
+    sp.add_argument("--priority", type=int, default=0)
+    sp.add_argument("--job-timeout", type=float, default=None,
+                    help="per-job wall-clock budget override, seconds")
+    sp.add_argument("--block", action="store_true",
+                    help="wait for queue space instead of failing when full")
+    sp.add_argument("--no-wait", dest="wait", action="store_false",
+                    help="print the queued job record and return")
+    sp.add_argument("--wait-timeout", type=float, default=300.0)
+    sp.set_defaults(func=_cmd_serve_submit)
+
+    sp = ssub.add_parser("status", help="show one job, or all jobs")
+    _client_args(sp)
+    sp.add_argument("--id", type=int, help="job id (default: all jobs)")
+    sp.set_defaults(func=_cmd_serve_status)
+
+    sp = ssub.add_parser("stats",
+                         help="queue/cache/worker statistics as JSON")
+    _client_args(sp)
+    sp.set_defaults(func=_cmd_serve_stats)
+
+    sp = ssub.add_parser(
+        "diagnose",
+        help="run the service-rules rulebase over the service's own health")
+    _client_args(sp)
+    sp.set_defaults(func=_cmd_serve_diagnose)
+
+    sp = ssub.add_parser("stop", help="shut the service down")
+    _client_args(sp)
+    sp.set_defaults(func=_cmd_serve_stop)
 
     p = sub.add_parser("tune", help="run a closed tuning loop")
     p.add_argument("app", choices=["msa", "genidlest"])

@@ -37,6 +37,10 @@ from .rulebase import (
     prl_rules,
     recommend_power_levels,
 )
+from .service_rules import (
+    COLD_CACHE_HIT_RATE,
+    service_rules,
+)
 from .rules_def import (
     IMBALANCE_RATIO_THRESHOLD,
     IMBALANCE_SEVERITY_THRESHOLD,
@@ -46,6 +50,7 @@ from .rules_def import (
 )
 
 __all__ = [
+    "COLD_CACHE_HIT_RATE",
     "IMBALANCE_RATIO_THRESHOLD",
     "IMBALANCE_SEVERITY_THRESHOLD",
     "INEFFICIENCY_METRIC",
@@ -74,6 +79,7 @@ __all__ = [
     "regression_rules",
     "render_report",
     "serialization_facts",
+    "service_rules",
     "stall_decomposition_facts",
     "stall_rate_facts",
     "summarize_categories",

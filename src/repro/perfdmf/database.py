@@ -9,15 +9,39 @@ The repository is the system's durable store: the runtime simulator saves
 trials here and PerfExplorer scripts load them back by
 (application, experiment, trial) coordinates, exactly like the paper's
 ``Utilities.getTrial("Fluid Dynamic", "rib 45", "1_8")``.
+
+Concurrency model (what :mod:`repro.serve` builds on):
+
+* **Connections are per-thread.**  A :class:`PerfDMF` instance may be
+  shared freely across threads; each thread lazily opens its own
+  ``sqlite3`` connection (``connection`` property), so no connection is
+  ever used from two threads at once and ``sqlite3.ProgrammingError``
+  cannot arise from sharing.
+* **Writers serialize through WAL + busy_timeout.**  File-backed
+  repositories run in WAL mode so readers proceed while a writer commits;
+  ``busy_timeout`` makes contending writers queue instead of failing.
+* **Read-only snapshot views.**  :meth:`read_view` returns a repository
+  over the same database whose connections are opened read-only
+  (``query_only``), which is what analysis workers get so a buggy job
+  cannot mutate the store.
+* **Change notification.**  :meth:`add_change_listener` observes trial
+  saves/deletes — the serve layer's result cache invalidates on these.
+
+In-memory repositories use a process-shared cache (``cache=shared`` URI)
+with a unique name per instance, so per-thread connections still see one
+database; real concurrent workloads should use a file-backed path.
 """
 
 from __future__ import annotations
 
+import hashlib
+import itertools
 import json
 import sqlite3
+import threading
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
 import numpy as np
 
@@ -99,6 +123,9 @@ CREATE INDEX IF NOT EXISTS idx_value_thread    ON value(thread_id);
 CREATE INDEX IF NOT EXISTS idx_callcount_thread ON callcount(thread_id);
 """
 
+#: Unique names for shared-cache in-memory databases (one per instance).
+_MEMDB_IDS = itertools.count(1)
+
 
 class PerfDMF:
     """A PerfDMF repository.
@@ -109,41 +136,139 @@ class PerfDMF:
         Database file, or ``":memory:"`` (the default) for an ephemeral
         repository — handy in tests and in the single-process pipelines the
         examples run.
+    read_only:
+        Open every connection in query-only mode.  Writes raise
+        ``sqlite3.OperationalError``; the schema must already exist.
+    busy_timeout_ms:
+        How long a connection waits on a locked database before giving
+        up — the knob that lets concurrent writers queue politely.
     """
 
-    def __init__(self, path: str | Path = ":memory:") -> None:
-        # autocommit mode: transaction boundaries are explicit (BEGIN/COMMIT
-        # in _transaction), so bulk inserts are atomic and a failed store
-        # leaves no partial trial behind.
-        self._conn = sqlite3.connect(str(path), isolation_level=None)
-        self._conn.execute("PRAGMA foreign_keys = ON")
-        if str(path) != ":memory:":
-            # WAL lets concurrent readers proceed while a writer stores a
-            # trial; NORMAL sync is durable enough for a profile cache and
-            # much faster.  (In-memory databases ignore journal modes.)
-            self._conn.execute("PRAGMA journal_mode = WAL")
-            self._conn.execute("PRAGMA synchronous = NORMAL")
-        self._conn.executescript(_SCHEMA)
+    def __init__(
+        self,
+        path: str | Path = ":memory:",
+        *,
+        read_only: bool = False,
+        busy_timeout_ms: int = 5_000,
+    ) -> None:
+        self._path = str(path)
+        self._read_only = read_only
+        self._busy_timeout_ms = busy_timeout_ms
+        self._memory = self._path == ":memory:" or "mode=memory" in self._path
+        if self._path == ":memory:":
+            # A plain :memory: connection is invisible to other connections;
+            # name it and share the cache so per-thread connections (and
+            # read-only views) all see the same database.
+            self._path = f"file:repro-memdb-{next(_MEMDB_IDS)}" \
+                         "?mode=memory&cache=shared"
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._all_conns: list[sqlite3.Connection] = []
+        self._listeners: list[Callable[[str, str, str, str], None]] = []
+        self._closed = False
+        # The anchor connection: created eagerly so an in-memory database
+        # outlives any individual thread, and so schema errors surface at
+        # construction time.
+        anchor = self._connect()
+        if not read_only:
+            anchor.executescript(_SCHEMA)
+
+    # -- connection management -------------------------------------------
+    def _connect(self) -> sqlite3.Connection:
+        """Open, configure, and register this thread's connection."""
+        uri = self._path.startswith("file:")
+        target = self._path
+        if self._read_only and not self._memory:
+            target = f"file:{self._path}?mode=ro"
+            uri = True
+        # check_same_thread=False: affinity is enforced by construction
+        # (each thread only ever sees its own thread-local connection) and
+        # relaxing the check lets close() shut down every connection.
+        conn = sqlite3.connect(
+            target, isolation_level=None, uri=uri, check_same_thread=False
+        )
+        conn.execute("PRAGMA foreign_keys = ON")
+        conn.execute(f"PRAGMA busy_timeout = {int(self._busy_timeout_ms)}")
+        if self._memory:
+            # Shared-cache databases use table-level locks that the busy
+            # handler does not cover; uncommitted reads keep concurrent
+            # in-memory use best-effort rather than error-prone.
+            conn.execute("PRAGMA read_uncommitted = ON")
+        else:
+            if not self._read_only:
+                # WAL lets concurrent readers proceed while a writer stores
+                # a trial; NORMAL sync is durable enough for a profile cache
+                # and much faster.
+                conn.execute("PRAGMA journal_mode = WAL")
+                conn.execute("PRAGMA synchronous = NORMAL")
+        if self._read_only:
+            conn.execute("PRAGMA query_only = ON")
+        self._local.conn = conn
+        with self._lock:
+            if self._closed:
+                conn.close()
+                raise ProfileError("repository is closed")
+            self._all_conns.append(conn)
+        return conn
 
     @property
     def connection(self) -> sqlite3.Connection:
-        """The underlying connection (used by companion subsystems such as
-        :mod:`repro.regress` that keep their own tables in the same file)."""
-        return self._conn
+        """The *calling thread's* connection (created on first use).
+
+        Companion subsystems such as :mod:`repro.regress` keep their own
+        tables in the same file through this handle; because it is
+        thread-local they inherit thread safety for free.
+        """
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            if self._closed:
+                raise ProfileError("repository is closed")
+            conn = self._connect()
+        return conn
+
+    @property
+    def path(self) -> str:
+        """The database target (file path, or shared-cache URI for
+        in-memory repositories)."""
+        return self._path
+
+    @property
+    def read_only(self) -> bool:
+        return self._read_only
+
+    def read_view(self) -> "PerfDMF":
+        """A read-only repository over the same database.
+
+        This is what analysis workers get: snapshot connections that can
+        load trials but cannot mutate the store.
+        """
+        return PerfDMF(
+            self._path, read_only=True,
+            busy_timeout_ms=self._busy_timeout_ms,
+        )
 
     @contextmanager
     def _transaction(self):
         """Explicit transaction scope; rolls back on any exception."""
-        self._conn.execute("BEGIN IMMEDIATE")
+        conn = self.connection
+        conn.execute("BEGIN IMMEDIATE")
         try:
             yield
         except BaseException:
-            self._conn.execute("ROLLBACK")
+            conn.execute("ROLLBACK")
             raise
-        self._conn.execute("COMMIT")
+        conn.execute("COMMIT")
 
     def close(self) -> None:
-        self._conn.close()
+        with self._lock:
+            self._closed = True
+            conns, self._all_conns = self._all_conns, []
+        for conn in conns:
+            try:
+                conn.close()
+            except sqlite3.Error:  # pragma: no cover - already closed
+                pass
+        self._local = threading.local()
 
     def __enter__(self) -> "PerfDMF":
         return self
@@ -151,10 +276,30 @@ class PerfDMF:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    # -- change notification ---------------------------------------------
+    def add_change_listener(
+        self, listener: Callable[[str, str, str, str], None]
+    ) -> None:
+        """Register ``listener(action, application, experiment, trial)``,
+        called after a trial is stored (``"save"``) or deleted
+        (``"delete"``).  The serve layer's result cache hangs off this."""
+        self._listeners.append(listener)
+
+    def remove_change_listener(self, listener) -> None:
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify(self, action: str, application: str, experiment: str,
+                trial: str) -> None:
+        for listener in list(self._listeners):
+            listener(action, application, experiment, trial)
+
     # -- hierarchy -------------------------------------------------------
     def _get_or_create(self, table: str, where: dict, defaults: dict | None = None) -> int:
         cols = list(where)
-        row = self._conn.execute(
+        row = self.connection.execute(
             f"SELECT id FROM {table} WHERE "
             + " AND ".join(f"{c} = ?" for c in cols),
             [where[c] for c in cols],
@@ -162,7 +307,7 @@ class PerfDMF:
         if row:
             return row[0]
         data = {**where, **(defaults or {})}
-        cur = self._conn.execute(
+        cur = self.connection.execute(
             f"INSERT INTO {table} ({', '.join(data)}) VALUES "
             f"({', '.join('?' for _ in data)})",
             list(data.values()),
@@ -179,6 +324,7 @@ class PerfDMF:
         failure rolls everything back.
         """
         trial.validate()
+        conn = self.connection
         with observe.span(
             "perfdmf.save_trial", application=application,
             experiment=experiment, trial=trial.name,
@@ -187,7 +333,7 @@ class PerfDMF:
         ) as sp, self._transaction():
             app_id = self._get_or_create("application", {"name": application})
             exp_id = self._get_or_create("experiment", {"app_id": app_id, "name": experiment})
-            existing = self._conn.execute(
+            existing = conn.execute(
                 "SELECT id FROM trial WHERE exp_id = ? AND name = ?", (exp_id, trial.name)
             ).fetchone()
             if existing:
@@ -196,8 +342,8 @@ class PerfDMF:
                         f"trial {trial.name!r} already exists under "
                         f"{application}/{experiment} (pass replace=True to overwrite)"
                     )
-                self._conn.execute("DELETE FROM trial WHERE id = ?", (existing[0],))
-            cur = self._conn.execute(
+                conn.execute("DELETE FROM trial WHERE id = ?", (existing[0],))
+            cur = conn.execute(
                 "INSERT INTO trial (exp_id, name, metadata) VALUES (?, ?, ?)",
                 (exp_id, trial.name, json.dumps(trial.metadata, default=str)),
             )
@@ -205,14 +351,14 @@ class PerfDMF:
 
             event_ids = {}
             for ev in trial.events:
-                c = self._conn.execute(
+                c = conn.execute(
                     "INSERT INTO event (trial_id, name, grp) VALUES (?, ?, ?)",
                     (trial_id, ev.name, ev.group),
                 )
                 event_ids[ev.name] = c.lastrowid
             thread_ids = {}
             for th in trial.threads:
-                c = self._conn.execute(
+                c = conn.execute(
                     "INSERT INTO thread (trial_id, node, context, thread) VALUES (?, ?, ?, ?)",
                     (trial_id, th.node, th.context, th.thread),
                 )
@@ -221,7 +367,7 @@ class PerfDMF:
             events = trial.events
             threads = trial.threads
             for metric in trial.metrics:
-                c = self._conn.execute(
+                c = conn.execute(
                     "INSERT INTO metric (trial_id, name, units, derived) VALUES (?, ?, ?, ?)",
                     (trial_id, metric.name, metric.units, int(metric.derived)),
                 )
@@ -234,7 +380,7 @@ class PerfDMF:
                     for e in range(len(events))
                     for t in range(len(threads))
                 ]
-                self._conn.executemany(
+                conn.executemany(
                     "INSERT INTO value VALUES (?, ?, ?, ?, ?)", rows
                 )
                 _stmt("insert", len(rows))
@@ -246,14 +392,15 @@ class PerfDMF:
                 for e in range(len(events))
                 for t in range(len(threads))
             ]
-            self._conn.executemany("INSERT INTO callcount VALUES (?, ?, ?, ?)", rows)
+            conn.executemany("INSERT INTO callcount VALUES (?, ?, ?, ?)", rows)
             _stmt("insert", len(rows))
             sp.set(trial_id=trial_id)
+        self._notify("save", application, experiment, trial.name)
         return trial_id
 
     # -- loading -------------------------------------------------------------
     def _trial_row(self, application: str, experiment: str, trial: str):
-        row = self._conn.execute(
+        row = self.connection.execute(
             """SELECT t.id, t.metadata FROM trial t
                JOIN experiment e ON t.exp_id = e.id
                JOIN application a ON e.app_id = a.id
@@ -276,10 +423,11 @@ class PerfDMF:
         return out
 
     def _load_trial(self, application: str, experiment: str, trial: str) -> Trial:
+        conn = self.connection
         trial_id, meta_json = self._trial_row(application, experiment, trial)
         out = Trial(trial, json.loads(meta_json))
 
-        events = self._conn.execute(
+        events = conn.execute(
             "SELECT id, name, grp FROM event WHERE trial_id = ? ORDER BY id",
             (trial_id,),
         ).fetchall()
@@ -287,7 +435,7 @@ class PerfDMF:
             out.add_event(Event(name, grp))
         event_pos = {row[0]: i for i, row in enumerate(events)}
 
-        threads = self._conn.execute(
+        threads = conn.execute(
             "SELECT id, node, context, thread FROM thread WHERE trial_id = ? ORDER BY id",
             (trial_id,),
         ).fetchall()
@@ -295,7 +443,7 @@ class PerfDMF:
             out.add_thread(ThreadId(n, c, t))
         thread_pos = {row[0]: i for i, row in enumerate(threads)}
 
-        metrics = self._conn.execute(
+        metrics = conn.execute(
             "SELECT id, name, units, derived FROM metric WHERE trial_id = ? ORDER BY id",
             (trial_id,),
         ).fetchall()
@@ -304,7 +452,7 @@ class PerfDMF:
             out.add_metric(Metric(name, units=units, derived=bool(derived)))
             exc = np.zeros((n_e, n_t))
             inc = np.zeros((n_e, n_t))
-            for event_id, thread_id, x, i in self._conn.execute(
+            for event_id, thread_id, x, i in conn.execute(
                 "SELECT event_id, thread_id, exclusive, inclusive FROM value "
                 "WHERE metric_id = ?",
                 (metric_id,),
@@ -317,7 +465,7 @@ class PerfDMF:
         if events:
             event_id_list = [row[0] for row in events]
             marks = ",".join("?" for _ in event_id_list)
-            for event_id, thread_id, calls, subrs in self._conn.execute(
+            for event_id, thread_id, calls, subrs in conn.execute(
                 f"SELECT event_id, thread_id, calls, subroutines FROM callcount "
                 f"WHERE event_id IN ({marks})",
                 event_id_list,
@@ -327,19 +475,68 @@ class PerfDMF:
         _stmt("select", len(events) * len(threads) * max(len(metrics), 1))
         return out
 
+    # -- content addressing ---------------------------------------------------
+    def content_hash(self, application: str, experiment: str, trial: str) -> str:
+        """A digest of everything stored for one trial.
+
+        Deliberately independent of row ids: re-uploading identical data
+        (new primary keys) hashes the same, while any change to metadata,
+        events, threads, metrics, values, or call counts changes the
+        digest.  This is the trial component of the serve layer's
+        content-addressed cache keys.
+        """
+        conn = self.connection
+        trial_id, meta_json = self._trial_row(application, experiment, trial)
+        h = hashlib.sha256()
+        h.update(meta_json.encode())
+        queries = (
+            ("SELECT name, grp FROM event WHERE trial_id = ? "
+             "ORDER BY name", (trial_id,)),
+            ("SELECT node, context, thread FROM thread WHERE trial_id = ? "
+             "ORDER BY node, context, thread", (trial_id,)),
+            ("SELECT name, units, derived FROM metric WHERE trial_id = ? "
+             "ORDER BY name", (trial_id,)),
+            ("""SELECT m.name, e.name, t.node, t.context, t.thread,
+                       v.exclusive, v.inclusive
+                FROM value v
+                JOIN metric m ON v.metric_id = m.id
+                JOIN event  e ON v.event_id  = e.id
+                JOIN thread t ON v.thread_id = t.id
+                WHERE m.trial_id = ?
+                ORDER BY m.name, e.name, t.node, t.context, t.thread""",
+             (trial_id,)),
+            ("""SELECT e.name, t.node, t.context, t.thread,
+                       c.calls, c.subroutines
+                FROM callcount c
+                JOIN event  e ON c.event_id  = e.id
+                JOIN thread t ON c.thread_id = t.id
+                WHERE e.trial_id = ?
+                ORDER BY e.name, t.node, t.context, t.thread""",
+             (trial_id,)),
+        )
+        n_rows = 0
+        for sql, params in queries:
+            h.update(b"\x1d")
+            for row in conn.execute(sql, params):
+                h.update(repr(row).encode())
+                h.update(b"\x1e")
+                n_rows += 1
+        _stmt("select", n_rows)
+        return h.hexdigest()
+
     # -- listing --------------------------------------------------------------
     def applications(self) -> list[str]:
-        return [r[0] for r in self._conn.execute(
+        return [r[0] for r in self.connection.execute(
             "SELECT name FROM application ORDER BY name")]
 
     def experiments(self, application: str) -> list[str]:
-        return [r[0] for r in self._conn.execute(
+        return [r[0] for r in self.connection.execute(
             """SELECT e.name FROM experiment e JOIN application a
                ON e.app_id = a.id WHERE a.name = ? ORDER BY e.name""",
             (application,))]
 
     def trials(self, application: str, experiment: str) -> list[str]:
-        return [r[0] for r in self._conn.execute(
+        return [r[0] for r in self.connection.execute(
             """SELECT t.name FROM trial t
                JOIN experiment e ON t.exp_id = e.id
                JOIN application a ON e.app_id = a.id
@@ -351,8 +548,9 @@ class PerfDMF:
         with observe.span("perfdmf.delete_trial", application=application,
                           experiment=experiment, trial=trial), \
                 self._transaction():
-            self._conn.execute("DELETE FROM trial WHERE id = ?", (trial_id,))
+            self.connection.execute("DELETE FROM trial WHERE id = ?", (trial_id,))
             _stmt("delete", 1)
+        self._notify("delete", application, experiment, trial)
 
     def trial_metadata(self, application: str, experiment: str, trial: str) -> dict[str, Any]:
         _, meta_json = self._trial_row(application, experiment, trial)

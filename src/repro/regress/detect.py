@@ -123,6 +123,20 @@ class EventDelta:
             f"severity {self.severity:.1%}, {p})"
         )
 
+    def to_dict(self) -> dict:
+        """JSON-able form (what the analysis service returns to clients)."""
+        return {
+            "event": self.event,
+            "metric": self.metric,
+            "baseline_mean": self.baseline_mean,
+            "candidate_mean": self.candidate_mean,
+            "relative_change": self.relative_change,
+            "severity": self.severity,
+            "p_value": self.welch.p_value if self.welch.applicable else None,
+            "regressed": self.regressed,
+            "improved": self.improved,
+        }
+
 
 @dataclass
 class RegressionReport:
@@ -174,6 +188,22 @@ class RegressionReport:
         ):
             return IMPROVED
         return OK
+
+    def to_dict(self) -> dict:
+        """JSON-able form (what the analysis service returns to clients)."""
+        return {
+            "application": self.application,
+            "experiment": self.experiment,
+            "baseline_trial": self.baseline_trial,
+            "candidate_trial": self.candidate_trial,
+            "primary_metric": self.primary_metric,
+            "verdict": self.verdict,
+            "total_relative_change": self.total_relative_change,
+            "regressions": [d.to_dict() for d in self.regressions],
+            "improvements": [d.to_dict() for d in self.improvements],
+            "added_events": list(self.added_events),
+            "removed_events": list(self.removed_events),
+        }
 
 
 def _resolve_metrics(

@@ -52,6 +52,25 @@ class CheckOutcome:
 
         return recommendations_of(self.harness) if self.harness else []
 
+    def to_dict(self) -> dict:
+        """JSON-able form (what the analysis service returns to clients)."""
+        return {
+            "verdict": self.verdict.value,
+            "exit_code": self.exit_code,
+            "promoted": self.promoted,
+            "baseline_created": self.baseline_created,
+            "report": self.report.to_dict(),
+            "recommendations": [
+                {
+                    "category": r.category,
+                    "event": r.event,
+                    "severity": r.severity,
+                    "message": r.message,
+                }
+                for r in self.recommendations
+            ],
+        }
+
 
 def check(
     db: PerfDMF,

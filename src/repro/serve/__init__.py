@@ -1,0 +1,85 @@
+"""``repro.serve`` — the analyzer as a concurrent service.
+
+The paper's PerfExplorer runs one analysis at a time in one process;
+this package makes the same knowledge pipeline *servable*: a bounded
+priority :class:`~repro.serve.jobs.JobQueue`, a
+:class:`~repro.serve.workers.WorkerPool` (thread or process execution
+vehicles with per-job timeouts and retry-with-backoff), a
+content-addressed :class:`~repro.serve.cache.ResultCache` keyed by
+(job kind, trial content, code/rulebase versions), and a thin client
+API in-process (:class:`Client`) or over a local socket
+(:class:`SocketClient` ↔ ``repro-perf serve start``).
+
+Embedding is three lines::
+
+    from repro.serve import AnalysisService
+
+    with AnalysisService(db_path="perf.db", workers=4) as svc:
+        job = svc.submit("diagnose", {"app": a, "exp": e, "trial": t})
+        job.wait()
+"""
+
+from .cache import CODE_VERSION, ResultCache, cache_key, rulebase_fingerprint
+from .client import Client, SocketClient
+from .handlers import HANDLERS, JobContext, JobKind, job_kind, resolve_kind
+from .jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    Job,
+    JobQueue,
+    JobSpec,
+    QUEUED,
+    QueueClosed,
+    QueueFull,
+    RUNNING,
+    TERMINAL_STATES,
+    TIMEOUT,
+    TransientJobError,
+)
+from .protocol import ServeServer, connect_endpoint, parse_endpoint
+from .service import (
+    AnalysisService,
+    BACKPRESSURE_THRESHOLD,
+    FAILURE_RATE_THRESHOLD,
+    QUEUE_WAIT_P95_THRESHOLD,
+    ServeConfig,
+)
+from .workers import ExecutionTimeout, WorkerPool
+
+__all__ = [
+    "AnalysisService",
+    "BACKPRESSURE_THRESHOLD",
+    "CANCELLED",
+    "CODE_VERSION",
+    "Client",
+    "DONE",
+    "ExecutionTimeout",
+    "FAILED",
+    "FAILURE_RATE_THRESHOLD",
+    "HANDLERS",
+    "Job",
+    "JobContext",
+    "JobKind",
+    "JobQueue",
+    "JobSpec",
+    "QUEUED",
+    "QUEUE_WAIT_P95_THRESHOLD",
+    "QueueClosed",
+    "QueueFull",
+    "RUNNING",
+    "ResultCache",
+    "ServeConfig",
+    "ServeServer",
+    "SocketClient",
+    "TERMINAL_STATES",
+    "TIMEOUT",
+    "TransientJobError",
+    "WorkerPool",
+    "cache_key",
+    "connect_endpoint",
+    "job_kind",
+    "parse_endpoint",
+    "resolve_kind",
+    "rulebase_fingerprint",
+]

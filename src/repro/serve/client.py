@@ -1,0 +1,142 @@
+"""Thin clients for the analysis service.
+
+Two transports, one surface:
+
+* :class:`Client` — in-process, wrapping an :class:`AnalysisService`
+  directly.  For embedding the service in a test harness, a notebook, or
+  a long-lived tool.
+* :class:`SocketClient` — the same methods over the JSON-lines protocol
+  of :mod:`repro.serve.protocol`, for talking to ``repro-perf serve
+  start`` in another process.
+
+Both return plain JSON-able dicts (the wire shapes), so code written
+against one works against the other; ``submit`` returns the job record
+(including its ``id``), and ``run`` is submit-and-wait.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..core.result import AnalysisError
+from .protocol import connect_endpoint
+from .service import AnalysisService
+
+__all__ = ["Client", "SocketClient"]
+
+
+class Client:
+    """In-process client over a started :class:`AnalysisService`."""
+
+    def __init__(self, service: AnalysisService) -> None:
+        self.service = service
+
+    def ping(self) -> dict[str, Any]:
+        return {"pong": True, "endpoint": "in-process"}
+
+    def submit(self, kind: str, params: dict[str, Any] | None = None,
+               **options) -> dict[str, Any]:
+        return self.service.submit(kind, params, **options).to_dict()
+
+    def status(self, job_id: int | None = None) -> dict[str, Any]:
+        if job_id is not None:
+            return self.service.job(job_id).to_dict()
+        return {"jobs": [j.to_dict() for j in self.service.jobs()]}
+
+    def wait(self, job_id: int,
+             timeout: float | None = None) -> dict[str, Any]:
+        return self.service.wait(job_id, timeout=timeout).to_dict()
+
+    def run(self, kind: str, params: dict[str, Any] | None = None,
+            *, wait_timeout: float | None = 60.0,
+            **options) -> dict[str, Any]:
+        """Submit and block for the result record."""
+        job = self.service.submit(kind, params, **options)
+        job.wait(wait_timeout)
+        return job.to_dict()
+
+    def stats(self) -> dict[str, Any]:
+        return self.service.stats()
+
+    def close(self) -> None:
+        """The service is not ours to stop; nothing to release."""
+
+
+class SocketClient:
+    """JSON-lines client for a served endpoint (``unix:...``/``tcp:...``).
+
+    One socket, sequential request/response; open more clients for
+    concurrent submission streams.
+    """
+
+    def __init__(self, endpoint: str, *,
+                 timeout: float | None = 30.0) -> None:
+        self.endpoint = endpoint
+        self._sock = connect_endpoint(endpoint, timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+
+    # -- wire --------------------------------------------------------------
+    def request(self, op: str, **fields) -> dict[str, Any]:
+        """Send one op; raise :class:`AnalysisError` on a protocol error."""
+        payload = {"op": op, **fields}
+        self._sock.sendall(json.dumps(payload).encode() + b"\n")
+        line = self._rfile.readline()
+        if not line:
+            raise AnalysisError(
+                f"connection to {self.endpoint} closed mid-request"
+            )
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise AnalysisError(
+                response.get("error", "unknown service error")
+            )
+        response.pop("ok", None)
+        return response
+
+    # -- surface (mirrors Client) ------------------------------------------
+    def ping(self) -> dict[str, Any]:
+        return self.request("ping")
+
+    def submit(self, kind: str, params: dict[str, Any] | None = None,
+               **options) -> dict[str, Any]:
+        return self.request("submit", kind=kind, params=params or {},
+                            **options)["job"]
+
+    def status(self, job_id: int | None = None) -> dict[str, Any]:
+        if job_id is not None:
+            return self.request("status", id=job_id)["job"]
+        return self.request("status")
+
+    def wait(self, job_id: int,
+             timeout: float | None = None) -> dict[str, Any]:
+        return self.request("wait", id=job_id, timeout=timeout)["job"]
+
+    def run(self, kind: str, params: dict[str, Any] | None = None,
+            *, wait_timeout: float | None = 60.0,
+            **options) -> dict[str, Any]:
+        job = self.submit(kind, params, **options)
+        if job["status"] in ("done", "failed", "timeout", "cancelled"):
+            return job  # cache hit or immediate failure
+        return self.wait(job["id"], timeout=wait_timeout)
+
+    def stats(self) -> dict[str, Any]:
+        return self.request("stats")["stats"]
+
+    def diagnose(self) -> dict[str, Any]:
+        return self.request("diagnose")
+
+    def shutdown(self) -> dict[str, Any]:
+        return self.request("shutdown")
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "SocketClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

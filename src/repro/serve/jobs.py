@@ -1,0 +1,268 @@
+"""Jobs and the priority queue between clients and the worker pool.
+
+A :class:`Job` is one named analysis request (``diagnose``, ``compare``,
+``regress-check``, ...) travelling through the service: submitted,
+queued by priority, executed by a worker (possibly several times, for
+transient failures), and finished with a JSON-able result or an error.
+
+:class:`JobQueue` is deliberately small but production-shaped:
+
+* **priorities** — higher ``priority`` dequeues first; equal priorities
+  are FIFO, so a stream of same-priority jobs cannot starve each other;
+* **bounded depth with backpressure** — ``put`` on a full queue raises
+  :class:`QueueFull` (or blocks up to a deadline), pushing load shedding
+  to the edge instead of growing an unbounded backlog;
+* **delayed entries** — retry-with-backoff re-queues a job that becomes
+  eligible only at ``now + delay``; ready jobs never wait behind them;
+* **clean shutdown** — ``close()`` wakes every blocked consumer.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "Job",
+    "JobQueue",
+    "JobSpec",
+    "QUEUED",
+    "QueueClosed",
+    "QueueFull",
+    "RUNNING",
+    "TIMEOUT",
+    "TERMINAL_STATES",
+    "TransientJobError",
+]
+
+# Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+TIMEOUT = "timeout"
+CANCELLED = "cancelled"
+
+TERMINAL_STATES = frozenset({DONE, FAILED, TIMEOUT, CANCELLED})
+
+
+class QueueFull(Exception):
+    """Backpressure signal: the queue is at its bounded depth."""
+
+
+class QueueClosed(Exception):
+    """The queue is shut down; no further submissions are accepted."""
+
+
+class TransientJobError(Exception):
+    """A handler failure worth retrying (lock contention, flaky I/O...).
+
+    Any other exception from a handler fails the job immediately."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """The immutable description of one analysis request."""
+
+    kind: str
+    params: dict[str, Any] = field(default_factory=dict)
+    priority: int = 0
+    #: Per-job execution wall-clock budget, seconds (None = pool default).
+    timeout: float | None = None
+    #: How many times a transient failure is re-queued.
+    max_retries: int = 2
+    #: First retry delay, seconds; doubles per attempt.
+    backoff: float = 0.05
+
+
+@dataclass
+class Job:
+    """One request's mutable runtime state (owned by the service)."""
+
+    id: int
+    spec: JobSpec
+    status: str = QUEUED
+    attempts: int = 0
+    result: Any = None
+    error: str | None = None
+    cache_hit: bool = False
+    submitted_at: float = field(default_factory=time.monotonic)
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: Seconds spent queued before the first execution began.
+    queue_wait: float | None = None
+    #: Seconds of the (final) execution attempt.
+    exec_seconds: float | None = None
+    worker: str | None = None
+    done_event: threading.Event = field(default_factory=threading.Event,
+                                        repr=False)
+
+    @property
+    def done(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        return self.done_event.wait(timeout)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able snapshot (what ``serve status`` prints)."""
+        return {
+            "id": self.id,
+            "kind": self.spec.kind,
+            "params": self.spec.params,
+            "priority": self.spec.priority,
+            "status": self.status,
+            "attempts": self.attempts,
+            "cache_hit": self.cache_hit,
+            "queue_wait": self.queue_wait,
+            "exec_seconds": self.exec_seconds,
+            "worker": self.worker,
+            "error": self.error,
+            "result": self.result,
+        }
+
+
+class JobQueue:
+    """Bounded priority queue with delayed (retry) entries.
+
+    ``maxsize <= 0`` means unbounded.  Retries re-entering through
+    :meth:`put_retry` are exempt from the depth bound: the job already
+    got past admission once, and refusing the retry would wedge it.
+    """
+
+    def __init__(self, maxsize: int = 0) -> None:
+        self.maxsize = maxsize
+        self._cond = threading.Condition()
+        #: Ready min-heap: (-priority, seq, job).
+        self._ready: list[tuple[int, int, Job]] = []
+        #: Delayed min-heap: (not_before, seq, job).
+        self._delayed: list[tuple[float, int, Job]] = []
+        self._seq = itertools.count()
+        self._closed = False
+        # Cumulative telemetry (the service folds this into `serve stats`).
+        self.enqueued = 0
+        self.rejected = 0
+        self.retried = 0
+        self.high_water = 0
+
+    # -- producer side ----------------------------------------------------
+    def put(self, job: Job, *, block: bool = False,
+            timeout: float | None = None) -> None:
+        """Admit a new job; full queue ⇒ :class:`QueueFull` (backpressure).
+
+        With ``block=True`` the caller waits up to ``timeout`` seconds for
+        a slot before the backpressure signal fires.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise QueueClosed("queue is closed")
+                if self.maxsize <= 0 or self.depth() < self.maxsize:
+                    break
+                if not block:
+                    self.rejected += 1
+                    raise QueueFull(
+                        f"queue depth {self.depth()} at bound {self.maxsize}"
+                    )
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    self.rejected += 1
+                    raise QueueFull(
+                        f"queue depth {self.depth()} at bound {self.maxsize} "
+                        f"(waited {timeout:.3f}s)"
+                    )
+                self._cond.wait(remaining)
+            self._push(job)
+
+    def put_retry(self, job: Job, *, delay: float = 0.0) -> None:
+        """Re-queue a job after a transient failure, eligible at
+        ``now + delay``.  Exempt from the depth bound (see class doc)."""
+        with self._cond:
+            if self._closed:
+                raise QueueClosed("queue is closed")
+            self.retried += 1
+            if delay > 0:
+                heapq.heappush(
+                    self._delayed,
+                    (time.monotonic() + delay, next(self._seq), job),
+                )
+                self.high_water = max(self.high_water, self.depth())
+                self._cond.notify()
+            else:
+                self._push(job)
+
+    def _push(self, job: Job) -> None:
+        heapq.heappush(self._ready, (-job.spec.priority, next(self._seq), job))
+        self.enqueued += 1
+        self.high_water = max(self.high_water, self.depth())
+        self._cond.notify()
+
+    # -- consumer side ----------------------------------------------------
+    def take(self, timeout: float | None = None) -> Job | None:
+        """Pop the highest-priority ready job, blocking up to ``timeout``.
+
+        Returns ``None`` on timeout or once the queue is closed and
+        drained — the worker-loop exit signal.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                self._promote_due()
+                if self._ready:
+                    _, _, job = heapq.heappop(self._ready)
+                    self._cond.notify()  # a slot freed for blocked putters
+                    return job
+                if self._closed and not self._delayed:
+                    return None
+                wait = None if deadline is None \
+                    else deadline - time.monotonic()
+                if wait is not None and wait <= 0:
+                    return None
+                if self._delayed:
+                    until_due = self._delayed[0][0] - time.monotonic()
+                    wait = until_due if wait is None else min(wait, until_due)
+                    wait = max(wait, 0.0)
+                self._cond.wait(wait)
+
+    def _promote_due(self) -> None:
+        now = time.monotonic()
+        while self._delayed and self._delayed[0][0] <= now:
+            _, seq, job = heapq.heappop(self._delayed)
+            heapq.heappush(self._ready, (-job.spec.priority, seq, job))
+
+    # -- introspection / shutdown ----------------------------------------
+    def depth(self) -> int:
+        """Jobs currently queued (ready + delayed)."""
+        return len(self._ready) + len(self._delayed)
+
+    def close(self) -> None:
+        """Refuse new work and wake every blocked producer/consumer."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def stats(self) -> dict[str, Any]:
+        with self._cond:
+            return {
+                "depth": self.depth(),
+                "maxsize": self.maxsize,
+                "enqueued": self.enqueued,
+                "rejected": self.rejected,
+                "retried": self.retried,
+                "high_water": self.high_water,
+                "closed": self._closed,
+            }

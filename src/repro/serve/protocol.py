@@ -1,0 +1,263 @@
+"""JSON-lines socket protocol: the service behind a local endpoint.
+
+One request per line, one response per line — trivially scriptable
+(``nc``/``socat`` work) and language-neutral.  Requests are objects with
+an ``op`` and op-specific fields; responses are ``{"ok": true, ...}`` or
+``{"ok": false, "error": "..."}``.  The connection is sequential
+(request/response in order); concurrency comes from opening more
+connections — each gets its own handler thread — and from the service's
+own queue and pool behind them.
+
+Ops::
+
+    {"op": "ping"}
+    {"op": "submit", "kind": "diagnose", "params": {...},
+     "priority": 0, "timeout": 30.0, "block": false}      → {"job": {...}}
+    {"op": "status", "id": 7}                             → {"job": {...}}
+    {"op": "status"}                                      → {"jobs": [...]}
+    {"op": "wait", "id": 7, "timeout": 60.0}              → {"job": {...}}
+    {"op": "stats"}                                       → {"stats": {...}}
+    {"op": "diagnose"}                  → {"recommendations": [...], ...}
+    {"op": "shutdown"}
+
+Endpoints are strings: ``unix:/path/to.sock`` (AF_UNIX) or
+``tcp:HOST:PORT`` (loopback TCP, for platforms without unix sockets).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+from typing import Any
+
+from .. import observe
+from ..core.result import AnalysisError
+from .jobs import QueueClosed, QueueFull, TERMINAL_STATES
+from .service import AnalysisService
+
+__all__ = ["ServeServer", "connect_endpoint", "parse_endpoint"]
+
+#: Protocol hard limit: one request line (submit params included).
+MAX_LINE = 4 * 1024 * 1024
+
+
+def parse_endpoint(endpoint: str) -> tuple[str, Any]:
+    """``unix:/path`` / ``tcp:host:port`` → (family-tag, address)."""
+    if endpoint.startswith("unix:"):
+        path = endpoint[len("unix:"):]
+        if not path:
+            raise AnalysisError(f"empty unix endpoint in {endpoint!r}")
+        return "unix", path
+    if endpoint.startswith("tcp:"):
+        host, _, port = endpoint[len("tcp:"):].rpartition(":")
+        if not host or not port.isdigit():
+            raise AnalysisError(
+                f"tcp endpoint must be tcp:HOST:PORT, got {endpoint!r}"
+            )
+        return "tcp", (host, int(port))
+    raise AnalysisError(
+        f"endpoint must start with unix: or tcp:, got {endpoint!r}"
+    )
+
+
+def connect_endpoint(endpoint: str, timeout: float | None = 10.0):
+    """Open a client socket to a served endpoint."""
+    family, addr = parse_endpoint(endpoint)
+    if family == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    sock.connect(addr)
+    return sock
+
+
+class ServeServer:
+    """Accept loop + per-connection handler threads over one service."""
+
+    def __init__(self, service: AnalysisService, endpoint: str) -> None:
+        self.service = service
+        self.endpoint = endpoint
+        self._family, self._addr = parse_endpoint(endpoint)
+        self._sock: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._shutdown = threading.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "ServeServer":
+        if self._sock is not None:
+            return self
+        if self._family == "unix":
+            if os.path.exists(self._addr):
+                os.unlink(self._addr)
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.bind(self._addr)
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind(self._addr)
+            # Port 0 means "pick one"; expose what the OS chose.
+            host, port = sock.getsockname()[:2]
+            self._addr = (host, port)
+            self.endpoint = f"tcp:{host}:{port}"
+        sock.listen(16)
+        sock.settimeout(0.2)  # so the accept loop notices shutdown
+        self._sock = sock
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="serve-accept", daemon=True
+        )
+        self._accept_thread.start()
+        observe.event("serve.listen", endpoint=self.endpoint)
+        return self
+
+    def stop(self) -> None:
+        self._shutdown.set()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+            self._accept_thread = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+        if self._family == "unix" and os.path.exists(self._addr):
+            os.unlink(self._addr)
+
+    def serve_forever(self) -> None:
+        """Block until a client sends ``shutdown`` (or interrupt)."""
+        if self._sock is None:
+            self.start()
+        try:
+            self._shutdown.wait()
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+        finally:
+            self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._sock is not None and not self._shutdown.is_set()
+
+    # -- connection handling ----------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._shutdown.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:  # socket closed under us during stop()
+                return
+            threading.Thread(
+                target=self._client_loop, args=(conn,),
+                name="serve-conn", daemon=True,
+            ).start()
+
+    def _client_loop(self, conn: socket.socket) -> None:
+        conn.settimeout(None)
+        buf = b""
+        with conn:
+            while not self._shutdown.is_set():
+                try:
+                    chunk = conn.recv(65536)
+                except OSError:
+                    return
+                if not chunk:
+                    return
+                buf += chunk
+                if len(buf) > MAX_LINE:
+                    self._send(conn, {
+                        "ok": False,
+                        "error": f"request exceeds {MAX_LINE} bytes",
+                    })
+                    return
+                while b"\n" in buf:
+                    line, buf = buf.split(b"\n", 1)
+                    if not line.strip():
+                        continue
+                    response = self._handle_line(line)
+                    if not self._send(conn, response):
+                        return
+
+    @staticmethod
+    def _send(conn: socket.socket, payload: dict) -> bool:
+        try:
+            conn.sendall(json.dumps(payload, default=str).encode() + b"\n")
+            return True
+        except OSError:
+            return False
+
+    # -- request dispatch --------------------------------------------------
+    def _handle_line(self, line: bytes) -> dict:
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as exc:
+            return {"ok": False, "error": f"bad request: {exc}"}
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) \
+            else None
+        if handler is None:
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        try:
+            return {"ok": True, **handler(request)}
+        except (AnalysisError, QueueFull, QueueClosed, ValueError) as exc:
+            return {"ok": False, "error": str(exc),
+                    "kind": type(exc).__name__}
+        except Exception as exc:  # noqa: BLE001 - protocol boundary
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}",
+                    "kind": "internal"}
+
+    def _op_ping(self, request: dict) -> dict:
+        return {"pong": True, "endpoint": self.endpoint}
+
+    def _op_submit(self, request: dict) -> dict:
+        job = self.service.submit(
+            request["kind"],
+            request.get("params") or {},
+            priority=int(request.get("priority", 0)),
+            timeout=request.get("timeout"),
+            max_retries=request.get("max_retries"),
+            block=bool(request.get("block", False)),
+            queue_timeout=request.get("queue_timeout"),
+        )
+        return {"job": job.to_dict()}
+
+    def _op_status(self, request: dict) -> dict:
+        if "id" in request and request["id"] is not None:
+            return {"job": self.service.job(int(request["id"])).to_dict()}
+        jobs = self.service.jobs()
+        return {
+            "jobs": [j.to_dict() for j in jobs],
+            "pending": sum(j.status not in TERMINAL_STATES for j in jobs),
+        }
+
+    def _op_wait(self, request: dict) -> dict:
+        job = self.service.wait(int(request["id"]),
+                                timeout=request.get("timeout"))
+        return {"job": job.to_dict(), "done": job.done}
+
+    def _op_stats(self, request: dict) -> dict:
+        return {"stats": self.service.stats()}
+
+    def _op_diagnose(self, request: dict) -> dict:
+        from ..knowledge import recommendations_of, render_report
+
+        harness = self.service.diagnose_service()
+        return {
+            "recommendations": [
+                {
+                    "category": rec.category,
+                    "event": rec.event,
+                    "severity": rec.severity,
+                    "message": rec.message,
+                }
+                for rec in recommendations_of(harness)
+            ],
+            "report": render_report(harness, title="Service diagnosis"),
+        }
+
+    def _op_shutdown(self, request: dict) -> dict:
+        # Flip the flag; serve_forever's finally does the teardown.
+        self._shutdown.set()
+        return {"stopping": True}

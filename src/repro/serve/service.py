@@ -1,0 +1,468 @@
+"""The analysis service: a long-lived PerfExplorer between clients and PerfDMF.
+
+:class:`AnalysisService` owns the moving parts::
+
+    submit() ──► ResultCache probe ──hit──► job completes (near-free)
+        │ miss
+        ▼
+    JobQueue (priorities, bounded depth, backpressure)
+        │ take()
+        ▼
+    WorkerPool (N supervisors; thread or process vehicles, per-job timeout)
+        │                                     │
+        ▼                                     ▼
+    read-only PerfDMF snapshot views     rw repository (writing kinds)
+        │
+        ▼
+    result → ResultCache.put + job completes (done_event wakes waiters)
+
+Transient handler failures re-queue with exponential backoff up to the
+job's retry budget; timeouts are terminal (the work was killed, not
+flaky).  Queue-wait, execution time per kind, and cache traffic feed
+both the service's own always-on instruments (``serve stats``) and —
+when enabled — :mod:`repro.observe` spans/events, so a traced service
+run lands in the same dogfood pipeline as everything else.
+
+The service degrades loudly: :meth:`service_facts` turns queue latency,
+failure rate, and backpressure past thresholds into
+``ServiceDegradedFact`` rows, and :meth:`diagnose_service` runs the
+``service-rules`` rulebase over them — operations advice from the same
+inference engine that diagnoses application trials.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from .. import observe
+from ..core.result import AnalysisError
+from ..observe.metrics import Histogram
+from ..perfdmf import PerfDMF, ProfileError
+from ..rules import Fact
+from .cache import ResultCache, cache_key, rulebase_fingerprint
+from .handlers import JobContext, JobKind, resolve_kind
+from .jobs import (
+    DONE,
+    FAILED,
+    Job,
+    JobQueue,
+    JobSpec,
+    QUEUED,
+    RUNNING,
+    TIMEOUT,
+    TransientJobError,
+)
+from .workers import ExecutionTimeout, WorkerPool
+
+__all__ = [
+    "AnalysisService",
+    "BACKPRESSURE_THRESHOLD",
+    "FAILURE_RATE_THRESHOLD",
+    "QUEUE_WAIT_P95_THRESHOLD",
+    "ServeConfig",
+]
+
+#: p95 queue wait (seconds) above which the service reports degradation.
+QUEUE_WAIT_P95_THRESHOLD = 1.0
+#: Share of finished jobs that failed/timed out before degradation.
+FAILURE_RATE_THRESHOLD = 0.10
+#: Share of admissions rejected by backpressure before degradation.
+BACKPRESSURE_THRESHOLD = 0.05
+#: How few finished jobs make rate-based thresholds meaningless.
+_MIN_FINISHED_FOR_RATES = 5
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Service construction knobs (what ``serve start`` exposes)."""
+
+    db_path: str = ":memory:"
+    workers: int = 4
+    mode: str = "thread"  # or "process"
+    queue_depth: int = 64
+    default_timeout: float | None = 30.0
+    max_retries: int = 2
+    backoff: float = 0.05
+    cache_entries: int = 512
+    busy_timeout_ms: int = 5_000
+
+
+class AnalysisService:
+    """Concurrent analysis over one PerfDMF repository.
+
+    Use as a context manager, or call :meth:`start` / :meth:`stop`.
+    """
+
+    def __init__(self, config: ServeConfig | None = None, **overrides) -> None:
+        if config is None:
+            config = ServeConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either a ServeConfig or keyword overrides")
+        self.config = config
+        self._db: PerfDMF | None = None
+        self._db_ro: PerfDMF | None = None
+        self.queue = JobQueue(maxsize=config.queue_depth)
+        self.cache = ResultCache(max_entries=config.cache_entries)
+        self.pool: WorkerPool | None = None
+        self._jobs: dict[int, Job] = {}
+        self._job_ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._started_at: float | None = None
+        # Always-on instruments (independent of observe.enabled()).
+        self._queue_wait = Histogram("serve.queue_wait")
+        self._exec: dict[str, Histogram] = {}
+        self._status_counts: dict[str, int] = {}
+        self._cache_hits = 0
+        self._submitted = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "AnalysisService":
+        if self.pool is not None:
+            return self
+        cfg = self.config
+        self._db = PerfDMF(cfg.db_path, busy_timeout_ms=cfg.busy_timeout_ms)
+        self._db_ro = self._db.read_view()
+        self.cache.attach(self._db)
+        self.pool = WorkerPool(
+            self.queue,
+            self._dispatch,
+            workers=cfg.workers,
+            mode=cfg.mode,
+            local_runner=self._run_local,
+            db_path=self._db.path if cfg.mode == "process" else None,
+        )
+        self.pool.start()
+        self._started_at = time.monotonic()
+        observe.event("serve.start", db=cfg.db_path, workers=cfg.workers,
+                      mode=cfg.mode)
+        return self
+
+    def stop(self) -> None:
+        if self.pool is not None:
+            self.pool.stop()
+            self.pool = None
+        observe.event("serve.stop")
+        for db in (self._db_ro, self._db):
+            if db is not None:
+                db.close()
+        self._db = self._db_ro = None
+
+    def __enter__(self) -> "AnalysisService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def db(self) -> PerfDMF:
+        """The service's read-write repository handle."""
+        if self._db is None:
+            raise AnalysisError("service is not started")
+        return self._db
+
+    # -- submission --------------------------------------------------------
+    def submit(
+        self,
+        kind: str,
+        params: dict[str, Any] | None = None,
+        *,
+        priority: int = 0,
+        timeout: float | None = None,
+        max_retries: int | None = None,
+        block: bool = False,
+        queue_timeout: float | None = None,
+    ) -> Job:
+        """Admit one job; returns immediately with its :class:`Job`.
+
+        A cacheable job whose content address hits completes on the spot
+        without ever touching the queue.  A full queue raises
+        :class:`~repro.serve.jobs.QueueFull` unless ``block`` is set.
+        """
+        if self.pool is None:
+            raise AnalysisError("service is not started")
+        kind_obj = resolve_kind(kind)
+        params = dict(params or {})
+        cfg = self.config
+        spec = JobSpec(
+            kind=kind,
+            params=params,
+            priority=priority,
+            timeout=cfg.default_timeout if timeout is None else timeout,
+            max_retries=cfg.max_retries if max_retries is None
+            else max_retries,
+            backoff=cfg.backoff,
+        )
+        job = Job(id=next(self._job_ids), spec=spec)
+        with self._lock:
+            self._jobs[job.id] = job
+            self._submitted += 1
+        with observe.span("serve.submit", kind=kind, job=job.id):
+            key, _ = self._key_and_coords(kind_obj, params)
+            if key is not None:
+                hit, value = self.cache.get(key)
+                if hit:
+                    job.queue_wait = 0.0
+                    self._queue_wait.observe(0.0)
+                    self._finish(job, DONE, result=value, cache_hit=True)
+                    return job
+            try:
+                self.queue.put(job, block=block, timeout=queue_timeout)
+            except BaseException:
+                with self._lock:
+                    del self._jobs[job.id]
+                    self._submitted -= 1
+                raise
+        return job
+
+    def job(self, job_id: int) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise AnalysisError(f"no job with id {job_id}") from None
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def wait(self, job_id: int, timeout: float | None = None) -> Job:
+        """Block until the job finishes (or ``timeout`` elapses)."""
+        job = self.job(job_id)
+        job.wait(timeout)
+        return job
+
+    # -- execution (worker supervisor threads) -----------------------------
+    def _run_local(self, kind: str, params: dict[str, Any], attempt: int,
+                   worker: str) -> dict[str, Any]:
+        """Thread-mode execution: handlers run in this process against
+        the shared repository (read-only view unless the kind writes)."""
+        kind_obj = resolve_kind(kind)
+        _, writes = kind_obj.effective_flags(params)
+        db = self._db if writes else self._db_ro
+        return kind_obj.run(
+            JobContext(db=db, worker=worker, attempt=attempt), params
+        )
+
+    def _dispatch(self, job: Job, run) -> None:
+        """One execution attempt; runs on the worker's supervisor thread."""
+        now = time.monotonic()
+        if job.queue_wait is None:
+            job.queue_wait = now - job.submitted_at
+            self._queue_wait.observe(job.queue_wait)
+            if observe.enabled():
+                observe.histogram("serve.queue_wait").observe(job.queue_wait)
+        job.attempts += 1
+        job.status = RUNNING
+        job.started_at = now
+        kind_obj = resolve_kind(job.spec.kind)
+        key = coords = None
+        cacheable, _ = kind_obj.effective_flags(job.spec.params)
+        if cacheable:
+            key, coords = self._key_and_coords(kind_obj, job.spec.params)
+            if key is not None:
+                # Second probe: an identical job may have populated the
+                # cache while this one sat in the queue.
+                hit, value = self.cache.get(key)
+                if hit:
+                    self._finish(job, DONE, result=value, cache_hit=True)
+                    return
+        with observe.span("serve.execute", kind=job.spec.kind, job=job.id,
+                          attempt=job.attempts, worker=job.worker):
+            started = time.monotonic()
+            try:
+                result = run(job.spec.timeout)
+            except ExecutionTimeout as exc:
+                job.exec_seconds = time.monotonic() - started
+                self._finish(job, TIMEOUT, error=str(exc))
+                return
+            except TransientJobError as exc:
+                job.exec_seconds = time.monotonic() - started
+                if job.attempts <= job.spec.max_retries:
+                    delay = job.spec.backoff * (2 ** (job.attempts - 1))
+                    job.status = QUEUED
+                    job.error = f"retrying after transient failure: {exc}"
+                    observe.event("serve.retry", job=job.id,
+                                  kind=job.spec.kind, attempt=job.attempts,
+                                  delay=delay, error=str(exc))
+                    self.queue.put_retry(job, delay=delay)
+                    return
+                self._finish(
+                    job, FAILED,
+                    error=f"transient failure persisted after "
+                          f"{job.attempts} attempts: {exc}",
+                )
+                return
+            except BaseException as exc:  # noqa: BLE001 - job boundary
+                job.exec_seconds = time.monotonic() - started
+                self._finish(job, FAILED,
+                             error=f"{type(exc).__name__}: {exc}")
+                return
+        job.exec_seconds = time.monotonic() - started
+        self._exec_hist(job.spec.kind).observe(job.exec_seconds)
+        if observe.enabled():
+            observe.histogram(
+                f"serve.exec.{job.spec.kind}").observe(job.exec_seconds)
+        if key is not None:
+            self.cache.put(key, result, coords=coords)
+        self._finish(job, DONE, result=result)
+
+    def _exec_hist(self, kind: str) -> Histogram:
+        hist = self._exec.get(kind)
+        if hist is None:
+            with self._lock:
+                hist = self._exec.setdefault(
+                    kind, Histogram(f"serve.exec.{kind}"))
+        return hist
+
+    def _finish(self, job: Job, status: str, *, result=None, error=None,
+                cache_hit: bool = False) -> None:
+        job.status = status
+        job.result = result
+        job.error = error
+        job.cache_hit = cache_hit
+        job.finished_at = time.monotonic()
+        with self._lock:
+            self._status_counts[status] = \
+                self._status_counts.get(status, 0) + 1
+            if cache_hit:
+                self._cache_hits += 1
+        observe.event("serve.job", job=job.id, kind=job.spec.kind,
+                      status=status, cache_hit=cache_hit,
+                      attempts=job.attempts)
+        job.done_event.set()
+
+    # -- cache addressing --------------------------------------------------
+    def _key_and_coords(self, kind_obj: JobKind, params: dict[str, Any]):
+        """Content address + trial coordinates, or ``(None, ())`` when the
+        submission is uncacheable (by kind, by params, or because a named
+        trial does not exist — the handler will report that properly)."""
+        cacheable, _ = kind_obj.effective_flags(params)
+        if not cacheable or self._db is None:
+            return None, ()
+        coords: list[tuple[str, str, str]] = []
+        hashes: list[str] = []
+        for app_key, exp_key, trial_key in kind_obj.trial_refs:
+            app = params.get(app_key)
+            exp = params.get(exp_key)
+            trial = params.get(trial_key)
+            if not (app and exp and trial):
+                return None, ()
+            try:
+                hashes.append(self._db.content_hash(app, exp, trial))
+            except ProfileError:
+                return None, ()
+            coords.append((app, exp, trial))
+        return (
+            cache_key(kind_obj.name, params, hashes),
+            tuple(coords),
+        )
+
+    # -- statistics and degradation facts ----------------------------------
+    def stats(self) -> dict[str, Any]:
+        """One JSON-able snapshot (what ``serve stats`` prints)."""
+        with self._lock:
+            status_counts = dict(self._status_counts)
+            submitted = self._submitted
+            cache_hits = self._cache_hits
+        in_flight = sum(
+            1 for j in self.jobs() if j.status in (QUEUED, RUNNING)
+        )
+        return {
+            "uptime": (time.monotonic() - self._started_at)
+            if self._started_at else 0.0,
+            "db": self.config.db_path,
+            "workers": {
+                "count": self.config.workers,
+                "mode": self.config.mode,
+                "alive": self.pool.alive() if self.pool else 0,
+            },
+            "versions": {
+                "code": __import__("repro").__version__,
+                "rulebase": rulebase_fingerprint(),
+            },
+            "queue": self.queue.stats(),
+            "jobs": {
+                "submitted": submitted,
+                "in_flight": in_flight,
+                "by_status": status_counts,
+                "cache_hits": cache_hits,
+            },
+            "cache": self.cache.snapshot(),
+            "queue_wait": self._queue_wait.summary(),
+            "exec": {
+                kind: hist.summary() for kind, hist in sorted(
+                    self._exec.items())
+            },
+        }
+
+    def service_facts(
+        self,
+        *,
+        queue_wait_p95_threshold: float = QUEUE_WAIT_P95_THRESHOLD,
+        failure_rate_threshold: float = FAILURE_RATE_THRESHOLD,
+        backpressure_threshold: float = BACKPRESSURE_THRESHOLD,
+    ) -> list[Fact]:
+        """The service's health as rule-engine facts.
+
+        Always includes one ``ServiceStatsFact``; each threshold crossing
+        adds a ``ServiceDegradedFact`` with a machine-readable reason
+        (``queue-latency`` / ``failure-rate`` / ``backpressure``)."""
+        stats = self.stats()
+        finished = sum(stats["jobs"]["by_status"].values())
+        failures = (stats["jobs"]["by_status"].get(FAILED, 0)
+                    + stats["jobs"]["by_status"].get(TIMEOUT, 0))
+        failure_rate = failures / finished if finished else 0.0
+        admissions = stats["queue"]["enqueued"] + stats["queue"]["rejected"]
+        reject_rate = (stats["queue"]["rejected"] / admissions
+                       if admissions else 0.0)
+        p95 = self._queue_wait.percentile(95)
+        facts = [
+            Fact(
+                "ServiceStatsFact",
+                submitted=stats["jobs"]["submitted"],
+                finished=finished,
+                failureRate=failure_rate,
+                queueDepth=stats["queue"]["depth"],
+                queueWaitP95=p95,
+                cacheHitRate=stats["cache"]["hit_rate"],
+                workers=stats["workers"]["count"],
+                mode=stats["workers"]["mode"],
+            )
+        ]
+        degraded = []
+        if self._queue_wait.count and p95 > queue_wait_p95_threshold:
+            degraded.append(("queue-latency", p95, queue_wait_p95_threshold))
+        if finished >= _MIN_FINISHED_FOR_RATES and \
+                failure_rate > failure_rate_threshold:
+            degraded.append(("failure-rate", failure_rate,
+                             failure_rate_threshold))
+        if admissions >= _MIN_FINISHED_FOR_RATES and \
+                reject_rate > backpressure_threshold:
+            degraded.append(("backpressure", reject_rate,
+                             backpressure_threshold))
+        for reason, value, threshold in degraded:
+            facts.append(Fact(
+                "ServiceDegradedFact",
+                reason=reason,
+                value=value,
+                threshold=threshold,
+                workers=stats["workers"]["count"],
+                queueDepth=stats["queue"]["depth"],
+                queueBound=stats["queue"]["maxsize"],
+            ))
+            observe.event("serve.degraded", reason=reason, value=value,
+                          threshold=threshold)
+        return facts
+
+    def diagnose_service(self, **thresholds):
+        """Run the ``service-rules`` rulebase over the current health
+        facts; returns the fired harness (recommendations & explanations)."""
+        from ..core.harness import RuleHarness
+
+        harness = RuleHarness("service-rules")
+        harness.assertObjects(self.service_facts(**thresholds))
+        harness.processRules()
+        return harness

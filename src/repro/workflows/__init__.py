@@ -2,12 +2,15 @@
 
 from .pipeline import (
     GateResult,
+    PIPELINE_STAGES,
     PipelineResult,
     TracedRunResult,
     automated_analysis,
     compile_and_profile,
     feedback_directed_inlining,
     iterative_profiling,
+    pipeline_stage,
+    register_pipeline_stage,
     regression_gate,
     trace_application,
 )
@@ -15,6 +18,7 @@ from .tuning import TuningOutcome, genidlest_tuning_loop, msa_tuning_loop
 
 __all__ = [
     "GateResult",
+    "PIPELINE_STAGES",
     "PipelineResult",
     "TracedRunResult",
     "TuningOutcome",
@@ -24,6 +28,8 @@ __all__ = [
     "genidlest_tuning_loop",
     "iterative_profiling",
     "msa_tuning_loop",
+    "pipeline_stage",
+    "register_pipeline_stage",
     "regression_gate",
     "trace_application",
 ]

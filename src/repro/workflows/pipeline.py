@@ -149,6 +149,34 @@ def regression_gate(
     )
 
 
+#: Named pipeline stages executable by name — what the analysis service's
+#: ``pipeline`` job kind dispatches on.  Each stage takes a Trial plus
+#: ``repository=``/``application=``/``experiment=`` keywords and returns a
+#: result object with a ``trial`` attribute.
+PIPELINE_STAGES: dict[str, Callable] = {}
+
+
+def register_pipeline_stage(name: str, stage: Callable) -> None:
+    """Register a stage so remote clients can invoke it by name."""
+    PIPELINE_STAGES[name] = stage
+
+
+def pipeline_stage(name: str) -> Callable:
+    """Resolve a registered stage; raises :class:`AnalysisError` with the
+    available names otherwise."""
+    try:
+        return PIPELINE_STAGES[name]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown pipeline stage {name!r}; "
+            f"available: {sorted(PIPELINE_STAGES)}"
+        ) from None
+
+
+register_pipeline_stage("automated_analysis", automated_analysis)
+register_pipeline_stage("regression_gate", regression_gate)
+
+
 @dataclass
 class TracedRunResult:
     """Everything one traced application run produced."""

@@ -1,0 +1,34 @@
+"""Shared fixtures for the serve subsystem tests."""
+
+import numpy as np
+import pytest
+
+from repro.perfdmf import PerfDMF, TrialBuilder
+from repro.serve import AnalysisService
+
+
+def make_trial(name, skew=1.0, events=("main", "hot_loop"), threads=4):
+    rng = np.random.default_rng(7)
+    exc = rng.uniform(50, 100, size=(len(events), threads))
+    exc[-1, 0] *= skew  # skew concentrates work on thread 0
+    return (
+        TrialBuilder(name, {"threads": threads})
+        .with_events(list(events))
+        .with_threads(threads)
+        .with_metric("TIME", exc, exc * 1.3, units="usec")
+        .with_calls(np.ones_like(exc), np.zeros_like(exc))
+        .build()
+    )
+
+
+@pytest.fixture
+def service():
+    """Thread-mode service over an in-memory repository with two trials."""
+    svc = AnalysisService(workers=4, default_timeout=10.0).start()
+    svc.db.save_trial("App", "Exp", make_trial("t1"))
+    svc.db.save_trial("App", "Exp", make_trial("t2", skew=6.0))
+    yield svc
+    svc.stop()
+
+
+DIAG = {"app": "App", "exp": "Exp", "trial": "t1", "script": "load-balance"}

@@ -1,0 +1,133 @@
+"""JobQueue semantics: priorities, bounds, delayed retries, shutdown."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import Job, JobQueue, JobSpec, QueueClosed, QueueFull
+
+
+def job(n, priority=0, kind="sleep"):
+    return Job(id=n, spec=JobSpec(kind=kind, priority=priority))
+
+
+class TestPriorities:
+    def test_higher_priority_dequeues_first(self):
+        q = JobQueue()
+        q.put(job(1, priority=0))
+        q.put(job(2, priority=5))
+        q.put(job(3, priority=1))
+        assert [q.take().id for _ in range(3)] == [2, 3, 1]
+
+    def test_equal_priority_is_fifo(self):
+        q = JobQueue()
+        for n in range(5):
+            q.put(job(n, priority=3))
+        assert [q.take().id for _ in range(5)] == [0, 1, 2, 3, 4]
+
+
+class TestBoundedDepth:
+    def test_put_past_bound_raises_queue_full(self):
+        q = JobQueue(maxsize=2)
+        q.put(job(1))
+        q.put(job(2))
+        with pytest.raises(QueueFull):
+            q.put(job(3))
+        assert q.stats()["rejected"] == 1
+        assert q.depth() == 2
+
+    def test_blocking_put_waits_for_a_slot(self):
+        q = JobQueue(maxsize=1)
+        q.put(job(1))
+        taken = []
+
+        def consumer():
+            time.sleep(0.05)
+            taken.append(q.take())
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        q.put(job(2), block=True, timeout=2.0)  # must not raise
+        t.join()
+        assert taken[0].id == 1
+        assert q.take().id == 2
+
+    def test_blocking_put_times_out(self):
+        q = JobQueue(maxsize=1)
+        q.put(job(1))
+        with pytest.raises(QueueFull):
+            q.put(job(2), block=True, timeout=0.05)
+
+    def test_retry_is_exempt_from_bound(self):
+        q = JobQueue(maxsize=1)
+        q.put(job(1))
+        q.put_retry(job(2))  # bound is full; retry still admitted
+        assert q.depth() == 2
+
+
+class TestDelayedRetries:
+    def test_delayed_job_not_visible_until_due(self):
+        q = JobQueue()
+        q.put_retry(job(1), delay=0.15)
+        assert q.take(timeout=0.02) is None
+        got = q.take(timeout=2.0)
+        assert got is not None and got.id == 1
+
+    def test_ready_jobs_do_not_wait_behind_delayed(self):
+        q = JobQueue()
+        q.put_retry(job(1), delay=5.0)
+        q.put(job(2))
+        assert q.take(timeout=0.5).id == 2
+
+    def test_high_water_counts_delayed(self):
+        q = JobQueue()
+        q.put_retry(job(1), delay=5.0)
+        q.put(job(2))
+        assert q.stats()["high_water"] == 2
+
+
+class TestShutdown:
+    def test_take_returns_none_after_close_and_drain(self):
+        q = JobQueue()
+        q.put(job(1))
+        q.close()
+        assert q.take().id == 1
+        assert q.take() is None
+
+    def test_close_wakes_blocked_consumer(self):
+        q = JobQueue()
+        results = []
+        t = threading.Thread(target=lambda: results.append(q.take()))
+        t.start()
+        time.sleep(0.05)
+        q.close()
+        t.join(timeout=2.0)
+        assert not t.is_alive()
+        assert results == [None]
+
+    def test_put_after_close_raises(self):
+        q = JobQueue()
+        q.close()
+        with pytest.raises(QueueClosed):
+            q.put(job(1))
+        with pytest.raises(QueueClosed):
+            q.put_retry(job(1))
+
+
+class TestJobRecord:
+    def test_to_dict_is_json_shaped(self):
+        j = job(7, priority=2)
+        d = j.to_dict()
+        assert d["id"] == 7
+        assert d["kind"] == "sleep"
+        assert d["priority"] == 2
+        assert d["status"] == "queued"
+        assert d["error"] is None
+
+    def test_wait_observes_done_event(self):
+        j = job(1)
+        assert not j.wait(0.01)
+        j.status = "done"
+        j.done_event.set()
+        assert j.wait(0.01) and j.done

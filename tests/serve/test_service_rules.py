@@ -1,0 +1,123 @@
+"""The ``service-rules`` rulebase over synthetic health facts.
+
+These tests feed hand-built ``ServiceStatsFact``/``ServiceDegradedFact``
+rows through the same harness ``serve diagnose`` uses, so each rule's
+trigger condition is pinned independently of live service timing.
+"""
+
+from repro.core import RuleHarness
+from repro.knowledge.service_rules import RULEBASE_NAME, service_rules
+from repro.rules import Fact
+
+
+def stats_fact(**overrides):
+    base = dict(
+        submitted=40, finished=40, failureRate=0.0, queueDepth=0,
+        queueWaitP95=0.001, cacheHitRate=0.5, workers=4, mode="thread",
+    )
+    base.update(overrides)
+    return Fact("ServiceStatsFact", **base)
+
+
+def degraded_fact(reason, value, threshold, **overrides):
+    base = dict(reason=reason, value=value, threshold=threshold,
+                workers=4, queueDepth=10, queueBound=64)
+    base.update(overrides)
+    return Fact("ServiceDegradedFact", **base)
+
+
+def fire(*facts):
+    harness = RuleHarness(RULEBASE_NAME)
+    harness.assertObjects(list(facts))
+    harness.processRules()
+    return harness
+
+
+def categories(harness):
+    return {f["category"] for f in harness.facts("Recommendation")}
+
+
+class TestRulebaseRegistration:
+    def test_resolves_by_name(self):
+        harness = RuleHarness(RULEBASE_NAME)
+        assert len(harness.engine.rules) == len(service_rules())
+
+    def test_threshold_override(self):
+        rules = service_rules(hit_rate_threshold=0.9)
+        assert len(rules) == len(service_rules())
+
+
+class TestSummaryRule:
+    def test_healthy_stats_log_headline_only(self):
+        harness = fire(stats_fact())
+        assert categories(harness) == set()
+        assert any("Service:" in line for line in harness.output)
+
+
+class TestDegradationRules:
+    def test_queue_latency_recommendation(self):
+        harness = fire(stats_fact(),
+                       degraded_fact("queue-latency", 2.5, 1.0))
+        assert "service-queue-latency" in categories(harness)
+        rec = next(f for f in harness.facts("Recommendation")
+                   if f["category"] == "service-queue-latency")
+        assert rec["severity"] == 2.5
+        assert "add workers" in rec["message"]
+
+    def test_failure_rate_recommendation(self):
+        harness = fire(stats_fact(failureRate=0.4),
+                       degraded_fact("failure-rate", 0.4, 0.10))
+        assert "service-failure-rate" in categories(harness)
+
+    def test_backpressure_recommendation(self):
+        harness = fire(stats_fact(),
+                       degraded_fact("backpressure", 0.25, 0.05))
+        rec = next(f for f in fire(
+            stats_fact(), degraded_fact("backpressure", 0.25, 0.05)
+        ).facts("Recommendation")
+            if f["category"] == "service-backpressure")
+        assert "service-backpressure" in categories(harness)
+        assert rec["queue_bound"] == 64
+
+    def test_unknown_reason_fires_nothing(self):
+        harness = fire(stats_fact(),
+                       degraded_fact("solar-flare", 1.0, 0.5))
+        assert categories(harness) == set()
+
+
+class TestCapacityJoin:
+    """Latency + backpressure together → the chained capacity verdict."""
+
+    def test_join_fires_only_with_both_reasons(self):
+        both = fire(stats_fact(),
+                    degraded_fact("queue-latency", 2.0, 1.0),
+                    degraded_fact("backpressure", 0.3, 0.05))
+        assert "service-capacity" in categories(both)
+        only_latency = fire(stats_fact(),
+                            degraded_fact("queue-latency", 2.0, 1.0))
+        assert "service-capacity" not in categories(only_latency)
+        only_bp = fire(stats_fact(),
+                       degraded_fact("backpressure", 0.3, 0.05))
+        assert "service-capacity" not in categories(only_bp)
+
+    def test_capacity_severity_is_worst_of_the_two(self):
+        harness = fire(stats_fact(),
+                       degraded_fact("queue-latency", 2.0, 1.0),
+                       degraded_fact("backpressure", 0.3, 0.05))
+        rec = next(f for f in harness.facts("Recommendation")
+                   if f["category"] == "service-capacity")
+        assert rec["severity"] == 2.0
+
+
+class TestColdCacheRule:
+    def test_cold_cache_with_traffic(self):
+        harness = fire(stats_fact(finished=50, cacheHitRate=0.02))
+        assert "service-cold-cache" in categories(harness)
+
+    def test_quiet_service_gets_no_cache_advice(self):
+        harness = fire(stats_fact(finished=3, cacheHitRate=0.0))
+        assert "service-cold-cache" not in categories(harness)
+
+    def test_warm_cache_gets_no_advice(self):
+        harness = fire(stats_fact(finished=50, cacheHitRate=0.6))
+        assert "service-cold-cache" not in categories(harness)
