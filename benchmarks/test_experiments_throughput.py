@@ -1,0 +1,119 @@
+"""Experiment layer overhead: plan expansion and per-case orchestration.
+
+Two costs matter for the volume-driver claim.  Expansion must stay
+trivial even at committed-example scale (hundreds of content-addressed
+cases — each key is a SHA-256 over canonical JSON).  And the
+orchestration machinery — submit_many batches, polling, state banking,
+assessment — must add little per case on top of the trials themselves,
+or adaptive rigor would cost more than the reruns it saves.
+"""
+
+import time
+
+from conftest import print_series
+from repro.experiments import ExperimentSpec, RigorPolicy
+from repro.workflows import run_experiment
+
+EXPANSION_CASES = 512
+SWEEP_CASES = 8
+
+
+def _big_spec(n_cases=EXPANSION_CASES):
+    side = int(n_cases ** 0.5)
+    return ExperimentSpec(
+        name="bench-expand", app="synthetic",
+        factors={"scale": [0.25 * (i + 1) for i in range(side)],
+                 "threads": list(range(1, side + 1))},
+        max_cases=n_cases,
+    )
+
+
+def _sweep_spec():
+    return ExperimentSpec(
+        name="bench-sweep", app="synthetic",
+        factors={"scale": [0.25 * (i + 1) for i in range(SWEEP_CASES)],
+                 "threads": [2]},
+        rigor=RigorPolicy(min_runs=2, max_runs=3,
+                          relative_halfwidth=0.5, noise=0.0),
+    )
+
+
+class TestExperimentsThroughput:
+    def test_plan_expansion_cost(self, run_once):
+        spec = _big_spec()
+
+        def expand():
+            start = time.monotonic()
+            plan = spec.expand()
+            return plan, time.monotonic() - start
+
+        plan, seconds = run_once(expand)
+        per_case_us = seconds / len(plan.cases) * 1e6
+        print_series(
+            f"Plan expansion ({len(plan.cases)} cases)",
+            [(len(plan.cases), seconds * 1e3, per_case_us)],
+            ["cases", "total ms", "us/case"],
+        )
+        side = int(EXPANSION_CASES ** 0.5)
+        assert len(plan.cases) == side * side
+        # Content addressing is two JSON dumps + a SHA-256 per case;
+        # anything past a millisecond per case means an accidental
+        # quadratic crept into expansion.
+        assert per_case_us < 1000, f"{per_case_us:.0f} us/case"
+        # Determinism while we are here: same spec, same keys.
+        assert plan.case_keys() == spec.expand().case_keys()
+
+    def test_per_case_orchestration_overhead(self, run_once):
+        # The same trials, bare (direct service submits) vs through the
+        # full orchestrator loop; the delta per case is the machinery.
+        from repro.serve import AnalysisService
+
+        spec = _sweep_spec()
+        plan = spec.expand()
+
+        def bare():
+            start = time.monotonic()
+            with AnalysisService(workers=4) as svc:
+                jobs = [
+                    svc.submit("run-trial", {
+                        "app": spec.app,
+                        "application": spec.application,
+                        "experiment": spec.experiment_name,
+                        "case_key": case.key, "rerun": rerun,
+                        "factors": dict(case.factors),
+                        "metric": spec.metric,
+                        "key_event": spec.key_event,
+                        "noise": 0.0, "spec": spec.name,
+                    })
+                    for case in plan.cases
+                    for rerun in range(spec.rigor.min_runs)
+                ]
+                for job in jobs:
+                    assert job.wait(60.0) and job.status == "done", \
+                        job.error
+            return time.monotonic() - start
+
+        def orchestrated():
+            start = time.monotonic()
+            result = run_experiment(spec, workers=4, analyze=False)
+            assert result.summary()["failed"] == 0
+            return result, time.monotonic() - start
+
+        bare_seconds = bare()
+        result, orch_seconds = run_once(orchestrated)
+        n = len(plan.cases)
+        overhead_ms = (orch_seconds - bare_seconds) / n * 1e3
+        print_series(
+            f"Per-case orchestration ({n} cases × "
+            f"{spec.rigor.min_runs} runs)",
+            [("bare", bare_seconds * 1e3, bare_seconds / n * 1e3),
+             ("orchestrated", orch_seconds * 1e3,
+              orch_seconds / n * 1e3),
+             ("overhead", (orch_seconds - bare_seconds) * 1e3,
+              overhead_ms)],
+            ["mode", "total ms", "ms/case"],
+        )
+        assert result.summary()["converged"] == n
+        # Assessment + state banking + polling should cost tens of
+        # milliseconds per case at worst, not the trials' own scale.
+        assert overhead_ms < 250, f"{overhead_ms:.1f} ms/case overhead"

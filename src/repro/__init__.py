@@ -15,13 +15,16 @@ Subpackages (see README.md for the architecture):
 * :mod:`repro.workflows` — Fig. 3 pipeline + closed tuning loops
 * :mod:`repro.regress`   — performance-regression sentinel over PerfDMF
 * :mod:`repro.observe`   — self-telemetry: spans, metrics, dogfood bridge
+* :mod:`repro.serve`     — concurrent analysis service over one repository
+* :mod:`repro.experiments` — declarative experiment orchestration
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "apps",
     "core",
+    "experiments",
     "knowledge",
     "machine",
     "observe",
@@ -31,5 +34,6 @@ __all__ = [
     "regress",
     "rules",
     "runtime",
+    "serve",
     "workflows",
 ]

@@ -711,6 +711,117 @@ def _cmd_serve_stop(args: argparse.Namespace) -> int:
     return 0
 
 
+def _exp_spec(args: argparse.Namespace):
+    from repro.experiments import ExperimentSpec
+
+    return ExperimentSpec.from_toml(args.spec)
+
+
+@_serve_errors
+def _cmd_exp_plan(args: argparse.Namespace) -> int:
+    spec = _exp_spec(args)
+    plan = spec.expand()
+    print(f"spec {spec.name!r} ({args.spec})")
+    print(f"  app={spec.app} metric={spec.metric} "
+          f"key_event={spec.key_event} vector={spec.vector}")
+    print(f"  spec hash {plan.spec_hash[:12]} — {len(plan.cases)} case(s), "
+          f"{plan.excluded} excluded")
+    rigor = spec.rigor
+    print(f"  rigor: {rigor.min_runs}-{rigor.max_runs} runs/case, "
+          f"CI {rigor.confidence:.0%} rel half-width "
+          f"< {rigor.relative_halfwidth}")
+    if args.cases:
+        for case in plan.cases:
+            factors = " ".join(f"{k}={v}" for k, v in
+                               sorted(case.factors.items()))
+            print(f"  [{case.index:4d}] {case.short}  {factors}")
+    return 0
+
+
+@_serve_errors
+def _cmd_exp_run(args: argparse.Namespace) -> int:
+    spec = _exp_spec(args)
+    progress = None if args.quiet else print
+    if args.endpoint:
+        # Drive a long-lived served repository; state is written through
+        # our own connection to the same file.
+        from repro.experiments import ExperimentState, Orchestrator
+        from repro.perfdmf import PerfDMF
+        from repro.serve import SocketClient
+
+        if not args.db:
+            print("error: exp run --endpoint needs --db (or "
+                  f"${DB_ENV_VAR}) for the resume state", file=sys.stderr)
+            return 2
+        plan = spec.expand()
+        with PerfDMF(args.db) as repo, \
+                SocketClient(args.endpoint,
+                             timeout=args.client_timeout) as client:
+            state = ExperimentState(repo)
+            result = Orchestrator(
+                client, state, plan,
+                max_in_flight=args.max_in_flight,
+                case_retries=args.case_retries,
+                analyze=not args.no_analyze,
+                progress=progress,
+            ).run()
+    else:
+        from repro.workflows import run_experiment
+
+        result = run_experiment(
+            spec,
+            db_path=args.db or ":memory:",
+            workers=args.workers,
+            mode=args.mode,
+            max_in_flight=args.max_in_flight,
+            case_retries=args.case_retries,
+            analyze=not args.no_analyze,
+            progress=progress,
+        )
+    summary = result.summary()
+    print(f"run {summary['run_id']}: {summary['cases']} case(s) — "
+          f"{summary['converged']} converged, "
+          f"{summary['non_converged']} non-converged, "
+          f"{summary['failed']} failed, {summary['skipped']} skipped "
+          f"({summary['total_runs']} runs, {summary['reruns']} adaptive "
+          f"reruns, {summary['wall_seconds']:.2f}s)")
+    return 1 if summary["failed"] else 0
+
+
+@_serve_errors
+def _cmd_exp_status(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentState, render_status
+    from repro.perfdmf import PerfDMF
+
+    spec = _exp_spec(args)
+    with PerfDMF(args.db) as repo:
+        state = ExperimentState(repo)
+        run_id = state.run_id_for(spec.spec_hash)
+        if run_id is None:
+            print(f"error: no run recorded for spec {spec.name!r} "
+                  f"in {args.db}", file=sys.stderr)
+            return 2
+        print(render_status(state, run_id))
+    return 0
+
+
+@_serve_errors
+def _cmd_exp_report(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentState, render_report
+    from repro.perfdmf import PerfDMF
+
+    spec = _exp_spec(args)
+    with PerfDMF(args.db) as repo:
+        state = ExperimentState(repo)
+        run_id = state.run_id_for(spec.spec_hash)
+        if run_id is None:
+            print(f"error: no run recorded for spec {spec.name!r} "
+                  f"in {args.db}", file=sys.stderr)
+            return 2
+        print(render_report(state, run_id, diagnose=not args.no_diagnose))
+    return 0
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     if args.app == "msa":
         from repro.workflows import msa_tuning_loop
@@ -937,6 +1048,61 @@ def build_parser() -> argparse.ArgumentParser:
     sp = ssub.add_parser("stop", help="shut the service down")
     _client_args(sp)
     sp.set_defaults(func=_cmd_serve_stop)
+
+    p = sub.add_parser(
+        "exp",
+        help="declarative experiments: plan/run/status/report a TOML spec")
+    esub = p.add_subparsers(dest="exp_command", required=True)
+
+    ep = esub.add_parser("plan",
+                         help="expand a spec and show the case plan")
+    ep.add_argument("spec", help="experiment spec (TOML)")
+    ep.add_argument("--cases", action="store_true",
+                    help="list every case with its key and factors")
+    ep.set_defaults(func=_cmd_exp_plan)
+
+    ep = esub.add_parser(
+        "run",
+        help="drive a spec to completion (resumable; exit 1 on failures)")
+    ep.add_argument("spec", help="experiment spec (TOML)")
+    _add_db_arg(ep, help="PerfDMF sqlite file holding trials + resume "
+                         "state (default: in-memory, non-resumable)")
+    ep.add_argument("--endpoint",
+                    help="drive an already-running service "
+                         "(unix:PATH or tcp:HOST:PORT) instead of "
+                         "spinning a private one")
+    ep.add_argument("--client-timeout", type=float, default=60.0,
+                    help="socket timeout when using --endpoint, seconds")
+    ep.add_argument("--workers", type=int, default=4,
+                    help="worker count for the private service")
+    ep.add_argument("--mode", choices=["thread", "process"],
+                    default="thread",
+                    help="private-service vehicles (process needs a "
+                         "file db)")
+    ep.add_argument("--max-in-flight", type=int, default=8,
+                    help="cases executing concurrently")
+    ep.add_argument("--case-retries", type=int, default=1,
+                    help="resubmissions per failed trial run")
+    ep.add_argument("--no-analyze", action="store_true",
+                    help="skip the per-case analyze-case diagnosis job")
+    ep.add_argument("--quiet", action="store_true",
+                    help="suppress per-case progress lines")
+    ep.set_defaults(func=_cmd_exp_run)
+
+    ep = esub.add_parser("status",
+                         help="per-case convergence table for a spec's run")
+    ep.add_argument("spec", help="experiment spec (TOML)")
+    _add_db_arg(ep, required=True)
+    ep.set_defaults(func=_cmd_exp_status)
+
+    ep = esub.add_parser(
+        "report",
+        help="full report: status + attention list + rule critique")
+    ep.add_argument("spec", help="experiment spec (TOML)")
+    _add_db_arg(ep, required=True)
+    ep.add_argument("--no-diagnose", action="store_true",
+                    help="skip the experiment-rules critique")
+    ep.set_defaults(func=_cmd_exp_report)
 
     p = sub.add_parser("tune", help="run a closed tuning loop")
     p.add_argument("app", choices=["msa", "genidlest"])

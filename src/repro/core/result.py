@@ -22,7 +22,16 @@ from ..perfdmf import MAIN_EVENT, ProfileError, Trial
 
 
 class AnalysisError(Exception):
-    """Raised for invalid operation inputs or incompatible results."""
+    """Raised for invalid operation inputs or incompatible results.
+
+    ``reason`` optionally carries a structured (JSON-able) account of the
+    failure; the serve layer surfaces it as ``Job.failure["reason"]`` so
+    programmatic consumers need not parse the message string.
+    """
+
+    def __init__(self, message: str = "", *, reason: dict | None = None):
+        super().__init__(message)
+        self.reason = dict(reason) if reason else None
 
 
 class PerformanceResult:

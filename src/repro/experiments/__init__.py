@@ -1,0 +1,67 @@
+"""repro.experiments: declarative experiment orchestration.
+
+The volume driver the knowledge layer was built for (ROADMAP item 3):
+declarative specs (factors × vectors → content-addressed cases), a DAG
+orchestrator submitting generate→run→collect→analyze jobs to
+:mod:`repro.serve` with bounded fan-out and resumable state in the
+PerfDMF file, and an adaptive rigor loop that reruns each case until its
+confidence interval is tight enough — or flags it non-converged for the
+``experiment-rules`` rulebase to critique.
+
+Quick start::
+
+    from repro.experiments import ExperimentSpec
+    from repro.workflows import run_experiment
+
+    spec = ExperimentSpec.from_toml("examples/msa_sweep.toml")
+    result = run_experiment(spec, db_path="sweep.db")
+    print(result.summary())
+"""
+
+from .orchestrator import CaseOutcome, ExperimentResult, Orchestrator
+from .report import render_report, render_status
+from .rigor import (
+    Assessment,
+    RigorPolicy,
+    assess,
+    drop_outliers,
+    modified_zscores,
+    t_critical,
+)
+from .spec import Case, ExperimentSpec, Plan, SpecError, case_rng, case_seed
+from .state import (
+    CaseRecord,
+    ExperimentState,
+    EXPERIMENTS_SCHEMA_VERSION,
+    TERMINAL_CASE_STATUSES,
+    ensure_experiments_schema,
+)
+from .summary import summary_fact
+from .synthetic import run_synthetic_trial
+
+__all__ = [
+    "Assessment",
+    "Case",
+    "CaseOutcome",
+    "CaseRecord",
+    "EXPERIMENTS_SCHEMA_VERSION",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "ExperimentState",
+    "Orchestrator",
+    "Plan",
+    "RigorPolicy",
+    "SpecError",
+    "TERMINAL_CASE_STATUSES",
+    "assess",
+    "case_rng",
+    "case_seed",
+    "drop_outliers",
+    "ensure_experiments_schema",
+    "modified_zscores",
+    "render_report",
+    "render_status",
+    "run_synthetic_trial",
+    "summary_fact",
+    "t_critical",
+]

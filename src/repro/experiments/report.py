@@ -1,0 +1,85 @@
+"""Human-readable views of experiment state: ``exp status`` / ``exp report``.
+
+Pure rendering over :class:`~repro.experiments.state.ExperimentState` —
+the orchestrator does not need to be running (or to ever have finished)
+for these to work, which is exactly what a kill-and-resume workflow
+needs: ``exp status`` against a half-run sweep shows which cases are
+banked, which converged, and which still owe runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .state import ExperimentState
+
+__all__ = ["render_report", "render_status"]
+
+
+def _fmt(value: float | None, digits: int = 4) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.{digits}g}"
+
+
+def _factor_text(factors: dict[str, Any]) -> str:
+    return " ".join(f"{k}={v}" for k, v in sorted(factors.items()))
+
+
+def render_status(state: ExperimentState, run_id: int) -> str:
+    """Per-case convergence table for one experiment run."""
+    info = state.run_info(run_id)
+    cases = state.cases(run_id)
+    lines = [
+        f"experiment {info['name']!r}  run {run_id}  "
+        f"spec {info['spec_hash'][:12]}",
+        f"{'case':<14}{'status':<15}{'runs':>5}{'mean':>12}"
+        f"{'rel-hw':>9}  factors",
+    ]
+    for c in cases:
+        lines.append(
+            f"{c.case_key[:12]:<14}{c.status:<15}{c.runs:>5}"
+            f"{_fmt(c.mean):>12}{_fmt(c.rel_halfwidth, 3):>9}  "
+            f"{_factor_text(c.factors)}"
+        )
+    summary = state.summary(run_id)
+    by = summary["by_status"]
+    lines.append(
+        f"{summary['cases']} case(s): "
+        + ", ".join(f"{n} {s}" for s, n in sorted(by.items()))
+        + f"; {summary['total_runs']} run(s), {summary['reruns']} "
+          f"adaptive rerun(s), {summary['outliers']} outlier(s) dropped"
+    )
+    return "\n".join(lines)
+
+
+def render_report(state: ExperimentState, run_id: int,
+                  *, diagnose: bool = True) -> str:
+    """Full report: status table, non-converged detail, and the
+    ``experiment-rules`` critique of the sweep itself."""
+    lines = [render_status(state, run_id)]
+    cases = state.cases(run_id)
+    problem = [c for c in cases if c.status in ("non-converged", "failed")]
+    if problem:
+        lines.append("")
+        lines.append("cases needing attention:")
+        for c in problem:
+            detail = c.error or (
+                f"rel half-width {_fmt(c.rel_halfwidth, 3)} after "
+                f"{c.runs} runs"
+            )
+            lines.append(f"  {c.case_key[:12]} [{c.status}] "
+                         f"{_factor_text(c.factors)}: {detail}")
+    if diagnose:
+        from ..core.harness import RuleHarness
+        from ..knowledge import render_report as render_harness
+        from .summary import summary_fact
+
+        harness = RuleHarness("experiment-rules")
+        harness.assertObjects([summary_fact(state, run_id)])
+        harness.processRules()
+        lines.append("")
+        lines.append(render_harness(
+            harness, title=f"Experiment critique (run {run_id})"
+        ))
+    return "\n".join(lines)

@@ -1,0 +1,186 @@
+"""Adaptive statistical rigor: how many runs does a case deserve?
+
+bentoo-style experiment layers fix the run count up front; this module
+makes it adaptive.  Each case starts at ``min_runs`` repetitions, and the
+orchestrator keeps adding runs until the Student-t confidence-interval
+half-width of the key metric drops below a spec-declared relative
+threshold — or the ``max_runs`` cap is hit, in which case the case is
+flagged **non-converged** (a first-class outcome the knowledge layer
+critiques, not a silent failure).
+
+Outliers (OS jitter, a cold first run) are removed before the interval
+is computed, using the modified z-score on the median absolute
+deviation — robust at the tiny sample sizes experiment reruns live at —
+with the conventional |M| > 3.5 cut-off.
+
+Everything here is pure computation on sample vectors; the t critical
+value is found by bisecting the repo's own stdlib-only
+:func:`~repro.core.operations.statistics.student_t_sf`, so no SciPy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..core.operations.statistics import student_t_sf
+
+__all__ = [
+    "Assessment",
+    "RigorPolicy",
+    "assess",
+    "drop_outliers",
+    "modified_zscores",
+    "t_critical",
+]
+
+#: Conventional modified-z-score cut (Iglewicz & Hoaglin).
+DEFAULT_OUTLIER_ZSCORE = 3.5
+
+
+def modified_zscores(samples: Sequence[float]) -> list[float]:
+    """Modified z-score of each sample: 0.6745·(x−median)/MAD.
+
+    With MAD == 0 (identical or near-identical samples) every score is 0
+    — nothing is an outlier among clones.
+    """
+    xs = [float(x) for x in samples]
+    if not xs:
+        return []
+    med = _median(xs)
+    mad = _median([abs(x - med) for x in xs])
+    if mad == 0.0:
+        return [0.0] * len(xs)
+    return [0.6745 * (x - med) / mad for x in xs]
+
+
+def _median(xs: list[float]) -> float:
+    s = sorted(xs)
+    n = len(s)
+    mid = n // 2
+    return s[mid] if n % 2 else (s[mid - 1] + s[mid]) / 2.0
+
+
+def drop_outliers(
+    samples: Sequence[float], *,
+    zmax: float = DEFAULT_OUTLIER_ZSCORE,
+) -> tuple[list[float], list[int]]:
+    """(kept samples, dropped indices).  Needs ≥ 4 samples to drop any —
+    below that the median is too weak to call anything an outlier."""
+    xs = [float(x) for x in samples]
+    if len(xs) < 4:
+        return xs, []
+    scores = modified_zscores(xs)
+    dropped = [i for i, m in enumerate(scores) if abs(m) > zmax]
+    if len(dropped) >= len(xs) - 1:
+        # Refuse to reduce a sample to a single point; keep everything.
+        return xs, []
+    kept = [x for i, x in enumerate(xs) if i not in set(dropped)]
+    return kept, dropped
+
+
+def t_critical(confidence: float, dof: float) -> float:
+    """Two-sided Student-t critical value at ``confidence`` (e.g. 0.95),
+    by bisection on the repo's survival function."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if dof <= 0:
+        raise ValueError(f"dof must be positive, got {dof}")
+    alpha = 1.0 - confidence
+    lo, hi = 0.0, 2.0
+    while student_t_sf(hi, dof) > alpha:
+        hi *= 2.0
+        if hi > 1e8:  # pragma: no cover - absurd confidence levels
+            return hi
+    for _ in range(200):
+        mid = (lo + hi) / 2.0
+        if student_t_sf(mid, dof) > alpha:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < 1e-10 * max(1.0, hi):
+            break
+    return (lo + hi) / 2.0
+
+
+@dataclass(frozen=True)
+class RigorPolicy:
+    """Spec-declared convergence contract for every case."""
+
+    confidence: float = 0.95
+    #: CI half-width / |mean| below which a case has converged.
+    relative_halfwidth: float = 0.10
+    min_runs: int = 3
+    max_runs: int = 8
+    outlier_zscore: float = DEFAULT_OUTLIER_ZSCORE
+    #: Lognormal measurement-noise sigma injected per run (0 = none).
+    noise: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError("confidence must be in (0, 1)")
+        if self.relative_halfwidth <= 0:
+            raise ValueError("relative_halfwidth must be positive")
+        if self.min_runs < 1:
+            raise ValueError("min_runs must be >= 1")
+        if self.max_runs < self.min_runs:
+            raise ValueError("max_runs must be >= min_runs")
+        if self.noise < 0:
+            raise ValueError("noise must be non-negative")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "confidence": self.confidence,
+            "relative_halfwidth": self.relative_halfwidth,
+            "min_runs": self.min_runs,
+            "max_runs": self.max_runs,
+            "outlier_zscore": self.outlier_zscore,
+            "noise": self.noise,
+        }
+
+
+@dataclass(frozen=True)
+class Assessment:
+    """Where one case stands against its rigor policy."""
+
+    n: int
+    mean: float
+    halfwidth: float
+    rel_halfwidth: float
+    converged: bool
+    #: Sample indices removed as outliers before the interval.
+    outliers: tuple[int, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "halfwidth": self.halfwidth,
+            "rel_halfwidth": self.rel_halfwidth,
+            "converged": self.converged,
+            "outliers": list(self.outliers),
+        }
+
+
+def assess(samples: Sequence[float], policy: RigorPolicy) -> Assessment:
+    """Judge a case's sample vector against its policy.
+
+    A single repetition (``min_runs == 1``) converges trivially — there
+    is no interval to shrink.  Otherwise the CI half-width uses the
+    outlier-cleaned samples and n−1 degrees of freedom.
+    """
+    kept, dropped = drop_outliers(samples, zmax=policy.outlier_zscore)
+    n = len(kept)
+    if n == 0:
+        return Assessment(0, math.nan, math.inf, math.inf, False)
+    mean = sum(kept) / n
+    if n == 1:
+        converged = policy.min_runs <= 1
+        hw = 0.0 if converged else math.inf
+        return Assessment(1, mean, hw, hw, converged, tuple(dropped))
+    var = sum((x - mean) ** 2 for x in kept) / (n - 1)
+    hw = t_critical(policy.confidence, n - 1) * math.sqrt(var / n)
+    rel = hw / abs(mean) if mean != 0.0 else (0.0 if hw == 0.0 else math.inf)
+    converged = n >= policy.min_runs and rel <= policy.relative_halfwidth
+    return Assessment(n, mean, hw, rel, converged, tuple(dropped))

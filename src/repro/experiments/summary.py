@@ -1,0 +1,33 @@
+"""ExperimentSummaryFact from persisted state (no orchestrator needed).
+
+``ExperimentResult.fact()`` summarizes the session that just ran; this
+builds the same fact shape from the durable ``exp_case`` rows, so
+``exp report`` can critique a sweep long after (or while) it runs.
+"""
+
+from __future__ import annotations
+
+from ..rules import Fact
+from .state import ExperimentState
+
+__all__ = ["summary_fact"]
+
+
+def summary_fact(state: ExperimentState, run_id: int) -> Fact:
+    s = state.summary(run_id)
+    by = s["by_status"]
+    cases = s["cases"] or 1
+    return Fact(
+        "ExperimentSummaryFact",
+        spec=s["name"],
+        cases=s["cases"],
+        skipped=0,
+        converged=by.get("converged", 0),
+        nonConverged=by.get("non-converged", 0),
+        failed=by.get("failed", 0),
+        unfinished=by.get("pending", 0) + by.get("running", 0),
+        totalRuns=s["total_runs"],
+        reruns=s["reruns"],
+        rerunRate=s["reruns"] / cases,
+        outliers=s["outliers"],
+    )

@@ -1,0 +1,81 @@
+"""The ``synthetic`` experiment app: a cheap, tunable trial generator.
+
+Experiment sweeps need an application whose cost and variance are knobs,
+not emergent properties — for CI smoke runs, throughput benchmarks, and
+the adaptive-rigor tests (a case must be *constructably* high-variance
+to prove the rerun loop works).  This runs a tiny simulated kernel per
+thread through the real :class:`~repro.runtime.Profiler` and
+:func:`~repro.runtime.execute_work` path, so the explicit-``Generator``
+noise hook is exercised end to end: the same seeded rng produces the
+same trial, bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..machine import WorkSignature, uniform_machine
+from ..perfdmf import Trial
+from ..runtime import Profiler, execute_work
+
+__all__ = ["run_synthetic_trial"]
+
+#: Inner region executed once per thread.
+EVENT_MAIN = "main"
+EVENT_KERNEL = "synthetic_kernel"
+
+
+def run_synthetic_trial(
+    *,
+    scale: float = 1.0,
+    threads: int = 4,
+    imbalance: float = 0.0,
+    noise: float = 0.0,
+    rng=None,
+    name: str = "synthetic",
+    metadata: Mapping[str, Any] | None = None,
+) -> Trial:
+    """One synthetic trial: ``threads`` CPUs each run one kernel.
+
+    ``scale`` multiplies the operation counts (run cost), ``imbalance``
+    skews work toward higher thread ids (0 = perfectly balanced, 1 =
+    the last thread does double work), and ``noise`` adds lognormal
+    measurement jitter through the explicit ``rng`` — refusing, like all
+    of :mod:`repro.runtime`, to draw from global randomness.
+    """
+    threads = int(threads)
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    machine = uniform_machine(threads)
+    profiler = Profiler(machine)
+    cpus = list(range(threads))
+    for cpu in cpus:
+        profiler.enter(cpu, EVENT_MAIN)
+        profiler.enter(cpu, EVENT_KERNEL)
+        skew = 1.0 + float(imbalance) * (cpu / (threads - 1) if threads > 1
+                                         else 0.0)
+        work = WorkSignature(
+            flops=2.0e5 * scale * skew,
+            int_ops=1.0e5 * scale * skew,
+            loads=1.5e5 * scale * skew,
+            stores=5.0e4 * scale * skew,
+            branches=2.0e4 * scale * skew,
+            footprint_bytes=256 * 1024,
+        )
+        execute_work(machine, profiler, cpu, work, rng=rng, noise=noise)
+        profiler.exit(cpu, EVENT_KERNEL)
+    # Close main at a common barrier so inclusive times are comparable.
+    end = max(profiler.clock(c) for c in cpus)
+    for cpu in cpus:
+        profiler.advance_clock_to(cpu, end)
+        profiler.exit(cpu, EVENT_MAIN)
+    meta = {
+        "application": "synthetic",
+        "scale": float(scale),
+        "threads": threads,
+        "imbalance": float(imbalance),
+        "noise": float(noise),
+    }
+    if metadata:
+        meta.update(metadata)
+    return profiler.to_trial(name, meta)

@@ -41,6 +41,10 @@ from .service_rules import (
     COLD_CACHE_HIT_RATE,
     service_rules,
 )
+from .experiment_rules import (
+    RERUN_HEAVY_RATE,
+    experiment_rules,
+)
 from .rules_def import (
     IMBALANCE_RATIO_THRESHOLD,
     IMBALANCE_SEVERITY_THRESHOLD,
@@ -52,6 +56,8 @@ from .rules_def import (
 __all__ = [
     "COLD_CACHE_HIT_RATE",
     "IMBALANCE_RATIO_THRESHOLD",
+    "RERUN_HEAVY_RATE",
+    "experiment_rules",
     "IMBALANCE_SEVERITY_THRESHOLD",
     "INEFFICIENCY_METRIC",
     "REGRESSION_SEVERITY_THRESHOLD",

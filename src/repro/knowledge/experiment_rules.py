@@ -1,0 +1,193 @@
+"""ExperimentRules: the knowledge layer critiques the experiment itself.
+
+The paper's closing argument is that captured knowledge should judge
+*processes*, not just profiles.  :mod:`repro.experiments` summarizes
+each sweep as an ``ExperimentSummaryFact`` (cases, adaptive reruns,
+non-converged cases, failures); this rulebase turns that into advice —
+loosen or tighten the rigor policy, look at noisy cases, rerun failures
+— through the same inference engine that diagnoses trials.
+
+Registers under ``"experiment-rules"`` so ``RuleHarness
+("experiment-rules")`` — and ``exp report`` /
+``ExperimentResult.diagnose()`` — resolve it by name.
+"""
+
+from __future__ import annotations
+
+from ..core.harness import register_rulebase
+from ..rules import Rule, RuleBuilder, RuleContext
+
+RULEBASE_NAME = "experiment-rules"
+
+#: Mean adaptive reruns per case above which the noise floor (not the
+#: science) is driving the experiment's cost.
+RERUN_HEAVY_RATE = 1.0
+
+
+def experiment_summary_rule() -> Rule:
+    """Headline logging: one line of sweep health before any advice."""
+
+    def action(ctx: RuleContext) -> None:
+        ctx.log(
+            f"Experiment {ctx['spec']!r}: {ctx['cases']} case(s) — "
+            f"{ctx['conv']} converged, {ctx['nc']} non-converged, "
+            f"{ctx['fail']} failed; {ctx['runs']} run(s) total, "
+            f"{ctx['reruns']} adaptive rerun(s), "
+            f"{ctx['outliers']} outlier(s) dropped."
+        )
+
+    return (
+        RuleBuilder(
+            "Experiment summary",
+            salience=20,
+            doc="experiments: log the sweep headline first",
+        )
+        .when(
+            "e",
+            "ExperimentSummaryFact",
+            "spec := spec",
+            "cases := cases",
+            "conv := converged",
+            "nc := nonConverged",
+            "fail := failed",
+            "runs := totalRuns",
+            "reruns := reruns",
+            "outliers := outliers",
+        )
+        .then(action)
+        .build()
+    )
+
+
+def non_convergence_rule() -> Rule:
+    """Cases hit the rerun cap without a tight interval → the rigor
+    policy and the noise level disagree."""
+
+    def action(ctx: RuleContext) -> None:
+        ctx.log(
+            f"{ctx['nc']} of {ctx['cases']} case(s) hit the rerun cap "
+            "without converging."
+        )
+        ctx.insert(
+            "Recommendation",
+            category="experiment-non-convergence",
+            event="<experiment>",
+            severity=ctx["nc"] / max(ctx["cases"], 1),
+            message=(
+                f"{ctx['nc']} case(s) never met the CI half-width "
+                "target: raise [rigor] max_runs, loosen "
+                "relative_halfwidth, or reduce the injected noise — "
+                "and inspect those cases for genuine run-to-run "
+                "variance worth diagnosing"
+            ),
+        )
+
+    return (
+        RuleBuilder(
+            "Cases failed to converge",
+            salience=10,
+            doc="experiments: rerun cap hit → policy vs noise mismatch",
+        )
+        .when(
+            "e",
+            "ExperimentSummaryFact",
+            ("nonConverged", ">", 0),
+            "nc := nonConverged",
+            "cases := cases",
+        )
+        .then(action)
+        .build()
+    )
+
+
+def failed_cases_rule() -> Rule:
+    """Cases failed outright (handler errors, timeouts) → resume retries
+    them, but the errors deserve eyes first."""
+
+    def action(ctx: RuleContext) -> None:
+        ctx.log(f"{ctx['fail']} case(s) failed outright.")
+        ctx.insert(
+            "Recommendation",
+            category="experiment-failed-cases",
+            event="<experiment>",
+            severity=ctx["fail"] / max(ctx["cases"], 1),
+            message=(
+                f"{ctx['fail']} case(s) failed: inspect their errors "
+                "(`exp status`), then re-run the same spec — resume "
+                "retries failed cases and skips everything converged"
+            ),
+        )
+
+    return (
+        RuleBuilder(
+            "Cases failed outright",
+            salience=10,
+            doc="experiments: failures retry on resume, after a look",
+        )
+        .when(
+            "e",
+            "ExperimentSummaryFact",
+            ("failed", ">", 0),
+            "fail := failed",
+            "cases := cases",
+        )
+        .then(action)
+        .build()
+    )
+
+
+def rerun_heavy_rule(*, rate_threshold: float = RERUN_HEAVY_RATE) -> Rule:
+    """The sweep converged, but only by brute reruns — the measurement
+    noise is eating the budget."""
+
+    def action(ctx: RuleContext) -> None:
+        ctx.log(
+            f"Rerun-heavy sweep: {ctx['rate']:.2f} adaptive rerun(s) per "
+            "case on average."
+        )
+        ctx.insert(
+            "Recommendation",
+            category="experiment-rerun-heavy",
+            event="<experiment>",
+            severity=ctx["rate"],
+            message=(
+                f"averaging {ctx['rate']:.2f} extra run(s) per case to "
+                "reach the CI target: the noise floor is driving cost — "
+                "quiet the platform, or accept a wider "
+                "relative_halfwidth"
+            ),
+        )
+
+    return (
+        RuleBuilder(
+            "Adaptive reruns dominate the budget",
+            salience=5,
+            doc="experiments: many reruns per case → noisy measurements",
+        )
+        .when(
+            "e",
+            "ExperimentSummaryFact",
+            ("rerunRate", ">", rate_threshold),
+            "rate := rerunRate",
+        )
+        .then(action)
+        .build()
+    )
+
+
+def experiment_rules(**overrides) -> list[Rule]:
+    """The ``experiment-rules`` rulebase content."""
+    rerun_kw = {}
+    if "rate_threshold" in overrides:
+        rerun_kw["rate_threshold"] = overrides.pop("rate_threshold")
+    if overrides:
+        raise ValueError(f"unknown threshold overrides: {sorted(overrides)}")
+    return [
+        experiment_summary_rule(),
+        non_convergence_rule(),
+        failed_cases_rule(),
+        rerun_heavy_rule(**rerun_kw),
+    ]
+
+
+register_rulebase(RULEBASE_NAME, experiment_rules)

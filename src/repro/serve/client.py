@@ -39,6 +39,27 @@ class Client:
                **options) -> dict[str, Any]:
         return self.service.submit(kind, params, **options).to_dict()
 
+    def submit_many(self, jobs: list[dict[str, Any]],
+                    **common_options) -> list[dict[str, Any]]:
+        """Admit a batch; one entry per request, in order.
+
+        Each entry is ``{"kind": ..., "params": ..., **options}``
+        (entry options override ``common_options``).  A rejected entry
+        becomes ``{"error": "..."}`` instead of a job record — one bad
+        request does not void the rest of the batch.
+        """
+        out: list[dict[str, Any]] = []
+        for req in jobs:
+            req = dict(req)
+            kind = req.pop("kind")
+            params = req.pop("params", None)
+            try:
+                out.append(self.service.submit(
+                    kind, params, **{**common_options, **req}).to_dict())
+            except Exception as exc:  # noqa: BLE001 - per-entry boundary
+                out.append({"error": f"{type(exc).__name__}: {exc}"})
+        return out
+
     def status(self, job_id: int | None = None) -> dict[str, Any]:
         if job_id is not None:
             return self.service.job(job_id).to_dict()
@@ -102,6 +123,15 @@ class SocketClient:
                **options) -> dict[str, Any]:
         return self.request("submit", kind=kind, params=params or {},
                             **options)["job"]
+
+    def submit_many(self, jobs: list[dict[str, Any]],
+                    **common_options) -> list[dict[str, Any]]:
+        """Admit a batch in **one round trip** — N individual ``submit``
+        calls pay N socket round trips; the orchestrator's fan-out (and
+        any script submitting a sweep) pays one.  Entry shape and
+        per-entry error semantics match :meth:`Client.submit_many`."""
+        return self.request("submit_many", jobs=jobs,
+                            options=common_options)["jobs"]
 
     def status(self, job_id: int | None = None) -> dict[str, Any]:
         if job_id is not None:

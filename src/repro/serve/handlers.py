@@ -18,7 +18,6 @@ job immediately.
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -320,6 +319,159 @@ def pipeline_job(
     return payload
 
 
+# -- experiment kinds (the repro.experiments orchestrator's jobs) ----------
+
+@job_kind("run-trial", writes=True)
+def run_trial_job(
+    ctx: JobContext,
+    *,
+    app: str,
+    application: str,
+    experiment: str,
+    case_key: str,
+    rerun: int = 0,
+    factors: dict[str, Any] | None = None,
+    metric: str = "TIME",
+    key_event: str = "main",
+    noise: float = 0.0,
+    spec: str | None = None,
+) -> dict[str, Any]:
+    """Execute one case rerun and store its trial.
+
+    The random stream is derived from the case's content address (and
+    the rerun index), so the same ``case_key`` always produces the same
+    trial bit for bit — the determinism contract the resume model and
+    the determinism tests rely on.  Storage uses ``replace=True``: a
+    retried rerun that half-completed before a crash is simply
+    overwritten with identical content.
+    """
+    from ..experiments.spec import case_rng, case_seed
+    from ..regress.detect import perturb_trial
+
+    factors = dict(factors or {})
+    rerun = int(rerun)
+    noise = float(noise)
+    rng = case_rng(case_key, rerun)
+    name = f"{case_key[:12]}_r{rerun}"
+    if app == "synthetic":
+        from ..experiments.synthetic import run_synthetic_trial
+
+        trial = run_synthetic_trial(
+            scale=float(factors.get("scale", 1.0)),
+            threads=int(factors.get("threads", 4)),
+            imbalance=float(factors.get("imbalance", 0.0)),
+            noise=noise,
+            rng=rng if noise > 0.0 else None,
+            name=name,
+        )
+    elif app == "msa":
+        from ..apps.msa import run_msa_trial
+
+        base = run_msa_trial(
+            n_sequences=int(factors.get("sequences", 100)),
+            n_threads=int(factors.get("threads", 4)),
+            schedule=str(factors.get("schedule", "static")),
+            seed=int(factors.get("seed", 0)),
+        ).trial
+        trial = (
+            perturb_trial(base, noise=noise, rng=rng, name=name)
+            if noise > 0.0 else base.copy(name)
+        )
+    elif app == "genidlest":
+        from ..apps.genidlest import RIB45, RIB90, RunConfig, run_genidlest
+
+        config = RunConfig(
+            case=RIB45 if str(factors.get("case", "90rib")) == "45rib"
+            else RIB90,
+            version=str(factors.get("version", "openmp")),
+            optimized=bool(factors.get("optimized", False)),
+            n_procs=int(factors.get("procs", 4)),
+            iterations=int(factors.get("iterations", 2)),
+        )
+        base = run_genidlest(config).trial
+        trial = (
+            perturb_trial(base, noise=noise, rng=rng, name=name)
+            if noise > 0.0 else base.copy(name)
+        )
+    else:
+        raise AnalysisError(f"run-trial: unknown app {app!r}")
+    trial.metadata.update({
+        "case_key": case_key,
+        "rerun": rerun,
+        "spec": spec or "",
+        "factors": dict(factors),
+    })
+    import sqlite3
+
+    try:
+        ctx.db.save_trial(application, experiment, trial, replace=True)
+    except sqlite3.OperationalError as exc:
+        if "locked" in str(exc) or "busy" in str(exc):
+            # Write contention with the orchestrator's bookkeeping (or a
+            # sibling worker) — transient by definition, retry-worthy.
+            raise TransientJobError(
+                f"repository busy storing {name!r}: {exc}",
+                reason={"kind": "run-trial", "case_key": case_key,
+                        "rerun": rerun, "trial": name},
+            ) from None
+        raise
+    if not trial.has_metric(metric):
+        raise AnalysisError(
+            f"run-trial: trial has no metric {metric!r} "
+            f"(have {trial.metrics})"
+        )
+    value = float(
+        trial.inclusive_array(metric)[trial.event_index(key_event)].mean()
+    )
+    return {
+        "trial": name,
+        "case_key": case_key,
+        "rerun": rerun,
+        "value": value,
+        "seed": case_seed(case_key, rerun),
+        "content_hash": ctx.db.content_hash(application, experiment, name),
+        "worker": ctx.worker,
+    }
+
+
+@job_kind("analyze-case")
+def analyze_case_job(
+    ctx: JobContext,
+    *,
+    application: str,
+    experiment: str,
+    trials: list[str],
+    metric: str = "TIME",
+    key_event: str = "main",
+) -> dict[str, Any]:
+    """Collect one converged case: per-run key-metric values plus a
+    knowledge-based diagnosis of the first run (against the snapshot
+    view — this kind never writes)."""
+    from ..knowledge.rulebase import diagnose_load_balance
+
+    if not trials:
+        raise AnalysisError("analyze-case: no trials to analyze")
+    values = []
+    first = None
+    for tname in trials:
+        trial = ctx.db.load_trial(application, experiment, tname)
+        if first is None:
+            first = trial
+        values.append(float(
+            trial.inclusive_array(metric)[trial.event_index(key_event)]
+            .mean()
+        ))
+    harness = diagnose_load_balance(first)
+    return {
+        "trials": list(trials),
+        "metric": metric,
+        "key_event": key_event,
+        "values": values,
+        "recommendations": _recommendations_payload(harness),
+        "worker": ctx.worker,
+    }
+
+
 # -- synthetic kinds (load generation, fault injection, tests) -------------
 
 @job_kind("sleep")
@@ -327,26 +479,51 @@ def sleep_job(ctx: JobContext, *, seconds: float = 0.01,
               tag: str | None = None) -> dict[str, Any]:
     """Busy the pool for a bit — load generation for queue/benchmark
     scenarios without touching the repository."""
-    time.sleep(float(seconds))
-    return {"slept": float(seconds), "tag": tag, "worker": ctx.worker}
-
-
-_flaky_lock = threading.Lock()
-_flaky_attempts: dict[str, int] = {}
+    seconds = float(seconds)
+    if seconds < 0:
+        raise AnalysisError(
+            f"sleep: seconds must be non-negative, got {seconds}",
+            reason={"kind": "sleep", "param": "seconds", "value": seconds},
+        )
+    time.sleep(seconds)
+    return {"slept": seconds, "tag": tag, "worker": ctx.worker}
 
 
 @job_kind("flaky")
 def flaky_job(ctx: JobContext, *, token: str, fail_times: int = 1,
+              fail_rate: float | None = None,
               seconds: float = 0.0) -> dict[str, Any]:
-    """Fault injection: fail transiently ``fail_times`` times per
-    ``token``, then succeed — exercises retry-with-backoff end to end."""
+    """Fault injection, reproducible from the job's own parameters.
+
+    Two modes, both deterministic functions of ``(token, attempt)`` —
+    no process-global state, so thread and process vehicles behave
+    identically and a replayed job fails exactly the same way:
+
+    * ``fail_times`` (default) — attempts 1..N raise transiently, then
+      the job succeeds; exercises retry-with-backoff end to end.
+    * ``fail_rate`` — the attempt fails iff a uniform draw derived from
+      ``sha256(token:attempt)`` lands under the rate; a seeded Bernoulli
+      fault process for soak scenarios.
+    """
+    import hashlib
+
     if seconds:
         time.sleep(float(seconds))
-    with _flaky_lock:
-        attempt = _flaky_attempts.get(token, 0) + 1
-        _flaky_attempts[token] = attempt
-    if attempt <= int(fail_times):
+    attempt = ctx.attempt
+    if fail_rate is not None:
+        digest = hashlib.sha256(f"{token}:{attempt}".encode()).digest()
+        draw = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+        if draw < float(fail_rate):
+            raise TransientJobError(
+                f"injected fault (draw {draw:.3f} < rate {fail_rate}) "
+                f"for {token!r} attempt {attempt}",
+                reason={"kind": "flaky", "token": token, "attempt": attempt,
+                        "draw": draw, "fail_rate": float(fail_rate)},
+            )
+    elif attempt <= int(fail_times):
         raise TransientJobError(
-            f"injected fault {attempt}/{fail_times} for {token!r}"
+            f"injected fault {attempt}/{fail_times} for {token!r}",
+            reason={"kind": "flaky", "token": token, "attempt": attempt,
+                    "fail_times": int(fail_times)},
         )
     return {"token": token, "attempts": attempt, "worker": ctx.worker}

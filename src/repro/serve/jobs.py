@@ -64,7 +64,13 @@ class QueueClosed(Exception):
 class TransientJobError(Exception):
     """A handler failure worth retrying (lock contention, flaky I/O...).
 
-    Any other exception from a handler fails the job immediately."""
+    Any other exception from a handler fails the job immediately.
+    ``reason`` optionally carries a structured (JSON-able) account of the
+    failure, surfaced as ``Job.failure["reason"]``."""
+
+    def __init__(self, message: str = "", *, reason: dict | None = None):
+        super().__init__(message)
+        self.reason = dict(reason) if reason else None
 
 
 @dataclass(frozen=True)
@@ -92,6 +98,9 @@ class Job:
     attempts: int = 0
     result: Any = None
     error: str | None = None
+    #: Structured failure record for FAILED/TIMEOUT jobs:
+    #: ``{"type", "message", "transient", "attempts"[, "reason"]}``.
+    failure: dict[str, Any] | None = None
     cache_hit: bool = False
     submitted_at: float = field(default_factory=time.monotonic)
     started_at: float | None = None
@@ -126,6 +135,7 @@ class Job:
             "exec_seconds": self.exec_seconds,
             "worker": self.worker,
             "error": self.error,
+            "failure": self.failure,
             "result": self.result,
         }
 

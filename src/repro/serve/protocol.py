@@ -13,6 +13,8 @@ Ops::
     {"op": "ping"}
     {"op": "submit", "kind": "diagnose", "params": {...},
      "priority": 0, "timeout": 30.0, "block": false}      → {"job": {...}}
+    {"op": "submit_many", "jobs": [{"kind": ..., "params": ...}, ...],
+     "options": {...}}                                    → {"jobs": [...]}
     {"op": "status", "id": 7}                             → {"job": {...}}
     {"op": "status"}                                      → {"jobs": [...]}
     {"op": "wait", "id": 7, "timeout": 60.0}              → {"job": {...}}
@@ -222,6 +224,36 @@ class ServeServer:
             queue_timeout=request.get("queue_timeout"),
         )
         return {"job": job.to_dict()}
+
+    def _op_submit_many(self, request: dict) -> dict:
+        """Batched admission: N submissions, one round trip.  Per-entry
+        failures come back as ``{"error": ...}`` rows; the batch itself
+        only fails on a malformed request."""
+        jobs = request.get("jobs")
+        if not isinstance(jobs, list):
+            raise ValueError("submit_many needs a 'jobs' list")
+        common = request.get("options") or {}
+        out = []
+        for entry in jobs:
+            if not isinstance(entry, dict) or "kind" not in entry:
+                out.append({"error": "entry must be an object with 'kind'"})
+                continue
+            opts = {**common, **{k: v for k, v in entry.items()
+                                 if k not in ("kind", "params")}}
+            try:
+                job = self.service.submit(
+                    entry["kind"],
+                    entry.get("params") or {},
+                    priority=int(opts.get("priority", 0)),
+                    timeout=opts.get("timeout"),
+                    max_retries=opts.get("max_retries"),
+                    block=bool(opts.get("block", False)),
+                    queue_timeout=opts.get("queue_timeout"),
+                )
+                out.append(job.to_dict())
+            except Exception as exc:  # noqa: BLE001 - per-entry boundary
+                out.append({"error": f"{type(exc).__name__}: {exc}"})
+        return {"jobs": out}
 
     def _op_status(self, request: dict) -> dict:
         if "id" in request and request["id"] is not None:

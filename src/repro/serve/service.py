@@ -76,6 +76,23 @@ BACKPRESSURE_THRESHOLD = 0.05
 _MIN_FINISHED_FOR_RATES = 5
 
 
+def _failure_record(exc: BaseException, attempts: int, *,
+                    transient: bool = False) -> dict[str, Any]:
+    """Structured failure payload for ``Job.failure`` — the exception's
+    type/message plus any machine-readable ``reason`` the handler
+    attached (see :class:`~repro.serve.jobs.TransientJobError`)."""
+    record: dict[str, Any] = {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "transient": transient or isinstance(exc, TransientJobError),
+        "attempts": attempts,
+    }
+    reason = getattr(exc, "reason", None)
+    if reason:
+        record["reason"] = reason
+    return record
+
+
 @dataclass(frozen=True)
 class ServeConfig:
     """Service construction knobs (what ``serve start`` exposes)."""
@@ -276,7 +293,8 @@ class AnalysisService:
                 result = run(job.spec.timeout)
             except ExecutionTimeout as exc:
                 job.exec_seconds = time.monotonic() - started
-                self._finish(job, TIMEOUT, error=str(exc))
+                self._finish(job, TIMEOUT, error=str(exc),
+                             failure=_failure_record(exc, job.attempts))
                 return
             except TransientJobError as exc:
                 job.exec_seconds = time.monotonic() - started
@@ -293,12 +311,15 @@ class AnalysisService:
                     job, FAILED,
                     error=f"transient failure persisted after "
                           f"{job.attempts} attempts: {exc}",
+                    failure=_failure_record(exc, job.attempts,
+                                            transient=True),
                 )
                 return
             except BaseException as exc:  # noqa: BLE001 - job boundary
                 job.exec_seconds = time.monotonic() - started
                 self._finish(job, FAILED,
-                             error=f"{type(exc).__name__}: {exc}")
+                             error=f"{type(exc).__name__}: {exc}",
+                             failure=_failure_record(exc, job.attempts))
                 return
         job.exec_seconds = time.monotonic() - started
         self._exec_hist(job.spec.kind).observe(job.exec_seconds)
@@ -318,10 +339,12 @@ class AnalysisService:
         return hist
 
     def _finish(self, job: Job, status: str, *, result=None, error=None,
+                failure: dict | None = None,
                 cache_hit: bool = False) -> None:
         job.status = status
         job.result = result
         job.error = error
+        job.failure = failure
         job.cache_hit = cache_hit
         job.finished_at = time.monotonic()
         with self._lock:

@@ -95,11 +95,13 @@ def _process_worker_main(conn, db_path: str, name: str) -> None:
                 result = kind.run(
                     JobContext(db=db, worker=name, attempt=attempt), params
                 )
-                conn.send(("ok", result))
+                conn.send(("ok", result, None))
             except TransientJobError as exc:
-                conn.send(("transient", str(exc)))
+                conn.send(("transient", str(exc),
+                           getattr(exc, "reason", None)))
             except BaseException as exc:  # noqa: BLE001 - reported upstream
-                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+                conn.send(("error", f"{type(exc).__name__}: {exc}",
+                           getattr(exc, "reason", None)))
     except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown
         pass
     finally:
@@ -168,17 +170,22 @@ class _ProcessVehicle:
                 f"execution exceeded {timeout:.3f}s (worker process killed)"
             )
         try:
-            status, payload = self._conn.recv()
+            msg = self._conn.recv()
         except EOFError:
             self._spawn()
             raise TransientJobError(
                 f"worker process {self._name} died mid-job"
             ) from None
+        # (status, payload) pre-reason wire shape still accepted.
+        status, payload = msg[0], msg[1]
+        reason = msg[2] if len(msg) > 2 else None
         if status == "ok":
             return payload
         if status == "transient":
-            raise TransientJobError(payload)
-        raise RuntimeError(payload)
+            raise TransientJobError(payload, reason=reason)
+        err = RuntimeError(payload)
+        err.reason = reason
+        raise err
 
     def _kill(self) -> None:
         if self._proc is not None and self._proc.is_alive():

@@ -14,9 +14,11 @@ from .pipeline import (
     regression_gate,
     trace_application,
 )
+from .experiment import run_experiment
 from .tuning import TuningOutcome, genidlest_tuning_loop, msa_tuning_loop
 
 __all__ = [
+    "run_experiment",
     "GateResult",
     "PIPELINE_STAGES",
     "PipelineResult",

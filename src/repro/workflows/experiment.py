@@ -1,0 +1,55 @@
+"""One-call experiment workflow: spec → service → orchestrator → result.
+
+``repro-perf exp run`` without ``--endpoint`` (and any test or notebook)
+uses this: spin an in-process :class:`~repro.serve.AnalysisService` over
+the target repository, drive the plan through the orchestrator, and shut
+the service down — the whole bentoo-style Design → Prepare → Run →
+Collect → Analysis pipeline as one function.  Against a long-lived
+served endpoint, build the :class:`~repro.experiments.Orchestrator`
+directly with a :class:`~repro.serve.SocketClient` (what the CLI does).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..experiments import (
+    ExperimentResult,
+    ExperimentSpec,
+    ExperimentState,
+    Orchestrator,
+)
+
+__all__ = ["run_experiment"]
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    *,
+    db_path: str = ":memory:",
+    workers: int = 4,
+    mode: str = "thread",
+    max_in_flight: int = 8,
+    case_retries: int = 1,
+    analyze: bool = True,
+    progress: Callable[[str], None] | None = None,
+) -> ExperimentResult:
+    """Expand ``spec`` and drive it to completion over a private service.
+
+    Resumable like any orchestrator run: state lives in ``db_path``, so
+    calling this again with the same spec skips terminal cases.
+    """
+    from ..serve import AnalysisService, Client
+
+    plan = spec.expand()
+    with AnalysisService(db_path=db_path, workers=workers,
+                        mode=mode) as service:
+        state = ExperimentState(service.db)
+        orchestrator = Orchestrator(
+            Client(service), state, plan,
+            max_in_flight=max_in_flight,
+            case_retries=case_retries,
+            analyze=analyze,
+            progress=progress,
+        )
+        return orchestrator.run()

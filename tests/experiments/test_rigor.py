@@ -1,0 +1,122 @@
+"""Adaptive rigor: outlier cleaning, t critical values, convergence."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    RigorPolicy,
+    assess,
+    drop_outliers,
+    modified_zscores,
+    t_critical,
+)
+
+
+class TestModifiedZScores:
+    def test_identical_samples_score_zero(self):
+        assert modified_zscores([5.0, 5.0, 5.0, 5.0]) == [0.0] * 4
+
+    def test_empty_input(self):
+        assert modified_zscores([]) == []
+
+    def test_gross_outlier_scores_past_the_cut(self):
+        scores = modified_zscores([10.0, 10.1, 9.9, 10.05, 100.0])
+        assert abs(scores[-1]) > 3.5
+        assert all(abs(s) < 3.5 for s in scores[:-1])
+
+
+class TestDropOutliers:
+    def test_fewer_than_four_samples_never_drop(self):
+        kept, dropped = drop_outliers([1.0, 1.0, 1000.0])
+        assert kept == [1.0, 1.0, 1000.0]
+        assert dropped == []
+
+    def test_drops_the_gross_outlier(self):
+        kept, dropped = drop_outliers([10.0, 10.1, 9.9, 10.05, 100.0])
+        assert dropped == [4]
+        assert 100.0 not in kept
+
+    def test_refuses_to_reduce_to_a_single_point(self):
+        # Two clusters: the scores call most points outliers; keep all.
+        samples = [1.0, 1.0, 1.0, 1.0]
+        kept, dropped = drop_outliers(samples, zmax=0.0)
+        assert kept == samples and dropped == []
+
+
+class TestTCritical:
+    # Reference values from standard t tables.
+    @pytest.mark.parametrize("confidence,dof,expected", [
+        (0.95, 1, 12.706),
+        (0.95, 2, 4.303),
+        (0.95, 5, 2.571),
+        (0.95, 30, 2.042),
+        (0.99, 5, 4.032),
+        (0.90, 10, 1.812),
+    ])
+    def test_matches_t_tables(self, confidence, dof, expected):
+        assert t_critical(confidence, dof) == pytest.approx(expected,
+                                                            abs=2e-3)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            t_critical(1.5, 3)
+        with pytest.raises(ValueError):
+            t_critical(0.95, 0)
+
+
+class TestRigorPolicy:
+    def test_defaults_are_sane(self):
+        p = RigorPolicy()
+        assert p.min_runs <= p.max_runs
+        assert 0 < p.confidence < 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"confidence": 1.0},
+        {"relative_halfwidth": 0.0},
+        {"min_runs": 0},
+        {"min_runs": 5, "max_runs": 3},
+        {"noise": -0.1},
+    ])
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RigorPolicy(**kwargs)
+
+
+class TestAssess:
+    def test_tight_samples_converge(self):
+        a = assess([100.0, 100.5, 99.5], RigorPolicy(min_runs=3))
+        assert a.converged
+        assert a.n == 3
+        assert a.mean == pytest.approx(100.0)
+        assert a.rel_halfwidth < 0.10
+
+    def test_wide_samples_do_not_converge(self):
+        a = assess([50.0, 150.0, 100.0], RigorPolicy(min_runs=3))
+        assert not a.converged
+        assert a.rel_halfwidth > 0.10
+
+    def test_below_min_runs_never_converges(self):
+        a = assess([100.0, 100.0], RigorPolicy(min_runs=3))
+        assert not a.converged
+
+    def test_single_run_policy_converges_trivially(self):
+        a = assess([42.0], RigorPolicy(min_runs=1, max_runs=1))
+        assert a.converged
+        assert a.halfwidth == 0.0
+
+    def test_single_sample_under_multi_run_policy_does_not(self):
+        a = assess([42.0], RigorPolicy(min_runs=3))
+        assert not a.converged
+        assert math.isinf(a.rel_halfwidth)
+
+    def test_outlier_is_cleaned_before_the_interval(self):
+        a = assess([100.0, 100.2, 99.8, 100.1, 500.0],
+                   RigorPolicy(min_runs=3))
+        assert a.outliers == (4,)
+        assert a.n == 4
+        assert a.converged
+
+    def test_empty_samples(self):
+        a = assess([], RigorPolicy())
+        assert a.n == 0 and not a.converged

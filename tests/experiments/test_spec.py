@@ -1,0 +1,200 @@
+"""Spec expansion: vectors, excludes, the cap, and content addressing."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentSpec,
+    SpecError,
+    case_rng,
+    case_seed,
+)
+
+
+def spec(**overrides):
+    base = dict(name="t", app="synthetic",
+                factors={"scale": [0.5, 1.0], "threads": [2, 4]})
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+class TestVectors:
+    def test_cartesian_is_the_cross_product_in_declaration_order(self):
+        plan = spec().expand()
+        assert [c.factors for c in plan.cases] == [
+            {"scale": 0.5, "threads": 2},
+            {"scale": 0.5, "threads": 4},
+            {"scale": 1.0, "threads": 2},
+            {"scale": 1.0, "threads": 4},
+        ]
+        assert [c.index for c in plan.cases] == [0, 1, 2, 3]
+
+    def test_zip_iterates_factors_in_parallel(self):
+        plan = spec(vector="zip",
+                    factors={"scale": [0.5, 1.0, 2.0],
+                             "threads": [2, 4, 8]}).expand()
+        assert [c.factors for c in plan.cases] == [
+            {"scale": 0.5, "threads": 2},
+            {"scale": 1.0, "threads": 4},
+            {"scale": 2.0, "threads": 8},
+        ]
+
+    def test_explicit_cases_pass_through(self):
+        plan = spec(vector="cases", factors={},
+                    cases=({"scale": 1.0, "threads": 2},
+                           {"scale": 2.0, "threads": 8})).expand()
+        assert len(plan.cases) == 2
+        assert plan.cases[1].factors == {"scale": 2.0, "threads": 8}
+
+
+class TestExpansionErrors:
+    def test_empty_factor_value_list_is_refused(self):
+        with pytest.raises(SpecError, match="factor 'threads' has no"):
+            spec(factors={"scale": [1.0], "threads": []}).expand()
+
+    def test_no_factors_at_all_is_refused(self):
+        with pytest.raises(SpecError, match="no factors"):
+            spec(factors={}).expand()
+
+    def test_conflicting_zip_lengths_name_the_factors(self):
+        with pytest.raises(SpecError, match="scale=2.*threads=3"):
+            spec(vector="zip",
+                 factors={"scale": [1, 2], "threads": [1, 2, 3]}).expand()
+
+    def test_explicit_cases_must_assign_the_same_factors(self):
+        with pytest.raises(SpecError, match="case 1 assigns"):
+            spec(vector="cases", factors={},
+                 cases=({"scale": 1.0}, {"threads": 2})).expand()
+
+    def test_constraint_excluding_everything_is_an_error(self):
+        with pytest.raises(SpecError, match="zero cases"):
+            spec(excludes=({"scale": 0.5}, {"scale": 1.0})).expand()
+
+    def test_unknown_vector_kind_rejected_at_construction(self):
+        with pytest.raises(SpecError, match="vector kind"):
+            spec(vector="sobol")
+
+    def test_unknown_app_rejected_at_construction(self):
+        with pytest.raises(SpecError, match="unknown app"):
+            spec(app="linpack")
+
+
+class TestMaxCasesCap:
+    def test_over_cap_refuses_with_actionable_message(self):
+        with pytest.raises(SpecError) as exc:
+            spec(factors={"a": list(range(10)), "b": list(range(10))},
+                 max_cases=50).expand()
+        msg = str(exc.value)
+        assert "100 cases" in msg and "50" in msg
+        assert "max_cases" in msg  # tells you the knob to turn
+
+    def test_cap_never_truncates(self):
+        # Exactly at the cap is fine — and yields every case.
+        plan = spec(factors={"a": list(range(10)), "b": list(range(5))},
+                    max_cases=50).expand()
+        assert len(plan.cases) == 50
+
+    def test_excludes_do_not_rescue_an_over_cap_raw_count(self):
+        # The cap applies to the raw expansion: a spec that only fits
+        # after excludes is still refused (predictable memory bound).
+        with pytest.raises(SpecError, match="over the"):
+            spec(factors={"a": list(range(10)), "b": list(range(10))},
+                 excludes=({"a": 0},), max_cases=99).expand()
+
+
+class TestExcludes:
+    def test_exclude_drops_matching_cases_and_counts_them(self):
+        plan = spec(excludes=({"scale": 0.5, "threads": 2},)).expand()
+        assert len(plan.cases) == 3
+        assert plan.excluded == 1
+        assert {"scale": 0.5, "threads": 2} not in \
+            [c.factors for c in plan.cases]
+
+    def test_partial_key_match_excludes_the_whole_slice(self):
+        plan = spec(excludes=({"scale": 0.5},)).expand()
+        assert plan.excluded == 2
+        assert all(c.factors["scale"] == 1.0 for c in plan.cases)
+
+
+class TestContentAddressing:
+    def test_plan_expansion_is_deterministic(self):
+        a, b = spec().expand(), spec().expand()
+        assert a.case_keys() == b.case_keys()
+        assert a.spec_hash == b.spec_hash
+
+    def test_factor_values_change_the_case_key(self):
+        keys = spec().expand().case_keys()
+        assert len(set(keys)) == len(keys)
+
+    def test_rigor_thresholds_do_not_move_case_keys(self):
+        # Rigor governs how many runs happen, not what a run computes,
+        # so tightening it must not orphan already-banked cases...
+        from repro.experiments import RigorPolicy
+
+        loose = spec().expand().case_keys()
+        tight = spec(rigor=RigorPolicy(relative_halfwidth=0.01)) \
+            .expand().case_keys()
+        assert loose == tight
+
+    def test_noise_level_does_move_case_keys(self):
+        # ...but the injected noise level changes the data itself.
+        from repro.experiments import RigorPolicy
+
+        quiet = spec().expand().case_keys()
+        noisy = spec(rigor=RigorPolicy(noise=0.05)).expand().case_keys()
+        assert quiet != noisy
+
+    def test_rigor_does_move_the_spec_hash(self):
+        from repro.experiments import RigorPolicy
+
+        assert spec().spec_hash != \
+            spec(rigor=RigorPolicy(min_runs=5, max_runs=9)).spec_hash
+
+
+class TestSeeds:
+    def test_same_key_and_rerun_same_seed(self):
+        key = spec().expand().cases[0].key
+        assert case_seed(key, 0) == case_seed(key, 0)
+        assert case_seed(key, 0) != case_seed(key, 1)
+
+    def test_different_cases_get_different_seeds(self):
+        keys = spec().expand().case_keys()
+        seeds = {case_seed(k) for k in keys}
+        assert len(seeds) == len(keys)
+
+    def test_case_rng_reproduces_the_same_stream(self):
+        key = spec().expand().cases[0].key
+        a = case_rng(key, 3).standard_normal(8)
+        b = case_rng(key, 3).standard_normal(8)
+        assert (a == b).all()
+
+
+class TestTomlShape:
+    def test_round_trip_through_from_dict(self):
+        s = ExperimentSpec.from_dict({
+            "name": "d", "app": "msa",
+            "factors": {"threads": [2, 4]},
+            "vector": {"kind": "cartesian"},
+            "exclude": [{"threads": 2}],
+            "limits": {"max_cases": 7},
+            "rigor": {"min_runs": 2, "max_runs": 5},
+        })
+        assert s.app == "msa"
+        assert s.max_cases == 7
+        assert s.rigor.min_runs == 2
+        assert s.excludes == ({"threads": 2},)
+
+    def test_bad_rigor_key_is_a_spec_error(self):
+        with pytest.raises(SpecError, match="rigor"):
+            ExperimentSpec.from_dict({
+                "name": "d", "factors": {"a": [1]},
+                "rigor": {"minimum_runs": 2},
+            })
+
+    def test_committed_example_expands_past_two_hundred_cases(self):
+        import os
+
+        path = os.path.join(os.path.dirname(__file__), "..", "..",
+                            "examples", "msa_sweep.toml")
+        plan = ExperimentSpec.from_toml(path).expand()
+        assert len(plan.cases) >= 200
+        assert plan.excluded == 30

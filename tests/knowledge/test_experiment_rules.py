@@ -1,0 +1,73 @@
+"""The experiment-rules rulebase: critique of a sweep's own health."""
+
+import pytest
+
+from repro.core.harness import RuleHarness
+from repro.knowledge import experiment_rules
+from repro.rules import Fact
+
+
+def summary(**overrides):
+    base = dict(spec="sweep", cases=10, skipped=0, converged=10,
+                nonConverged=0, failed=0, totalRuns=30, reruns=0,
+                rerunRate=0.0, outliers=0)
+    base.update(overrides)
+    return Fact("ExperimentSummaryFact", **base)
+
+
+def critique(fact):
+    harness = RuleHarness("experiment-rules")
+    harness.assertObjects([fact])
+    harness.processRules()
+    return harness
+
+
+def categories(harness):
+    return {f["category"] for f in harness.facts("Recommendation")}
+
+
+class TestExperimentRules:
+    def test_healthy_sweep_logs_the_headline_and_nothing_else(self):
+        harness = critique(summary())
+        assert categories(harness) == set()
+        assert any("Experiment 'sweep'" in line
+                   for line in harness.output)
+
+    def test_non_convergence_is_flagged_with_severity(self):
+        harness = critique(summary(converged=7, nonConverged=3))
+        assert "experiment-non-convergence" in categories(harness)
+        rec = [f for f in harness.facts("Recommendation")
+               if f["category"] == "experiment-non-convergence"][0]
+        assert rec["severity"] == pytest.approx(0.3)
+        assert "max_runs" in rec["message"]
+
+    def test_failed_cases_point_at_resume(self):
+        harness = critique(summary(converged=8, failed=2))
+        rec = [f for f in harness.facts("Recommendation")
+               if f["category"] == "experiment-failed-cases"][0]
+        assert "resume" in rec["message"]
+
+    def test_rerun_heavy_sweep_blames_the_noise_floor(self):
+        harness = critique(summary(totalRuns=60, reruns=15,
+                                   rerunRate=1.5))
+        assert "experiment-rerun-heavy" in categories(harness)
+
+    def test_rerun_threshold_is_overridable(self):
+        rules = experiment_rules(rate_threshold=0.1)
+        harness = RuleHarness(rules=rules)
+        harness.assertObjects([summary(reruns=5, rerunRate=0.5)])
+        harness.processRules()
+        assert "experiment-rerun-heavy" in categories(harness)
+
+    def test_unknown_override_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown threshold"):
+            experiment_rules(bogus=1.0)
+
+    def test_compound_sickness_fires_every_applicable_rule(self):
+        harness = critique(summary(converged=5, nonConverged=3, failed=2,
+                                   totalRuns=80, reruns=20, rerunRate=2.0))
+        assert categories(harness) == {
+            "experiment-non-convergence",
+            "experiment-failed-cases",
+            "experiment-rerun-heavy",
+        }
