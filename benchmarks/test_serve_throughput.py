@@ -20,14 +20,16 @@ N_TRIALS = 12
 WORKERS = 4
 
 
-def _trial(name, skew):
+def _trial(name, skew, events=3, threads=8):
     rng = np.random.default_rng(5)
-    exc = rng.uniform(40, 90, size=(3, 8))
+    names = (["main", "compute", "exchange"] if events == 3
+             else ["main"] + [f"phase_{i}" for i in range(events - 1)])
+    exc = rng.uniform(40, 90, size=(events, threads))
     exc[-1, 0] *= skew
     return (
-        TrialBuilder(name, {"threads": 8})
-        .with_events(["main", "compute", "exchange"])
-        .with_threads(8)
+        TrialBuilder(name, {"threads": threads})
+        .with_events(names)
+        .with_threads(threads)
         .with_metric("TIME", exc, exc * 1.4, units="usec")
         .with_calls(np.ones_like(exc), np.zeros_like(exc))
         .build()
@@ -91,6 +93,78 @@ class TestServeThroughput:
         # The cache should beat recomputation by an order of magnitude.
         assert warm_s < cold_s / 10, (
             f"cached batch {warm_s:.4f}s vs cold {cold_s:.4f}s"
+        )
+
+    def test_tracing_overhead_under_five_percent(self, run_once):
+        """Distributed tracing is on by default, so it must be nearly
+        free: on a realistic diagnose workload (12-event × 64-thread
+        trials, ~40 ms of analysis each) the traced service's cold-batch
+        throughput stays within 5 % of an identical service with
+        ``tracing=False``.  Batches alternate order across reps and each
+        config keeps its best time so machine drift cancels out."""
+        reps = 3
+        traced = AnalysisService(workers=WORKERS,
+                                 default_timeout=60.0).start()
+        bare = AnalysisService(workers=WORKERS, default_timeout=60.0,
+                               tracing=False).start()
+        try:
+            # Distinct trial names per (config, rep) keep every batch
+            # cold — this measures execution, not the cache.
+            for svc, tag in ((traced, "tr"), (bare, "un")):
+                for rep in range(reps):
+                    for n in range(N_TRIALS):
+                        svc.db.save_trial(
+                            "Bench", "E",
+                            _trial(f"{tag}{rep}_t{n}", skew=1.0 + n % 4,
+                                   events=12, threads=64))
+
+            def batch(svc, tag, rep):
+                t0 = time.perf_counter()
+                jobs = [
+                    svc.submit("diagnose",
+                               {"app": "Bench", "exp": "E",
+                                "trial": f"{tag}{rep}_t{n}",
+                                "script": "load-balance"})
+                    for n in range(N_TRIALS)
+                ]
+                for job in jobs:
+                    assert job.wait(120.0) and job.status == "done", \
+                        (job.id, job.error)
+                return time.perf_counter() - t0, jobs
+
+            def experiment():
+                traced_s, bare_s = [], []
+                for rep in range(reps):
+                    order = [("tr", traced, traced_s),
+                             ("un", bare, bare_s)]
+                    if rep % 2:
+                        order.reverse()
+                    for tag, svc, times in order:
+                        seconds, jobs = batch(svc, tag, rep)
+                        times.append(seconds)
+                        if tag == "tr":
+                            assert all(j.trace_id for j in jobs)
+                        else:
+                            assert all(j.trace_id is None for j in jobs)
+                return min(traced_s), min(bare_s)
+
+            traced_best, bare_best = run_once(experiment)
+        finally:
+            traced.stop()
+            bare.stop()
+
+        overhead = traced_best / bare_best - 1.0
+        print_series(
+            f"Tracing overhead ({WORKERS} workers, {N_TRIALS} diagnose "
+            f"jobs, best of {reps})",
+            [("traced", traced_best, N_TRIALS / traced_best),
+             ("untraced", bare_best, N_TRIALS / bare_best),
+             ("overhead", overhead, overhead * 100)],
+            ["config", "seconds", "jobs/s | %"],
+        )
+        assert traced_best < bare_best * 1.05, (
+            f"tracing overhead {overhead:.1%} exceeds 5% "
+            f"({traced_best:.4f}s traced vs {bare_best:.4f}s untraced)"
         )
 
     def test_pool_overlaps_independent_jobs(self, run_once):

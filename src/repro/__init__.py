@@ -19,7 +19,7 @@ Subpackages (see README.md for the architecture):
 * :mod:`repro.experiments` — declarative experiment orchestration
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "apps",

@@ -633,7 +633,7 @@ def _parse_job_params(args: argparse.Namespace) -> dict:
 
 
 def _cmd_serve_start(args: argparse.Namespace) -> int:
-    from repro.serve import AnalysisService, ServeServer
+    from repro.serve import AnalysisService, SelfMonitor, ServeServer
 
     db = args.db or ":memory:"
     endpoint = args.endpoint or _default_endpoint(db)
@@ -642,16 +642,24 @@ def _cmd_serve_start(args: argparse.Namespace) -> int:
         queue_depth=args.queue_depth, default_timeout=args.job_timeout,
     )
     service.start()
+    monitor = None
+    if args.monitor_interval and args.monitor_interval > 0:
+        monitor = SelfMonitor(service, service.db,
+                              interval=args.monitor_interval).start()
     server = ServeServer(service, endpoint).start()
     print(f"serving {db} at {server.endpoint} "
           f"({args.workers} {args.mode} workers, "
-          f"queue depth {args.queue_depth})")
+          f"queue depth {args.queue_depth}"
+          + (f", self-monitor every {args.monitor_interval:g}s"
+             if monitor else "") + ")")
     print(f"submit with: repro-perf serve submit "
           f"--endpoint {server.endpoint} diagnose --param app=... ")
     sys.stdout.flush()
     try:
         server.serve_forever()
     finally:
+        if monitor is not None:
+            monitor.stop()
         service.stop()
     print("service stopped")
     return 0
@@ -689,9 +697,126 @@ def _cmd_serve_status(args: argparse.Namespace) -> int:
 
 @_serve_errors
 def _cmd_serve_stats(args: argparse.Namespace) -> int:
+    import time as _time
+
     with _serve_client(args) as client:
-        stats = client.stats()
-    print(json.dumps(stats, indent=None if args.compact else 2, default=str))
+        frames = 0
+        try:
+            while True:
+                stats = client.stats()
+                print(json.dumps(stats, indent=None if args.compact else 2,
+                                 default=str))
+                frames += 1
+                if not args.watch:
+                    break
+                if args.iterations and frames >= args.iterations:
+                    break
+                sys.stdout.flush()
+                _time.sleep(args.watch)
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
+@_serve_errors
+def _cmd_serve_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.serve import render_top
+
+    with _serve_client(args) as client:
+        frames = 0
+        try:
+            while True:
+                frame = render_top(client.stats())
+                if not args.once and frames and sys.stdout.isatty():
+                    # Home the cursor between frames; avoid a full clear
+                    # so scrollback (and piped output) stays readable.
+                    print("\x1b[H\x1b[J", end="")
+                print(frame)
+                frames += 1
+                if args.once or (args.iterations
+                                 and frames >= args.iterations):
+                    break
+                sys.stdout.flush()
+                _time.sleep(args.interval)
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
+@_serve_errors
+def _cmd_serve_metrics(args: argparse.Namespace) -> int:
+    with _serve_client(args) as client:
+        sys.stdout.write(client.metrics())
+    return 0
+
+
+@_serve_errors
+def _cmd_serve_health(args: argparse.Namespace) -> int:
+    with _serve_client(args) as client:
+        health = client.health()
+    print(json.dumps(health, indent=None if args.compact else 2,
+                     default=str))
+    return 0 if health.get("status") == "ok" else 1
+
+
+@_serve_errors
+def _cmd_serve_explain_job(args: argparse.Namespace) -> int:
+    with _serve_client(args) as client:
+        explain = client.explain_job(args.id)
+    if args.json:
+        print(json.dumps(explain, indent=2, default=str))
+        return 0
+    wall = explain["wall_seconds"]
+    print(f"job {explain['id']} ({explain['kind']}) — {explain['status']}, "
+          f"{explain['attempts']} attempt(s), "
+          f"{'cache hit, ' if explain['cache_hit'] else ''}"
+          f"wall {wall:.4f}s")
+    if not explain.get("traced"):
+        print("  (job was not traced; no attribution available)")
+        return 0
+    attribution = explain.get("attribution") or {}
+    for phase in ("queue", "retry", "exec", "cache", "other"):
+        seconds = attribution.get(phase)
+        if seconds is None:
+            continue
+        share = seconds / wall if wall > 0 else 0.0
+        bar = "#" * int(round(share * 40))
+        print(f"  {phase:>6}  {seconds:9.4f}s  {share:6.1%}  {bar}")
+    handler = explain.get("handler_seconds")
+    if handler is not None:
+        print(f"  (handler span: {handler:.4f}s inside exec)")
+    print(f"  {len(explain.get('spans') or [])} span(s), "
+          f"coverage {explain.get('coverage', 0.0):.1%} of job wall time")
+    if args.chrome:
+        from repro.observe.export import write_timeline_chrome
+
+        spans = explain.get("spans") or []
+        write_timeline_chrome(spans, args.chrome,
+                              label=f"job {explain['id']} "
+                                    f"({explain['kind']})")
+        print(f"  Chrome trace: {args.chrome} ({len(spans)} spans)")
+    return 0
+
+
+@_serve_errors
+def _cmd_serve_trends(args: argparse.Namespace) -> int:
+    from repro.knowledge import render_report
+    from repro.perfdmf import PerfDMF
+    from repro.serve import diagnose_trends, load_snapshots
+
+    with PerfDMF(args.db, read_only=True) as db:
+        snapshots = load_snapshots(db, last=args.window)
+        if len(snapshots) < 3:
+            print(f"only {len(snapshots)} self-monitor snapshot(s) in "
+                  f"{args.db}; need >= 3 (serve start --monitor-interval)",
+                  file=sys.stderr)
+            return 2
+        harness = diagnose_trends(db, window=args.window)
+    print(render_report(harness,
+                        title=f"Service trends ({len(snapshots)} "
+                              f"snapshots)"))
     return 0
 
 
@@ -763,6 +888,7 @@ def _cmd_exp_run(args: argparse.Namespace) -> int:
                 max_in_flight=args.max_in_flight,
                 case_retries=args.case_retries,
                 analyze=not args.no_analyze,
+                trace=bool(args.trace_out),
                 progress=progress,
             ).run()
     else:
@@ -776,15 +902,27 @@ def _cmd_exp_run(args: argparse.Namespace) -> int:
             max_in_flight=args.max_in_flight,
             case_retries=args.case_retries,
             analyze=not args.no_analyze,
+            trace=bool(args.trace_out),
             progress=progress,
         )
+    from repro import observe
+
     summary = result.summary()
-    print(f"run {summary['run_id']}: {summary['cases']} case(s) — "
-          f"{summary['converged']} converged, "
-          f"{summary['non_converged']} non-converged, "
-          f"{summary['failed']} failed, {summary['skipped']} skipped "
-          f"({summary['total_runs']} runs, {summary['reruns']} adaptive "
-          f"reruns, {summary['wall_seconds']:.2f}s)")
+    observe.echo(
+        f"run {summary['run_id']}: {summary['cases']} case(s) — "
+        f"{summary['converged']} converged, "
+        f"{summary['non_converged']} non-converged, "
+        f"{summary['failed']} failed, {summary['skipped']} skipped "
+        f"({summary['total_runs']} runs, {summary['reruns']} adaptive "
+        f"reruns, {summary['wall_seconds']:.2f}s)")
+    if args.trace_out:
+        if result.spans:
+            n = result.export_trace(args.trace_out)
+            observe.echo(f"distributed trace: {args.trace_out} "
+                         f"({n} spans)")
+        else:
+            observe.echo("no spans collected (all cases skipped?); "
+                         "trace not written")
     return 1 if summary["failed"] else 0
 
 
@@ -998,6 +1136,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="bounded queue depth (backpressure past this)")
     sp.add_argument("--job-timeout", type=float, default=30.0,
                     help="default per-job wall-clock budget, seconds")
+    sp.add_argument("--monitor-interval", type=float, default=0.0,
+                    metavar="SECONDS",
+                    help="snapshot service.stats() into PerfDMF trials "
+                         "every N seconds (0 = off; see serve trends)")
     sp.set_defaults(func=_cmd_serve_start)
 
     def _client_args(cp: argparse.ArgumentParser) -> None:
@@ -1037,7 +1179,57 @@ def build_parser() -> argparse.ArgumentParser:
     sp = ssub.add_parser("stats",
                          help="queue/cache/worker statistics as JSON")
     _client_args(sp)
+    sp.add_argument("--watch", type=float, default=0.0, metavar="SECONDS",
+                    help="re-print every N seconds until interrupted")
+    sp.add_argument("--iterations", type=int, default=0,
+                    help="with --watch: stop after N frames (0 = forever)")
     sp.set_defaults(func=_cmd_serve_stats)
+
+    sp = ssub.add_parser(
+        "top",
+        help="live fleet dashboard: queue, latency, cache, workers")
+    _client_args(sp)
+    sp.add_argument("--interval", type=float, default=2.0,
+                    help="refresh interval, seconds")
+    sp.add_argument("--once", action="store_true",
+                    help="print one frame and exit")
+    sp.add_argument("--iterations", type=int, default=0,
+                    help="stop after N frames (0 = forever)")
+    sp.set_defaults(func=_cmd_serve_top)
+
+    sp = ssub.add_parser(
+        "metrics",
+        help="Prometheus text exposition of the service's metrics")
+    _client_args(sp)
+    sp.set_defaults(func=_cmd_serve_metrics)
+
+    sp = ssub.add_parser(
+        "health",
+        help="one-line health verdict (exit 1 when degraded)")
+    _client_args(sp)
+    sp.set_defaults(func=_cmd_serve_health)
+
+    sp = ssub.add_parser(
+        "explain-job",
+        help="attribute one job's wall time to queue/retry/exec/cache "
+             "phases from its stitched trace")
+    _client_args(sp)
+    sp.add_argument("id", type=int, help="job id")
+    sp.add_argument("--json", action="store_true",
+                    help="full explanation (spans included) as JSON")
+    sp.add_argument("--chrome", metavar="OUT.json",
+                    help="also export the job's stitched timeline as a "
+                         "Chrome trace_event file")
+    sp.set_defaults(func=_cmd_serve_explain_job)
+
+    sp = ssub.add_parser(
+        "trends",
+        help="trend diagnosis over stored self-monitor snapshots "
+             "(reads the db file directly)")
+    _add_db_arg(sp, required=True)
+    sp.add_argument("--window", type=int, default=5,
+                    help="most recent snapshots to consider")
+    sp.set_defaults(func=_cmd_serve_trends)
 
     sp = ssub.add_parser(
         "diagnose",
@@ -1085,6 +1277,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="resubmissions per failed trial run")
     ep.add_argument("--no-analyze", action="store_true",
                     help="skip the per-case analyze-case diagnosis job")
+    ep.add_argument("--trace-out", metavar="OUT.json",
+                    help="thread one distributed trace per case and "
+                         "export the whole run as a Chrome trace")
     ep.add_argument("--quiet", action="store_true",
                     help="suppress per-case progress lines")
     ep.set_defaults(func=_cmd_exp_run)

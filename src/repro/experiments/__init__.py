@@ -10,12 +10,17 @@ confidence interval is tight enough — or flags it non-converged for the
 
 Quick start::
 
+    from repro import observe
     from repro.experiments import ExperimentSpec
     from repro.workflows import run_experiment
 
     spec = ExperimentSpec.from_toml("examples/msa_sweep.toml")
     result = run_experiment(spec, db_path="sweep.db")
-    print(result.summary())
+    observe.echo(str(result.summary()))
+
+(``observe.echo`` writes through the event log's console sink — the
+same treatment rule ``echo`` output gets — so harnesses and the CLI can
+capture or redirect it; a bare ``print`` cannot be.)
 """
 
 from .orchestrator import CaseOutcome, ExperimentResult, Orchestrator

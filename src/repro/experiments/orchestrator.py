@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from .. import observe
+from ..observe.context import TraceContext, make_span, new_span_id
 from ..rules import Fact
 from .rigor import Assessment, assess
 from .spec import Case, Plan
@@ -57,6 +58,8 @@ class CaseOutcome:
     error: str | None = None
     #: run-trial jobs this session actually executed (0 on pure resume).
     executed: int = 0
+    #: The case's distributed trace (None when tracing is off).
+    trace_id: str | None = None
 
     @property
     def short(self) -> str:
@@ -69,6 +72,7 @@ class CaseOutcome:
             "runs": self.runs, "samples": self.samples,
             "assessment": self.assessment, "analysis": self.analysis,
             "error": self.error, "executed": self.executed,
+            "trace_id": self.trace_id,
         }
 
 
@@ -84,6 +88,10 @@ class ExperimentResult:
     skipped: int = 0
     wall_seconds: float = 0.0
     min_runs: int = 1
+    #: Stitched timeline spans across the whole run (tracing mode):
+    #: one ``exp.run`` root, one ``exp.case`` root per executed case,
+    #: and underneath those every service/worker span of every job.
+    spans: list[dict[str, Any]] = field(default_factory=list, repr=False)
 
     def count(self, status: str) -> int:
         return sum(o.status == status for o in self.outcomes)
@@ -139,12 +147,29 @@ class ExperimentResult:
         harness.processRules()
         return harness
 
+    def export_trace(self, path) -> int:
+        """Write the run's stitched spans as one Chrome ``trace_event``
+        file (load in ``chrome://tracing`` / Perfetto).  Returns the
+        span count; raises if the run was not traced."""
+        from ..observe.export import write_timeline_chrome
+
+        if not self.spans:
+            raise ValueError(
+                "no spans collected — run the Orchestrator with trace=True"
+            )
+        write_timeline_chrome(
+            self.spans, path,
+            label=f"experiment {self.spec_name} run {self.run_id}",
+        )
+        return len(self.spans)
+
 
 class _Tracker:
     """One active case's in-flight bookkeeping."""
 
     def __init__(self, case: Case, samples: list[float],
-                 trials: list[str], case_retries: int) -> None:
+                 trials: list[str], case_retries: int,
+                 trace_ctx: TraceContext | None = None) -> None:
         self.case = case
         self.samples = list(samples)
         self.trials = list(trials)
@@ -158,6 +183,20 @@ class _Tracker:
         self.failed_error: str | None = None
         self.final_assessment: Assessment | None = None
         self._default_retries = case_retries
+        #: This case's trace: every job it submits hangs under one
+        #: ``exp.case`` root span (tracing mode only).
+        self.trace_ctx = trace_ctx
+        self.span_id = new_span_id() if trace_ctx else None
+        self.started_wall = time.time()
+        #: Every job id this case ever submitted (for span collection).
+        self.all_jobs: list[int] = []
+
+    def job_trace(self) -> dict[str, str] | None:
+        """The wire trace context this case's jobs submit under."""
+        if self.trace_ctx is None:
+            return None
+        return {"trace_id": self.trace_ctx.trace_id,
+                "parent_span_id": self.span_id}
 
     def retries(self, rerun: int) -> int:
         return self.retries_left.setdefault(rerun, self._default_retries)
@@ -183,6 +222,14 @@ class Orchestrator:
         Resubmissions per rerun before the case fails.
     analyze:
         Submit an ``analyze-case`` job for each converged case.
+    trace:
+        Thread one distributed trace per case: every job a case submits
+        carries that case's trace context, and after each case finishes
+        its stitched spans (client → queue → worker → handler) are
+        pulled back via ``client.explain_job`` and parented under an
+        ``exp.case`` root span.  The whole run — reruns, assessments,
+        analyses — then exports as a single Chrome trace via
+        :meth:`ExperimentResult.export_trace`.
     """
 
     def __init__(
@@ -195,6 +242,7 @@ class Orchestrator:
         case_retries: int = 1,
         poll_interval: float = 0.01,
         analyze: bool = True,
+        trace: bool = False,
         progress: Callable[[str], None] | None = None,
     ) -> None:
         self.client = client
@@ -204,6 +252,7 @@ class Orchestrator:
         self.case_retries = max(0, int(case_retries))
         self.poll_interval = poll_interval
         self.analyze = analyze
+        self.trace = trace and hasattr(client, "explain_job")
         self._progress = progress or (lambda msg: None)
 
     # -- the loop ----------------------------------------------------------
@@ -243,6 +292,9 @@ class Orchestrator:
             f"{result.skipped} already terminal (skipped)"
         )
         active: dict[str, _Tracker] = {}
+        run_ctx = TraceContext.mint() if self.trace else None
+        run_span_id = new_span_id() if self.trace else None
+        run_start_wall = time.time()
         with observe.span("exp.orchestrate", spec=spec.name,
                           run_id=run_id, cases=len(pending)):
             while pending or active:
@@ -255,6 +307,14 @@ class Orchestrator:
                 if not progressed:
                     time.sleep(self.poll_interval)
         result.wall_seconds = time.monotonic() - started
+        if self.trace:
+            result.spans.append(make_span(
+                run_ctx.trace_id, "exp.run",
+                run_start_wall, time.time(),
+                span_id=run_span_id, process="orchestrator",
+                spec=spec.name, run=run_id,
+                cases=len(result.outcomes), skipped=result.skipped,
+            ))
         observe.event("exp.run.done", spec=spec.name,
                       **{k: v for k, v in result.summary().items()
                          if k != "spec" and isinstance(v, (int, float))})
@@ -264,7 +324,8 @@ class Orchestrator:
     def _activate(self, run_id: int, case: Case, records, active,
                   result: ExperimentResult) -> None:
         rec = records[case.key]
-        tracker = _Tracker(case, rec.samples, rec.trials, self.case_retries)
+        tracker = _Tracker(case, rec.samples, rec.trials, self.case_retries,
+                           TraceContext.mint() if self.trace else None)
         policy = self.plan.spec.rigor
         if len(tracker.samples) >= policy.min_runs:
             # Banked samples from an interrupted session may already
@@ -301,6 +362,10 @@ class Orchestrator:
         } for rerun in reruns]
         if not requests:
             return
+        trace = tracker.job_trace()
+        if trace is not None:
+            for req in requests:
+                req["trace"] = trace
         submitted = self.client.submit_many(requests, block=True)
         for req, job in zip(requests, submitted):
             rerun = req["params"]["rerun"]
@@ -308,6 +373,7 @@ class Orchestrator:
                 tracker.failed_error = f"submit failed: {job['error']}"
                 continue
             tracker.jobs[job["id"]] = rerun
+            tracker.all_jobs.append(job["id"])
 
     # -- polling -----------------------------------------------------------
     def _poll(self, run_id: int, active: dict[str, _Tracker],
@@ -375,7 +441,7 @@ class Orchestrator:
                                  assessment)
         if status == "converged" and self.analyze and tracker.trials:
             spec = self.plan.spec
-            submitted = self.client.submit_many([{
+            request = {
                 "kind": "analyze-case",
                 "params": {
                     "application": spec.application,
@@ -384,11 +450,16 @@ class Orchestrator:
                     "metric": spec.metric,
                     "key_event": spec.key_event,
                 },
-            }], block=True)
+            }
+            trace = tracker.job_trace()
+            if trace is not None:
+                request["trace"] = trace
+            submitted = self.client.submit_many([request], block=True)
             job = submitted[0]
             if "id" in job:
                 # Defer the outcome until the analysis lands.
                 tracker.analyze_job = job["id"]
+                tracker.all_jobs.append(job["id"])
                 tracker.final_assessment = assessment
                 return
         self._emit(run_id, tracker, status, assessment, active, result)
@@ -403,6 +474,8 @@ class Orchestrator:
     def _emit(self, run_id: int, tracker: _Tracker, status: str,
               assessment: Assessment | None, active, result) -> None:
         active.pop(tracker.case.key, None)
+        if tracker.trace_ctx is not None:
+            self._collect_case_spans(tracker, status, result)
         result.outcomes.append(CaseOutcome(
             case_key=tracker.case.key,
             factors=dict(tracker.case.factors),
@@ -413,6 +486,8 @@ class Orchestrator:
             analysis=tracker.analysis,
             error=tracker.failed_error,
             executed=tracker.executed,
+            trace_id=tracker.trace_ctx.trace_id
+            if tracker.trace_ctx else None,
         ))
         observe.event("exp.case", case=tracker.case.short, status=status,
                       runs=len(tracker.samples), executed=tracker.executed)
@@ -420,3 +495,22 @@ class Orchestrator:
             f"  case {tracker.case.short} {status} "
             f"({len(tracker.samples)} run(s), {tracker.executed} executed)"
         )
+
+    def _collect_case_spans(self, tracker: _Tracker, status: str,
+                            result: ExperimentResult) -> None:
+        """Pull each finished job's stitched timeline back from the
+        service and hang the lot under one ``exp.case`` root span."""
+        for job_id in tracker.all_jobs:
+            try:
+                explain = self.client.explain_job(job_id)
+            except Exception:  # noqa: BLE001 - tracing must not fail the run
+                continue
+            result.spans.extend(explain.get("spans") or [])
+        result.spans.append(make_span(
+            tracker.trace_ctx.trace_id, "exp.case",
+            tracker.started_wall, time.time(),
+            span_id=tracker.span_id,
+            process=f"case {tracker.case.short}",
+            case=tracker.case.short, status=status,
+            runs=len(tracker.samples), jobs=len(tracker.all_jobs),
+        ))

@@ -6,7 +6,9 @@ inference engine that diagnoses application trials consumes
 ``ServiceStatsFact`` / ``ServiceDegradedFact`` rows from
 ``AnalysisService.service_facts()`` and produces capacity and
 configuration recommendations (add workers, raise the queue bound,
-investigate failing handlers, pre-warm the cache).
+investigate failing handlers, pre-warm the cache).  Trend rules consume
+``ServiceTrendFact`` rows from :mod:`repro.serve.monitor` — degradation
+*across* self-monitoring snapshots, not just in one.
 
 Registers under the name ``"service-rules"`` so
 ``RuleHarness("service-rules")`` — and ``serve diagnose`` /
@@ -270,6 +272,131 @@ def cold_cache_rule(
     )
 
 
+def latency_trend_rule() -> Rule:
+    """Queue wait grows snapshot over snapshot → act before it's an
+    incident.  Consumes ``ServiceTrendFact`` rows from
+    :func:`repro.serve.monitor.service_trend_facts` — the *trend* layer
+    the point-in-time rules above cannot see."""
+
+    def action(ctx: RuleContext) -> None:
+        ctx.log(
+            f"Trend (queue-wait-p95): {ctx['first']:.4f}s → "
+            f"{ctx['last']:.4f}s over {ctx['n']} snapshots."
+        )
+        ctx.insert(
+            "Recommendation",
+            category="service-latency-trend",
+            event="<service>",
+            severity=ctx["last"],
+            message=(
+                f"p95 queue wait grew {ctx['first']:.4f}s → "
+                f"{ctx['last']:.4f}s across {ctx['n']} monitor snapshots — "
+                "load is outpacing the pool; add workers now, before the "
+                "wait breaches its budget"
+            ),
+        )
+
+    return (
+        RuleBuilder(
+            "Queue latency trending up",
+            salience=12,
+            doc="serve: monotone queue-wait growth across snapshots",
+        )
+        .when(
+            "t",
+            "ServiceTrendFact",
+            ("metric", "==", "queue-wait-p95"),
+            "first := first",
+            "last := last",
+            "n := snapshots",
+        )
+        .then(action)
+        .build()
+    )
+
+
+def cache_decay_trend_rule() -> Rule:
+    """Hit rate decays across snapshots → the workload drifted away from
+    what the cache holds (or invalidations are churning it)."""
+
+    def action(ctx: RuleContext) -> None:
+        ctx.log(
+            f"Trend (cache-hit-rate): {ctx['first']:.1%} → "
+            f"{ctx['last']:.1%} over {ctx['n']} snapshots."
+        )
+        ctx.insert(
+            "Recommendation",
+            category="service-cache-decay",
+            event="<service>",
+            severity=ctx["first"] - ctx["last"],
+            message=(
+                f"cache hit rate decayed {ctx['first']:.1%} → "
+                f"{ctx['last']:.1%} across {ctx['n']} snapshots — the "
+                "workload is drifting from the cached population; check "
+                "for parameter churn or an undersized cache evicting hot "
+                "entries"
+            ),
+        )
+
+    return (
+        RuleBuilder(
+            "Cache hit rate trending down",
+            salience=12,
+            doc="serve: monotone hit-rate decay across snapshots",
+        )
+        .when(
+            "t",
+            "ServiceTrendFact",
+            ("metric", "==", "cache-hit-rate"),
+            "first := first",
+            "last := last",
+            "n := snapshots",
+        )
+        .then(action)
+        .build()
+    )
+
+
+def worker_churn_trend_rule() -> Rule:
+    """Workers keep getting respawned → something in the handlers (or a
+    poison job) is repeatedly wedging vehicles."""
+
+    def action(ctx: RuleContext) -> None:
+        ctx.log(
+            f"Trend (worker-respawns): +{ctx['chg']:.0f} respawns over "
+            f"{ctx['n']} snapshots."
+        )
+        ctx.insert(
+            "Recommendation",
+            category="service-worker-churn",
+            event="<service>",
+            severity=ctx["chg"],
+            message=(
+                f"{ctx['chg']:.0f} worker respawns across {ctx['n']} "
+                "snapshots — a handler or job kind is repeatedly timing "
+                "out and wedging vehicles; find it with `serve status` "
+                "and `serve explain-job`, and raise its timeout or fix it"
+            ),
+        )
+
+    return (
+        RuleBuilder(
+            "Workers respawn-churning",
+            salience=12,
+            doc="serve: respawn count climbing across snapshots",
+        )
+        .when(
+            "t",
+            "ServiceTrendFact",
+            ("metric", "==", "worker-respawns"),
+            "chg := change",
+            "n := snapshots",
+        )
+        .then(action)
+        .build()
+    )
+
+
 def service_rules(**overrides) -> list[Rule]:
     """The ``service-rules`` rulebase content."""
     cache_kw = {}
@@ -284,6 +411,9 @@ def service_rules(**overrides) -> list[Rule]:
         failure_rate_rule(),
         backpressure_rule(),
         cold_cache_rule(**cache_kw),
+        latency_trend_rule(),
+        cache_decay_trend_rule(),
+        worker_churn_trend_rule(),
     ]
 
 

@@ -29,6 +29,14 @@ from __future__ import annotations
 
 import os
 
+from .context import (
+    TraceContext,
+    coverage,
+    make_span,
+    new_span_id,
+    new_trace_id,
+    orphan_spans,
+)
 from .events import EventLog
 from .metrics import (
     NOOP_INSTRUMENT,
@@ -47,8 +55,10 @@ __all__ = [
     "MetricsRegistry",
     "Span",
     "SpanRecord",
+    "TraceContext",
     "Tracer",
     "counter",
+    "coverage",
     "current_span_id",
     "disable",
     "enable",
@@ -57,6 +67,10 @@ __all__ = [
     "gauge",
     "get_tracer",
     "histogram",
+    "make_span",
+    "new_span_id",
+    "new_trace_id",
+    "orphan_spans",
     "echo",
     "span",
 ]

@@ -121,6 +121,66 @@ def write_chrome_trace(records: Iterable[dict], path: str | Path,
     return len(doc["traceEvents"])
 
 
+# -- distributed timeline spans --------------------------------------------
+def timeline_to_chrome(spans: Iterable[dict],
+                       *, label: str = "distributed trace") -> dict:
+    """Render cross-process *timeline spans* (the
+    :func:`repro.observe.context.make_span` shape, wall-clock seconds) as
+    Chrome ``trace_event`` JSON — one process lane per ``process`` label,
+    timestamps relative to the earliest span.
+
+    This is the exporter for stitched service-job timelines and
+    experiment-run DAGs; the in-process :func:`to_chrome_trace` keeps
+    handling single-tracer JSONL records.
+    """
+    spans = sorted(spans, key=lambda s: float(s["start"]))
+    events: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+        "args": {"name": label},
+    }]
+    if not spans:
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+    t0 = float(spans[0]["start"])
+    pids: dict[str, int] = {}
+    for s in spans:
+        process = str(s.get("process", "service"))
+        pid = pids.get(process)
+        if pid is None:
+            pid = pids[process] = len(pids) + 1
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": process},
+            })
+            events.append({
+                "name": "process_sort_index", "ph": "M", "pid": pid,
+                "tid": 0, "args": {"sort_index": pid},
+            })
+        args = dict(s.get("attrs") or {})
+        args["span_id"] = s["span_id"]
+        args["trace_id"] = s.get("trace_id")
+        if s.get("parent_id") is not None:
+            args["parent_id"] = s["parent_id"]
+        events.append({
+            "name": s["name"],
+            "cat": str(s["name"]).split(".", 1)[0],
+            "ph": "X",
+            "ts": round((float(s["start"]) - t0) * 1e6, 3),
+            "dur": round((float(s["end"]) - float(s["start"])) * 1e6, 3),
+            "pid": pid,
+            "tid": 0,
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_timeline_chrome(spans: Iterable[dict], path: str | Path,
+                          *, label: str = "distributed trace") -> int:
+    """Write timeline spans as Chrome JSON; returns the event count."""
+    doc = timeline_to_chrome(spans, label=label)
+    Path(path).write_text(json.dumps(doc))
+    return len(doc["traceEvents"])
+
+
 # -- terminal report -------------------------------------------------------
 def span_summary(records: Iterable[dict]) -> list[dict]:
     """Aggregate spans by name: calls, total/self wall, CPU; slowest first.

@@ -1,0 +1,156 @@
+"""Prometheus-style text exposition for metrics.
+
+Renders metric *rows* — the same JSON-able dicts
+:meth:`~repro.observe.metrics.MetricsRegistry.snapshot` produces, plus
+hand-built ones — in the Prometheus text format (``# TYPE`` headers,
+``name{label="v"} value`` samples).  Histograms go out as summaries:
+quantile-labelled samples plus ``_sum`` / ``_count``.
+
+No HTTP server lives here on purpose: the analysis service speaks its
+JSON-lines protocol, so the ``metrics`` op returns this text and anything
+from ``curl --unix-socket``-style shims to a scrape side-car can relay it.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Iterable
+
+__all__ = [
+    "CONTENT_TYPE",
+    "metric_row",
+    "registry_rows",
+    "render_prometheus",
+    "sanitize_metric_name",
+]
+
+#: What an HTTP relay should claim for this payload.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+_LEADING = re.compile(r"^[^a-zA-Z_:]")
+
+#: Histogram-summary percentile keys → Prometheus quantile labels.
+_QUANTILES = (("p50", "0.5"), ("p90", "0.9"), ("p95", "0.95"),
+              ("p99", "0.99"))
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Dotted internal names → valid Prometheus metric names
+    (``serve.queue_wait`` → ``serve_queue_wait``)."""
+    name = _INVALID.sub("_", name)
+    if _LEADING.match(name):
+        name = "_" + name
+    return name
+
+
+def metric_row(
+    type_: str,
+    name: str,
+    value: float | None = None,
+    *,
+    labels: dict[str, Any] | None = None,
+    help_: str | None = None,
+    summary: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Build one renderable row (counter/gauge need ``value``; a
+    summary row needs the histogram ``summary()`` dict)."""
+    if type_ not in ("counter", "gauge", "summary"):
+        raise ValueError(f"unknown metric row type {type_!r}")
+    row: dict[str, Any] = {"type": type_, "name": name}
+    if labels:
+        row["labels"] = dict(labels)
+    if help_:
+        row["help"] = help_
+    if type_ == "summary":
+        if summary is None:
+            raise ValueError("summary rows need the summary dict")
+        row["summary"] = dict(summary)
+    else:
+        if value is None:
+            raise ValueError(f"{type_} rows need a value")
+        row["value"] = float(value)
+    return row
+
+
+def registry_rows(registry, *, prefix: str = "") -> list[dict[str, Any]]:
+    """A :class:`~repro.observe.metrics.MetricsRegistry` snapshot as
+    renderable rows (histograms become summaries)."""
+    rows: list[dict[str, Any]] = []
+    for snap in registry.snapshot():
+        name = sanitize_metric_name(prefix + snap["name"])
+        if snap["type"] == "histogram":
+            rows.append(metric_row("summary", name, summary=snap))
+        else:
+            rows.append(metric_row(snap["type"], name, snap["value"]))
+    return rows
+
+
+def _fmt_value(value: Any) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_str(labels: dict[str, Any] | None, extra: tuple = ()) -> str:
+    pairs = list((labels or {}).items()) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        '{}="{}"'.format(
+            sanitize_metric_name(str(k)),
+            str(v).replace("\\", r"\\").replace('"', r"\"")
+            .replace("\n", r"\n"),
+        )
+        for k, v in pairs
+    )
+    return "{" + body + "}"
+
+
+def render_prometheus(rows: Iterable[dict[str, Any]]) -> str:
+    """Rows → exposition text.  Rows sharing a name share one ``# TYPE``
+    header (label-differentiated families, e.g. per-kind exec times)."""
+    by_name: dict[str, list[dict[str, Any]]] = {}
+    order: list[str] = []
+    for row in rows:
+        name = sanitize_metric_name(row["name"])
+        if name not in by_name:
+            by_name[name] = []
+            order.append(name)
+        by_name[name].append(row)
+    lines: list[str] = []
+    for name in order:
+        family = by_name[name]
+        first = family[0]
+        if first.get("help"):
+            lines.append(f"# HELP {name} {first['help']}")
+        lines.append(f"# TYPE {name} {first['type']}")
+        for row in family:
+            labels = row.get("labels")
+            if row["type"] == "summary":
+                s = row["summary"]
+                for key, quantile in _QUANTILES:
+                    if key in s:
+                        lines.append(
+                            f"{name}{_label_str(labels, (('quantile', quantile),))}"
+                            f" {_fmt_value(s[key])}"
+                        )
+                lines.append(
+                    f"{name}_sum{_label_str(labels)} "
+                    f"{_fmt_value(s.get('sum', 0.0))}"
+                )
+                lines.append(
+                    f"{name}_count{_label_str(labels)} "
+                    f"{_fmt_value(s.get('count', 0))}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_label_str(labels)} {_fmt_value(row['value'])}"
+                )
+    return "\n".join(lines) + "\n"

@@ -10,6 +10,14 @@ content-addressed :class:`~repro.serve.cache.ResultCache` keyed by
 API in-process (:class:`Client`) or over a local socket
 (:class:`SocketClient` ↔ ``repro-perf serve start``).
 
+The fleet is observable end to end: every submission carries a
+distributed :class:`~repro.observe.context.TraceContext`, the service
+stitches client → queue → worker → handler spans into one per-job
+timeline (``explain_job`` / ``serve explain-job``), metrics are exposed
+in Prometheus text format (``metrics_text`` / ``serve metrics``), and a
+:class:`~repro.serve.monitor.SelfMonitor` snapshots the vitals into
+PerfDMF trials so trend rules can watch them degrade.
+
 Embedding is three lines::
 
     from repro.serve import AnalysisService
@@ -36,6 +44,15 @@ from .jobs import (
     TERMINAL_STATES,
     TIMEOUT,
     TransientJobError,
+)
+from .monitor import (
+    SELF_APP,
+    SelfMonitor,
+    diagnose_trends,
+    load_snapshots,
+    render_top,
+    service_trend_facts,
+    stats_to_trial,
 )
 from .protocol import ServeServer, connect_endpoint, parse_endpoint
 from .service import (
@@ -69,6 +86,8 @@ __all__ = [
     "QueueFull",
     "RUNNING",
     "ResultCache",
+    "SELF_APP",
+    "SelfMonitor",
     "ServeConfig",
     "ServeServer",
     "SocketClient",
@@ -78,8 +97,13 @@ __all__ = [
     "WorkerPool",
     "cache_key",
     "connect_endpoint",
+    "diagnose_trends",
     "job_kind",
+    "load_snapshots",
     "parse_endpoint",
+    "render_top",
     "resolve_kind",
     "rulebase_fingerprint",
+    "service_trend_facts",
+    "stats_to_trial",
 ]

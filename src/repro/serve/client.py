@@ -12,6 +12,10 @@ Two transports, one surface:
 Both return plain JSON-able dicts (the wire shapes), so code written
 against one works against the other; ``submit`` returns the job record
 (including its ``id``), and ``run`` is submit-and-wait.
+
+Unless the caller supplies its own ``trace`` option, every submission
+mints a fresh :class:`~repro.observe.context.TraceContext`, so each job
+carries a distributed trace id end to end by default.
 """
 
 from __future__ import annotations
@@ -20,10 +24,19 @@ import json
 from typing import Any
 
 from ..core.result import AnalysisError
+from ..observe.context import TraceContext
 from .protocol import connect_endpoint
 from .service import AnalysisService
 
 __all__ = ["Client", "SocketClient"]
+
+
+def _with_trace(options: dict[str, Any]) -> dict[str, Any]:
+    """Mint a trace context unless the caller brought one.  (Tracing is
+    disabled service-side via ``ServeConfig(tracing=False)``, not here.)"""
+    if "trace" not in options:
+        options = {**options, "trace": TraceContext.mint().to_wire()}
+    return options
 
 
 class Client:
@@ -37,7 +50,8 @@ class Client:
 
     def submit(self, kind: str, params: dict[str, Any] | None = None,
                **options) -> dict[str, Any]:
-        return self.service.submit(kind, params, **options).to_dict()
+        return self.service.submit(kind, params,
+                                   **_with_trace(options)).to_dict()
 
     def submit_many(self, jobs: list[dict[str, Any]],
                     **common_options) -> list[dict[str, Any]]:
@@ -55,7 +69,8 @@ class Client:
             params = req.pop("params", None)
             try:
                 out.append(self.service.submit(
-                    kind, params, **{**common_options, **req}).to_dict())
+                    kind, params,
+                    **_with_trace({**common_options, **req})).to_dict())
             except Exception as exc:  # noqa: BLE001 - per-entry boundary
                 out.append({"error": f"{type(exc).__name__}: {exc}"})
         return out
@@ -73,12 +88,24 @@ class Client:
             *, wait_timeout: float | None = 60.0,
             **options) -> dict[str, Any]:
         """Submit and block for the result record."""
-        job = self.service.submit(kind, params, **options)
+        job = self.service.submit(kind, params, **_with_trace(options))
         job.wait(wait_timeout)
         return job.to_dict()
 
     def stats(self) -> dict[str, Any]:
         return self.service.stats()
+
+    def metrics(self) -> str:
+        """Prometheus text exposition of the service's metrics."""
+        return self.service.metrics_text()
+
+    def health(self) -> dict[str, Any]:
+        return self.service.health()
+
+    def explain_job(self, job_id: int) -> dict[str, Any]:
+        """Where did the job's wall time go?  (See
+        :meth:`AnalysisService.explain_job`.)"""
+        return self.service.explain_job(job_id)
 
     def close(self) -> None:
         """The service is not ours to stop; nothing to release."""
@@ -122,14 +149,22 @@ class SocketClient:
     def submit(self, kind: str, params: dict[str, Any] | None = None,
                **options) -> dict[str, Any]:
         return self.request("submit", kind=kind, params=params or {},
-                            **options)["job"]
+                            **_with_trace(options))["job"]
 
     def submit_many(self, jobs: list[dict[str, Any]],
                     **common_options) -> list[dict[str, Any]]:
         """Admit a batch in **one round trip** — N individual ``submit``
         calls pay N socket round trips; the orchestrator's fan-out (and
         any script submitting a sweep) pays one.  Entry shape and
-        per-entry error semantics match :meth:`Client.submit_many`."""
+        per-entry error semantics match :meth:`Client.submit_many`.
+
+        Each entry gets its **own** minted trace context (one trace per
+        job, not one per batch) unless the entry or ``common_options``
+        carries a ``trace`` already."""
+        if "trace" not in common_options:
+            jobs = [entry if "trace" in entry
+                    else {**entry, "trace": TraceContext.mint().to_wire()}
+                    for entry in jobs]
         return self.request("submit_many", jobs=jobs,
                             options=common_options)["jobs"]
 
@@ -152,6 +187,15 @@ class SocketClient:
 
     def stats(self) -> dict[str, Any]:
         return self.request("stats")["stats"]
+
+    def metrics(self) -> str:
+        return self.request("metrics")["text"]
+
+    def health(self) -> dict[str, Any]:
+        return self.request("health")["health"]
+
+    def explain_job(self, job_id: int) -> dict[str, Any]:
+        return self.request("explain_job", id=job_id)["explain"]
 
     def diagnose(self) -> dict[str, Any]:
         return self.request("diagnose")

@@ -110,8 +110,29 @@ class Job:
     #: Seconds of the (final) execution attempt.
     exec_seconds: float | None = None
     worker: str | None = None
+    #: Distributed-trace identity (None when the service runs untraced).
+    trace_id: str | None = None
+    #: The submitting client's span this job's root hangs under.
+    trace_parent: str | None = None
+    #: Span id of this job's root ``serve.job`` span.
+    root_span_id: str | None = None
+    #: Wall-clock (``time.time``) submission instant — the shared-clock
+    #: anchor that lets spans from other processes align with ours.
+    submitted_wall: float = field(default_factory=time.time)
+    finished_wall: float | None = None
+    #: Stitched timeline spans (``observe.context.make_span`` dicts)
+    #: accumulated across client, service, and worker processes.
+    spans: list[dict[str, Any]] = field(default_factory=list, repr=False)
+    spans_dropped: int = 0
+    #: ``{"status", "ts", "span_id"}`` per state transition — explicit
+    #: stitch points, no timestamp-matching heuristics needed.
+    transitions: list[dict[str, Any]] = field(default_factory=list)
     done_event: threading.Event = field(default_factory=threading.Event,
                                         repr=False)
+
+    #: Per-job ceiling on stitched spans (a chatty handler cannot blow
+    #: up the service's memory; the drop count is reported instead).
+    MAX_SPANS = 1000
 
     @property
     def done(self) -> bool:
@@ -120,6 +141,22 @@ class Job:
     def wait(self, timeout: float | None = None) -> bool:
         """Block until the job reaches a terminal state."""
         return self.done_event.wait(timeout)
+
+    def transition(self, status: str, span_id: str | None = None) -> None:
+        """Record a state transition with the span active at that point."""
+        self.transitions.append({
+            "status": status,
+            "ts": time.time(),
+            "span_id": span_id,
+        })
+
+    def add_spans(self, spans) -> None:
+        """Append timeline spans, honouring :data:`MAX_SPANS`."""
+        for span in spans:
+            if len(self.spans) >= self.MAX_SPANS:
+                self.spans_dropped += 1
+            else:
+                self.spans.append(span)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-able snapshot (what ``serve status`` prints)."""
@@ -134,6 +171,9 @@ class Job:
             "queue_wait": self.queue_wait,
             "exec_seconds": self.exec_seconds,
             "worker": self.worker,
+            "trace_id": self.trace_id,
+            "root_span_id": self.root_span_id,
+            "transitions": list(self.transitions),
             "error": self.error,
             "failure": self.failure,
             "result": self.result,

@@ -19,8 +19,16 @@ Ops::
     {"op": "status"}                                      → {"jobs": [...]}
     {"op": "wait", "id": 7, "timeout": 60.0}              → {"job": {...}}
     {"op": "stats"}                                       → {"stats": {...}}
+    {"op": "metrics"}              → {"text": "...", "content_type": ...}
+    {"op": "health"}                                    → {"health": {...}}
+    {"op": "explain_job", "id": 7}                     → {"explain": {...}}
     {"op": "diagnose"}                  → {"recommendations": [...], ...}
     {"op": "shutdown"}
+
+``submit`` / ``submit_many`` accept an optional ``trace`` field — a
+``{"trace_id", "parent_span_id"}`` object or a W3C ``traceparent``
+string — propagating the caller's distributed-trace context onto the
+job (see :mod:`repro.observe.context`).
 
 Endpoints are strings: ``unix:/path/to.sock`` (AF_UNIX) or
 ``tcp:HOST:PORT`` (loopback TCP, for platforms without unix sockets).
@@ -36,6 +44,7 @@ from typing import Any
 
 from .. import observe
 from ..core.result import AnalysisError
+from ..observe.exposition import CONTENT_TYPE
 from .jobs import QueueClosed, QueueFull, TERMINAL_STATES
 from .service import AnalysisService
 
@@ -222,6 +231,7 @@ class ServeServer:
             max_retries=request.get("max_retries"),
             block=bool(request.get("block", False)),
             queue_timeout=request.get("queue_timeout"),
+            trace=request.get("trace"),
         )
         return {"job": job.to_dict()}
 
@@ -249,6 +259,7 @@ class ServeServer:
                     max_retries=opts.get("max_retries"),
                     block=bool(opts.get("block", False)),
                     queue_timeout=opts.get("queue_timeout"),
+                    trace=opts.get("trace"),
                 )
                 out.append(job.to_dict())
             except Exception as exc:  # noqa: BLE001 - per-entry boundary
@@ -271,6 +282,16 @@ class ServeServer:
 
     def _op_stats(self, request: dict) -> dict:
         return {"stats": self.service.stats()}
+
+    def _op_metrics(self, request: dict) -> dict:
+        return {"text": self.service.metrics_text(),
+                "content_type": CONTENT_TYPE}
+
+    def _op_health(self, request: dict) -> dict:
+        return {"health": self.service.health()}
+
+    def _op_explain_job(self, request: dict) -> dict:
+        return {"explain": self.service.explain_job(int(request["id"]))}
 
     def _op_diagnose(self, request: dict) -> dict:
         from ..knowledge import recommendations_of, render_report

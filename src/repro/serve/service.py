@@ -40,6 +40,8 @@ from typing import Any
 
 from .. import observe
 from ..core.result import AnalysisError
+from ..observe.context import TraceContext, coverage, make_span, new_span_id
+from ..observe.exposition import metric_row, registry_rows, render_prometheus
 from ..observe.metrics import Histogram
 from ..perfdmf import PerfDMF, ProfileError
 from ..rules import Fact
@@ -106,6 +108,10 @@ class ServeConfig:
     backoff: float = 0.05
     cache_entries: int = 512
     busy_timeout_ms: int = 5_000
+    #: Distributed-trace stitching: every job carries a trace context and
+    #: accumulates wall-clock timeline spans (client → queue → worker →
+    #: handler → cache).  Off switches the whole subsystem to no-ops.
+    tracing: bool = True
 
 
 class AnalysisService:
@@ -192,12 +198,19 @@ class AnalysisService:
         max_retries: int | None = None,
         block: bool = False,
         queue_timeout: float | None = None,
+        trace: Any = None,
     ) -> Job:
         """Admit one job; returns immediately with its :class:`Job`.
 
         A cacheable job whose content address hits completes on the spot
         without ever touching the queue.  A full queue raises
         :class:`~repro.serve.jobs.QueueFull` unless ``block`` is set.
+
+        ``trace`` is the caller's trace context — a
+        :class:`~repro.observe.context.TraceContext`, its wire dict, or
+        a ``traceparent`` string.  With tracing on (the default) a job
+        without one gets a fresh root context, so every job is always
+        explainable.
         """
         if self.pool is None:
             raise AnalysisError("service is not started")
@@ -214,6 +227,13 @@ class AnalysisService:
             backoff=cfg.backoff,
         )
         job = Job(id=next(self._job_ids), spec=spec)
+        if cfg.tracing:
+            ctx = TraceContext.from_wire(trace) if trace \
+                else TraceContext.mint()
+            job.trace_id = ctx.trace_id
+            job.trace_parent = ctx.parent_span_id
+            job.root_span_id = new_span_id()
+        job.transition(QUEUED, job.root_span_id)
         with self._lock:
             self._jobs[job.id] = job
             self._submitted += 1
@@ -221,6 +241,18 @@ class AnalysisService:
             key, _ = self._key_and_coords(kind_obj, params)
             if key is not None:
                 hit, value = self.cache.get(key)
+                if job.trace_id is not None:
+                    # Phase spans tile: the probe starts at submission
+                    # (absorbing content addressing) so the stitched
+                    # timeline has no structural gaps.
+                    probe_end = time.time()
+                    job.add_spans([make_span(
+                        job.trace_id, "serve.cache-probe",
+                        job.submitted_wall, probe_end,
+                        parent_id=job.root_span_id, process="service",
+                        hit=hit, phase="submit",
+                    )])
+                    job._phase_cursor_wall = probe_end
                 if hit:
                     job.queue_wait = 0.0
                     self._queue_wait.observe(0.0)
@@ -266,11 +298,33 @@ class AnalysisService:
     def _dispatch(self, job: Job, run) -> None:
         """One execution attempt; runs on the worker's supervisor thread."""
         now = time.monotonic()
+        wall_now = time.time()
+        traced = job.trace_id is not None
         if job.queue_wait is None:
             job.queue_wait = now - job.submitted_at
             self._queue_wait.observe(job.queue_wait)
             if observe.enabled():
                 observe.histogram("serve.queue_wait").observe(job.queue_wait)
+            if traced:
+                # Start where the submit-time cache probe (if any) left
+                # off so the phases tile without double counting.
+                job.add_spans([make_span(
+                    job.trace_id, "serve.queue-wait",
+                    getattr(job, "_phase_cursor_wall", None)
+                    or job.submitted_wall, wall_now,
+                    parent_id=job.root_span_id, process="service",
+                )])
+        elif traced:
+            # A retry attempt: the wait since the backoff was scheduled.
+            anchor = getattr(job, "_retry_anchor_wall", None)
+            if anchor is not None:
+                job.add_spans([make_span(
+                    job.trace_id, "serve.retry-wait", anchor, wall_now,
+                    parent_id=job.root_span_id, process="service",
+                    attempt=job.attempts + 1,
+                )])
+        if traced:
+            job._phase_cursor_wall = wall_now
         job.attempts += 1
         job.status = RUNNING
         job.started_at = now
@@ -283,25 +337,61 @@ class AnalysisService:
                 # Second probe: an identical job may have populated the
                 # cache while this one sat in the queue.
                 hit, value = self.cache.get(key)
+                if traced:
+                    probe_end = time.time()
+                    job.add_spans([make_span(
+                        job.trace_id, "serve.cache-probe",
+                        job._phase_cursor_wall, probe_end,
+                        parent_id=job.root_span_id, process="service",
+                        hit=hit, phase="dispatch",
+                    )])
+                    job._phase_cursor_wall = probe_end
                 if hit:
                     self._finish(job, DONE, result=value, cache_hit=True)
                     return
+        exec_span_id = new_span_id() if traced else None
+        job.transition(RUNNING, exec_span_id)
+        child_trace = {
+            "trace_id": job.trace_id, "parent_span_id": exec_span_id,
+        } if traced else None
+        span_sink: list = []
+        exec_start_wall = job._phase_cursor_wall if traced else time.time()
+
+        def record_exec(status: str) -> None:
+            if not traced:
+                return
+            exec_end = time.time()
+            job.add_spans([make_span(
+                job.trace_id, "serve.exec",
+                exec_start_wall, exec_end,
+                parent_id=job.root_span_id, span_id=exec_span_id,
+                process="service", worker=job.worker,
+                attempt=job.attempts, status=status,
+            )])
+            job.add_spans(span_sink)
+            job._phase_cursor_wall = exec_end
+
         with observe.span("serve.execute", kind=job.spec.kind, job=job.id,
                           attempt=job.attempts, worker=job.worker):
             started = time.monotonic()
             try:
-                result = run(job.spec.timeout)
+                result = run(job.spec.timeout, trace=child_trace,
+                             span_sink=span_sink)
             except ExecutionTimeout as exc:
                 job.exec_seconds = time.monotonic() - started
+                record_exec("timeout")
                 self._finish(job, TIMEOUT, error=str(exc),
                              failure=_failure_record(exc, job.attempts))
                 return
             except TransientJobError as exc:
                 job.exec_seconds = time.monotonic() - started
+                record_exec("transient")
                 if job.attempts <= job.spec.max_retries:
                     delay = job.spec.backoff * (2 ** (job.attempts - 1))
                     job.status = QUEUED
                     job.error = f"retrying after transient failure: {exc}"
+                    job._retry_anchor_wall = time.time()
+                    job.transition(QUEUED, job.root_span_id)
                     observe.event("serve.retry", job=job.id,
                                   kind=job.spec.kind, attempt=job.attempts,
                                   delay=delay, error=str(exc))
@@ -317,17 +407,27 @@ class AnalysisService:
                 return
             except BaseException as exc:  # noqa: BLE001 - job boundary
                 job.exec_seconds = time.monotonic() - started
+                record_exec("error")
                 self._finish(job, FAILED,
                              error=f"{type(exc).__name__}: {exc}",
                              failure=_failure_record(exc, job.attempts))
                 return
         job.exec_seconds = time.monotonic() - started
+        record_exec("ok")
         self._exec_hist(job.spec.kind).observe(job.exec_seconds)
         if observe.enabled():
             observe.histogram(
                 f"serve.exec.{job.spec.kind}").observe(job.exec_seconds)
         if key is not None:
             self.cache.put(key, result, coords=coords)
+            if traced:
+                store_end = time.time()
+                job.add_spans([make_span(
+                    job.trace_id, "serve.cache-store",
+                    job._phase_cursor_wall, store_end,
+                    parent_id=job.root_span_id, process="service",
+                )])
+                job._phase_cursor_wall = store_end
         self._finish(job, DONE, result=result)
 
     def _exec_hist(self, kind: str) -> Histogram:
@@ -347,6 +447,27 @@ class AnalysisService:
         job.failure = failure
         job.cache_hit = cache_hit
         job.finished_at = time.monotonic()
+        job.finished_wall = time.time()
+        if job.trace_id is not None:
+            # Close the tail of the phase tiling: result recording and
+            # span shipping between the last phase and the finish stamp.
+            cursor = getattr(job, "_phase_cursor_wall", None)
+            if cursor is not None and job.finished_wall > cursor:
+                job.add_spans([make_span(
+                    job.trace_id, "serve.finalize",
+                    cursor, job.finished_wall,
+                    parent_id=job.root_span_id, process="service",
+                )])
+            # The root span closes the stitched timeline: everything the
+            # service and its workers recorded hangs under this.
+            job.add_spans([make_span(
+                job.trace_id, "serve.job",
+                job.submitted_wall, job.finished_wall,
+                parent_id=job.trace_parent, span_id=job.root_span_id,
+                process="service", kind=job.spec.kind, job=job.id,
+                status=status, cache_hit=cache_hit, attempts=job.attempts,
+            )])
+        job.transition(status, job.root_span_id)
         with self._lock:
             self._status_counts[status] = \
                 self._status_counts.get(status, 0) + 1
@@ -393,14 +514,20 @@ class AnalysisService:
         in_flight = sum(
             1 for j in self.jobs() if j.status in (QUEUED, RUNNING)
         )
+        uptime = (time.monotonic() - self._started_at) \
+            if self._started_at else 0.0
         return {
-            "uptime": (time.monotonic() - self._started_at)
-            if self._started_at else 0.0,
+            "uptime": uptime,
+            # Monotonic uptime under its canonical name; "uptime" stays
+            # for older consumers of the stats shape.
+            "uptime_s": uptime,
             "db": self.config.db_path,
+            "tracing": self.config.tracing,
             "workers": {
                 "count": self.config.workers,
                 "mode": self.config.mode,
                 "alive": self.pool.alive() if self.pool else 0,
+                "respawns": self.pool.respawns() if self.pool else 0,
             },
             "versions": {
                 "code": __import__("repro").__version__,
@@ -489,3 +616,143 @@ class AnalysisService:
         harness.assertObjects(self.service_facts(**thresholds))
         harness.processRules()
         return harness
+
+    # -- explanation, health, exposition -----------------------------------
+    def explain_job(self, job_id: int) -> dict[str, Any]:
+        """Attribute one job's wall time to queue/retry/exec/cache phases
+        from its stitched timeline spans.
+
+        ``attribution`` sums the root span's direct children by phase
+        (they are sequential by construction, so the sum never double
+        counts); ``coverage`` is the fraction of the job's wall the
+        phases explain — the ≥95 % stitching gate.
+        """
+        job = self.job(job_id)
+        spans = list(job.spans)
+        end_wall = job.finished_wall if job.finished_wall is not None \
+            else time.time()
+        wall = max(end_wall - job.submitted_wall, 0.0)
+        base = {
+            "id": job.id,
+            "kind": job.spec.kind,
+            "status": job.status,
+            "attempts": job.attempts,
+            "cache_hit": job.cache_hit,
+            "worker": job.worker,
+            "wall_seconds": wall,
+            "transitions": list(job.transitions),
+        }
+        if job.trace_id is None:
+            return {**base, "traced": False, "spans": [],
+                    "attribution": {}, "coverage": 0.0}
+        phases = {
+            "queue": ("serve.queue-wait",),
+            "retry": ("serve.retry-wait",),
+            "exec": ("serve.exec",),
+            "cache": ("serve.cache-probe", "serve.cache-store"),
+        }
+        root_children = [s for s in spans
+                         if s.get("parent_id") == job.root_span_id]
+        attribution = {
+            phase: sum(s["end"] - s["start"] for s in root_children
+                       if s["name"] in names)
+            for phase, names in phases.items()
+        }
+        attribution["other"] = max(
+            wall - sum(attribution.values()), 0.0)
+        handler_seconds = sum(s["end"] - s["start"] for s in spans
+                              if s["name"] == "serve.handler")
+        return {
+            **base,
+            "traced": True,
+            "trace_id": job.trace_id,
+            "root_span_id": job.root_span_id,
+            "handler_seconds": handler_seconds,
+            "attribution": attribution,
+            "coverage": coverage(root_children, job.submitted_wall,
+                                 end_wall) if root_children else 0.0,
+            "spans": spans,
+            "spans_dropped": job.spans_dropped,
+        }
+
+    def health(self) -> dict[str, Any]:
+        """Cheap liveness + degradation summary (the ``health`` verb)."""
+        reasons = [fact["reason"] for fact in self.service_facts()
+                   if fact.fact_type == "ServiceDegradedFact"]
+        return {
+            "status": "degraded" if reasons else "ok",
+            "uptime_s": (time.monotonic() - self._started_at)
+            if self._started_at else 0.0,
+            "workers": self.config.workers,
+            "workers_alive": self.pool.alive() if self.pool else 0,
+            "queue_depth": self.queue.depth(),
+            "reasons": reasons,
+        }
+
+    def metrics_rows(self) -> list[dict[str, Any]]:
+        """The service's always-on instruments as exposition rows, plus
+        the global :mod:`repro.observe` registry when collection is on."""
+        stats = self.stats()
+        rows = [
+            metric_row("gauge", "repro_serve_uptime_seconds",
+                       stats["uptime_s"],
+                       help_="Seconds since the service started."),
+            metric_row("gauge", "repro_serve_queue_depth",
+                       stats["queue"]["depth"],
+                       help_="Jobs currently queued (ready + delayed)."),
+            metric_row("gauge", "repro_serve_queue_bound",
+                       stats["queue"]["maxsize"]),
+            metric_row("counter", "repro_serve_queue_enqueued_total",
+                       stats["queue"]["enqueued"]),
+            metric_row("counter", "repro_serve_queue_rejected_total",
+                       stats["queue"]["rejected"],
+                       help_="Admissions refused by backpressure."),
+            metric_row("counter", "repro_serve_queue_retried_total",
+                       stats["queue"]["retried"]),
+            metric_row("gauge", "repro_serve_workers_alive",
+                       stats["workers"]["alive"]),
+            metric_row("gauge", "repro_serve_workers_configured",
+                       stats["workers"]["count"]),
+            metric_row("counter", "repro_serve_worker_respawns_total",
+                       stats["workers"]["respawns"],
+                       help_="Killed children and rebuilt executors."),
+            metric_row("counter", "repro_serve_jobs_submitted_total",
+                       stats["jobs"]["submitted"]),
+            metric_row("gauge", "repro_serve_jobs_in_flight",
+                       stats["jobs"]["in_flight"]),
+            metric_row("counter", "repro_serve_cache_hits_total",
+                       stats["cache"]["hits"]),
+            metric_row("counter", "repro_serve_cache_misses_total",
+                       stats["cache"]["misses"]),
+            metric_row("counter", "repro_serve_cache_evictions_total",
+                       stats["cache"]["evictions"]),
+            metric_row("gauge", "repro_serve_cache_entries",
+                       stats["cache"]["entries"]),
+            metric_row("gauge", "repro_serve_cache_hit_rate",
+                       stats["cache"]["hit_rate"]),
+        ]
+        for status, n in sorted(stats["jobs"]["by_status"].items()):
+            rows.append(metric_row(
+                "counter", "repro_serve_jobs_finished_total", n,
+                labels={"status": status},
+            ))
+        rows.append(metric_row(
+            "summary", "repro_serve_queue_wait_seconds",
+            summary=stats["queue_wait"],
+            help_="Seconds jobs wait before their first execution.",
+        ))
+        for kind, summary in stats["exec"].items():
+            rows.append(metric_row(
+                "summary", "repro_serve_exec_seconds",
+                summary=summary, labels={"kind": kind},
+            ))
+        if observe.enabled():
+            rows.extend(registry_rows(observe.get_tracer().metrics,
+                                      prefix="repro_observe_"))
+        return rows
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition (the ``metrics`` verb's payload);
+        relay with content type :data:`repro.observe.exposition.CONTENT_TYPE`.
+        """
+        return render_prometheus(self.metrics_rows())

@@ -24,11 +24,16 @@ from __future__ import annotations
 import concurrent.futures
 import multiprocessing
 import threading
+import time
 from typing import Any, Callable
 
+from ..observe.context import make_span, new_span_id
 from .jobs import JobQueue, TransientJobError
 
 __all__ = ["ExecutionTimeout", "WorkerPool"]
+
+#: How many handler-side spans one job may ship back over the pipe.
+MAX_CHILD_SPANS = 512
 
 
 class ExecutionTimeout(Exception):
@@ -42,20 +47,24 @@ class _ThreadVehicle:
                  name: str) -> None:
         self._runner = local_runner
         self._name = name
+        #: Executor rebuilds after timeouts (the worker-churn signal).
+        self.respawns = 0
         self._pool = concurrent.futures.ThreadPoolExecutor(
             max_workers=1, thread_name_prefix=f"{name}-exec"
         )
 
     def run(self, kind: str, params: dict[str, Any], attempt: int,
-            timeout: float | None) -> dict[str, Any]:
-        future = self._pool.submit(self._runner, kind, params, attempt,
-                                   self._name)
+            timeout: float | None, *, trace: dict | None = None,
+            span_sink: list | None = None) -> dict[str, Any]:
+        future = self._pool.submit(self._invoke, kind, params, attempt,
+                                   trace, span_sink)
         try:
             return future.result(timeout)
         except concurrent.futures.TimeoutError:
             # The runaway thread is abandoned (daemonic; parks until its
             # handler returns) and the slot rebuilt so this worker stays
             # responsive.
+            self.respawns += 1
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = concurrent.futures.ThreadPoolExecutor(
                 max_workers=1, thread_name_prefix=f"{self._name}-exec"
@@ -64,12 +73,87 @@ class _ThreadVehicle:
                 f"execution exceeded {timeout:.3f}s (thread mode)"
             ) from None
 
+    def _invoke(self, kind: str, params: dict[str, Any], attempt: int,
+                trace: dict | None, sink: list | None) -> dict[str, Any]:
+        if trace is None:
+            return self._runner(kind, params, attempt, self._name)
+        start = time.time()
+        status = "ok"
+        try:
+            return self._runner(kind, params, attempt, self._name)
+        except BaseException:
+            status = "error"
+            raise
+        finally:
+            if sink is not None:
+                sink.append(make_span(
+                    trace["trace_id"], "serve.handler",
+                    start, time.time(),
+                    parent_id=trace.get("parent_span_id"),
+                    process=self._name,
+                    kind=kind, attempt=attempt, status=status,
+                ))
+
     def close(self) -> None:
         self._pool.shutdown(wait=False, cancel_futures=True)
 
 
+def _tracer_timeline(tracer, trace: dict, process: str) -> list[dict]:
+    """Convert a child tracer's finished spans to cross-process timeline
+    spans: int ids → fresh hex ids, perf-counter offsets → the shared
+    wall clock (``tracer.epoch + offset``), roots → the exec span the
+    service created for this attempt.  Past :data:`MAX_CHILD_SPANS` the
+    longest spans win and dropped parents re-parent to the nearest kept
+    ancestor, so the shipped set never contains an orphan."""
+    records = tracer.finished()
+    dropped = 0
+    keep = records
+    if len(records) > MAX_CHILD_SPANS:
+        keep = sorted(records, key=lambda r: -r.wall)[:MAX_CHILD_SPANS]
+        dropped = len(records) - len(keep)
+    by_id = {r.span_id: r for r in records}
+    kept_ids = {r.span_id for r in keep}
+    hex_of = {r.span_id: new_span_id() for r in keep}
+    fallback_parent = trace.get("parent_span_id")
+
+    def parent_hex(record):
+        parent = record.parent_id
+        while parent is not None and parent not in kept_ids:
+            parent = by_id[parent].parent_id if parent in by_id else None
+        return hex_of[parent] if parent is not None else fallback_parent
+
+    spans: list[dict] = []
+    for r in keep:
+        start = tracer.epoch + r.start
+        span = make_span(
+            trace["trace_id"], r.name, start, start + r.wall,
+            parent_id=parent_hex(r), process=process,
+            span_id=hex_of[r.span_id],
+            cpu_ms=round(r.cpu * 1e3, 3), status=r.status,
+        )
+        if r.error:
+            span["attrs"]["error"] = r.error
+        for key, value in r.attributes.items():
+            if key not in span["attrs"] and (
+                    value is None or isinstance(value, (str, int, float,
+                                                        bool))):
+                span["attrs"][key] = value
+        spans.append(span)
+    if dropped and spans:
+        spans[0]["attrs"]["dropped_spans"] = dropped
+    return spans
+
+
 def _process_worker_main(conn, db_path: str, name: str) -> None:
-    """Child-process loop: open own connections, run handlers, reply."""
+    """Child-process loop: open own connections, run handlers, reply.
+
+    A message carrying a trace context (4th element) makes the child run
+    a real, fresh :class:`~repro.observe.tracer.Tracer` around the
+    handler — the resulting spans ship back as the reply's 4th element
+    and stitch under the service's exec span.  The pre-trace 3-tuple
+    wire shapes stay accepted in both directions.
+    """
+    from .. import observe
     from ..perfdmf import PerfDMF
     from .handlers import JobContext, resolve_kind
 
@@ -80,7 +164,10 @@ def _process_worker_main(conn, db_path: str, name: str) -> None:
             msg = conn.recv()
             if msg is None:
                 break
-            kind_name, params, attempt = msg
+            kind_name, params, attempt = msg[0], msg[1], msg[2]
+            trace = msg[3] if len(msg) > 3 else None
+            tracer = observe.enable(fresh=True) if trace else None
+            status, payload, reason = "ok", None, None
             try:
                 kind = resolve_kind(kind_name)
                 _, writes = kind.effective_flags(params)
@@ -92,16 +179,25 @@ def _process_worker_main(conn, db_path: str, name: str) -> None:
                     if db_ro is None:
                         db_ro = PerfDMF(db_path, read_only=True)
                     db = db_ro
-                result = kind.run(
-                    JobContext(db=db, worker=name, attempt=attempt), params
-                )
-                conn.send(("ok", result, None))
+                ctx = JobContext(db=db, worker=name, attempt=attempt)
+                if tracer is not None:
+                    with tracer.span("serve.handler", kind=kind_name,
+                                     attempt=attempt):
+                        payload = kind.run(ctx, params)
+                else:
+                    payload = kind.run(ctx, params)
             except TransientJobError as exc:
-                conn.send(("transient", str(exc),
-                           getattr(exc, "reason", None)))
+                status, payload = "transient", str(exc)
+                reason = getattr(exc, "reason", None)
             except BaseException as exc:  # noqa: BLE001 - reported upstream
-                conn.send(("error", f"{type(exc).__name__}: {exc}",
-                           getattr(exc, "reason", None)))
+                status, payload = "error", f"{type(exc).__name__}: {exc}"
+                reason = getattr(exc, "reason", None)
+            if tracer is not None:
+                spans = _tracer_timeline(tracer, trace, name)
+                observe.disable()
+                conn.send((status, payload, reason, spans))
+            else:
+                conn.send((status, payload, reason))
     except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown
         pass
     finally:
@@ -145,9 +241,13 @@ class _ProcessVehicle:
         )
         self._proc = None
         self._conn = None
+        #: Child processes re-forked after a kill or crash.
+        self.respawns = 0
         self._spawn()
 
     def _spawn(self) -> None:
+        if self._proc is not None:
+            self.respawns += 1
         self._conn, child_conn = self._ctx.Pipe()
         self._proc = self._ctx.Process(
             target=_process_worker_main,
@@ -159,10 +259,11 @@ class _ProcessVehicle:
         child_conn.close()
 
     def run(self, kind: str, params: dict[str, Any], attempt: int,
-            timeout: float | None) -> dict[str, Any]:
+            timeout: float | None, *, trace: dict | None = None,
+            span_sink: list | None = None) -> dict[str, Any]:
         if self._proc is None or not self._proc.is_alive():
             self._spawn()
-        self._conn.send((kind, params, attempt))
+        self._conn.send((kind, params, attempt, trace))
         if not self._conn.poll(timeout):
             self._kill()
             self._spawn()
@@ -179,6 +280,8 @@ class _ProcessVehicle:
         # (status, payload) pre-reason wire shape still accepted.
         status, payload = msg[0], msg[1]
         reason = msg[2] if len(msg) > 2 else None
+        if len(msg) > 3 and msg[3] and span_sink is not None:
+            span_sink.extend(msg[3])
         if status == "ok":
             return payload
         if status == "transient":
@@ -249,6 +352,7 @@ class WorkerPool:
         self._db_path = db_path
         self._name_prefix = name_prefix
         self._threads: list[threading.Thread] = []
+        self._vehicles: list = []
         self._started = False
 
     def start(self) -> None:
@@ -265,6 +369,7 @@ class WorkerPool:
         for i in range(self.workers):
             name = f"{self._name_prefix}-{i}"
             vehicle = self._make_vehicle(name)
+            self._vehicles.append(vehicle)
             t = threading.Thread(
                 target=self._worker_loop, args=(name, vehicle),
                 name=name, daemon=True,
@@ -284,10 +389,11 @@ class WorkerPool:
                 if job is None:
                     return
 
-                def run(timeout, _job=job):
+                def run(timeout, trace=None, span_sink=None, _job=job):
                     return vehicle.run(
                         _job.spec.kind, _job.spec.params,
                         _job.attempts, timeout,
+                        trace=trace, span_sink=span_sink,
                     )
 
                 job.worker = name
@@ -305,3 +411,8 @@ class WorkerPool:
 
     def alive(self) -> int:
         return sum(t.is_alive() for t in self._threads)
+
+    def respawns(self) -> int:
+        """Vehicle respawns across the pool (killed children, rebuilt
+        executors) — the worker-churn trend input."""
+        return sum(getattr(v, "respawns", 0) for v in self._vehicles)

@@ -32,12 +32,15 @@ def run_experiment(
     max_in_flight: int = 8,
     case_retries: int = 1,
     analyze: bool = True,
+    trace: bool = False,
     progress: Callable[[str], None] | None = None,
 ) -> ExperimentResult:
     """Expand ``spec`` and drive it to completion over a private service.
 
     Resumable like any orchestrator run: state lives in ``db_path``, so
-    calling this again with the same spec skips terminal cases.
+    calling this again with the same spec skips terminal cases.  With
+    ``trace=True`` the result carries the run's stitched distributed
+    trace (``result.export_trace(path)``).
     """
     from ..serve import AnalysisService, Client
 
@@ -50,6 +53,7 @@ def run_experiment(
             max_in_flight=max_in_flight,
             case_retries=case_retries,
             analyze=analyze,
+            trace=trace,
             progress=progress,
         )
         return orchestrator.run()

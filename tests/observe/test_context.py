@@ -1,0 +1,99 @@
+"""Trace-context identities and timeline-span helpers."""
+
+import pytest
+
+from repro.observe.context import (
+    TraceContext,
+    coverage,
+    make_span,
+    new_span_id,
+    new_trace_id,
+    orphan_spans,
+)
+
+TID = "ab" * 16
+SID = "cd" * 8
+
+
+class TestIds:
+    def test_shapes(self):
+        assert len(new_trace_id()) == 32
+        assert len(new_span_id()) == 16
+        int(new_trace_id(), 16)  # hex
+
+    def test_mint_is_unique(self):
+        assert new_trace_id() != new_trace_id()
+
+
+class TestTraceContext:
+    def test_validation_rejects_bad_hex(self):
+        with pytest.raises(ValueError):
+            TraceContext("xyz")
+        with pytest.raises(ValueError):
+            TraceContext(TID, "short")
+
+    def test_child_reparents(self):
+        child = TraceContext(TID).child(SID)
+        assert child.trace_id == TID
+        assert child.parent_span_id == SID
+
+    def test_traceparent_format(self):
+        assert TraceContext(TID, SID).to_traceparent() == \
+            f"00-{TID}-{SID}-01"
+        # Rootless contexts use the all-zero parent field.
+        assert "0" * 16 in TraceContext(TID).to_traceparent()
+
+    def test_from_wire_accepts_dict_string_and_context(self):
+        ctx = TraceContext(TID, SID)
+        assert TraceContext.from_wire(ctx) is ctx
+        assert TraceContext.from_wire(ctx.to_wire()) == ctx
+        assert TraceContext.from_wire(ctx.to_traceparent()) == ctx
+
+    def test_from_wire_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            TraceContext.from_wire(42)
+        with pytest.raises(ValueError):
+            TraceContext.from_wire({"nope": 1})
+
+
+class TestMakeSpan:
+    def test_attrs_and_clamping(self):
+        span = make_span(TID, "x", 10.0, 9.0, process="svc", kind="sleep")
+        assert span["end"] == 10.0  # end never precedes start
+        assert span["attrs"] == {"kind": "sleep"}
+        assert len(span["span_id"]) == 16
+
+    def test_explicit_span_id_kept(self):
+        span = make_span(TID, "x", 0.0, 1.0, span_id=SID + "00" * 4)
+        assert span["span_id"] == SID + "00" * 4
+
+
+class TestCoverage:
+    def test_empty_is_zero(self):
+        assert coverage([], 0.0, 10.0) == 0.0
+
+    def test_disjoint_sums(self):
+        spans = [make_span(TID, "a", 1.0, 3.0),
+                 make_span(TID, "b", 5.0, 7.0)]
+        assert coverage(spans, 0.0, 10.0) == pytest.approx(0.4)
+
+    def test_overlap_not_double_counted(self):
+        spans = [make_span(TID, "a", 0.0, 10.0),
+                 make_span(TID, "b", 2.0, 8.0)]
+        assert coverage(spans, 0.0, 10.0) == pytest.approx(1.0)
+
+    def test_clipped_to_window(self):
+        spans = [make_span(TID, "a", -5.0, 15.0)]
+        assert coverage(spans, 0.0, 10.0) == pytest.approx(1.0)
+
+
+class TestOrphans:
+    def test_connected_set_has_none(self):
+        root = make_span(TID, "root", 0.0, 1.0)
+        child = make_span(TID, "child", 0.2, 0.8,
+                          parent_id=root["span_id"])
+        assert orphan_spans([root, child]) == []
+
+    def test_missing_parent_is_flagged(self):
+        lone = make_span(TID, "x", 0.0, 1.0, parent_id="f" * 16)
+        assert orphan_spans([lone]) == [lone]

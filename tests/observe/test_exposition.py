@@ -1,0 +1,94 @@
+"""Prometheus text exposition of the metrics registry."""
+
+import pytest
+
+from repro.observe import MetricsRegistry
+from repro.observe.exposition import (
+    CONTENT_TYPE,
+    metric_row,
+    registry_rows,
+    render_prometheus,
+    sanitize_metric_name,
+)
+
+
+class TestSanitize:
+    def test_invalid_chars_become_underscores(self):
+        assert sanitize_metric_name("serve.queue-wait") == \
+            "serve_queue_wait"
+
+    def test_leading_digit_is_prefixed(self):
+        assert sanitize_metric_name("9lives").startswith("_")
+
+    def test_valid_names_pass_through(self):
+        assert sanitize_metric_name("repro_serve_jobs_total") == \
+            "repro_serve_jobs_total"
+
+
+class TestMetricRow:
+    def test_rejects_unknown_type(self):
+        with pytest.raises(ValueError):
+            metric_row("timer", "x", 1.0)
+
+    def test_counter_requires_value(self):
+        with pytest.raises(ValueError):
+            metric_row("counter", "x")
+
+
+class TestRenderPrometheus:
+    def test_type_and_help_once_per_family(self):
+        rows = [
+            metric_row("counter", "jobs_total", 3,
+                       labels={"status": "done"}, help_="Finished jobs."),
+            metric_row("counter", "jobs_total", 1,
+                       labels={"status": "failed"}, help_="Finished jobs."),
+        ]
+        text = render_prometheus(rows)
+        assert text.count("# TYPE jobs_total counter") == 1
+        assert text.count("# HELP jobs_total") == 1
+        assert 'jobs_total{status="done"} 3' in text
+        assert 'jobs_total{status="failed"} 1' in text
+        assert text.endswith("\n")
+
+    def test_label_values_escaped(self):
+        text = render_prometheus(
+            [metric_row("gauge", "g", 1.0,
+                        labels={"path": 'a"b\\c\nd'})])
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+
+    def test_summary_emits_quantiles_sum_count(self):
+        text = render_prometheus([metric_row(
+            "summary", "wait_seconds",
+            summary={"count": 4, "sum": 2.0, "p50": 0.4, "p90": 0.8,
+                     "p95": 0.9, "p99": 1.0},
+        )])
+        assert 'wait_seconds{quantile="0.5"} 0.4' in text
+        assert 'wait_seconds{quantile="0.95"} 0.9' in text
+        assert "wait_seconds_sum 2" in text
+        assert "wait_seconds_count 4" in text
+
+    def test_integral_floats_render_bare(self):
+        text = render_prometheus([metric_row("gauge", "g", 4.0)])
+        assert "g 4\n" in text
+
+    def test_content_type_is_prometheus_v004(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+
+
+class TestRegistryRows:
+    def test_counters_gauges_histograms_map_over(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.jobs").inc(5)
+        registry.gauge("serve.depth").set(2)
+        hist = registry.histogram("serve.wait")
+        for v in (0.1, 0.2, 0.3):
+            hist.observe(v)
+        rows = registry_rows(registry, prefix="repro_")
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["repro_serve_jobs"]["type"] == "counter"
+        assert by_name["repro_serve_jobs"]["value"] == 5
+        assert by_name["repro_serve_depth"]["type"] == "gauge"
+        summary = by_name["repro_serve_wait"]["summary"]
+        assert summary["count"] == 3
+        text = render_prometheus(rows)
+        assert "# TYPE repro_serve_wait summary" in text

@@ -1,0 +1,279 @@
+"""Distributed tracing across the fleet: context propagation, span
+stitching, job-latency explanation, and the observability CLI verbs.
+
+The load-bearing test is cross-process stitching: a job run by a
+*process* vehicle must come back as one connected timeline — client
+trace id preserved, worker handler spans parented under the service's
+exec span, no orphans, and the phases covering ≥95 % of the job's wall
+time (the acceptance gate for ``serve explain-job``).
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from .conftest import DIAG, make_trial
+from repro import cli
+from repro.observe.context import (
+    TraceContext,
+    coverage,
+    make_span,
+    orphan_spans,
+)
+from repro.serve import (
+    AnalysisService,
+    Client,
+    ServeServer,
+    SocketClient,
+)
+from repro.serve.workers import _ThreadVehicle
+
+
+@pytest.fixture
+def process_served(tmp_path):
+    """Process-mode service (file db) behind a unix socket."""
+    db = str(tmp_path / "perf.db")
+    svc = AnalysisService(db_path=db, workers=2, mode="process",
+                          default_timeout=15.0).start()
+    svc.db.save_trial("App", "Exp", make_trial("t1"))
+    svc.db.save_trial("App", "Exp", make_trial("t2", skew=6.0))
+    server = ServeServer(svc, f"unix:{tmp_path / 'serve.sock'}").start()
+    yield svc, server
+    server.stop()
+    svc.stop()
+
+
+class TestCrossProcessStitching:
+    def test_diagnose_job_is_one_connected_timeline(self, process_served,
+                                                    tmp_path):
+        svc, server = process_served
+        with SocketClient(server.endpoint) as client:
+            job = client.run("diagnose", DIAG, wait_timeout=60.0)
+            assert job["status"] == "done"
+            assert job["trace_id"]
+            explain = client.explain_job(job["id"])
+
+        assert explain["traced"]
+        spans = explain["spans"]
+        assert spans, "no spans stitched"
+        # One trace: every span carries the job's trace id.
+        assert {s["trace_id"] for s in spans} == {job["trace_id"]}
+        # Connected: no span references a parent outside the set.
+        assert orphan_spans(spans) == []
+        # Cross-process: the worker's handler span made it back.
+        assert any(s["name"] == "serve.handler" for s in spans)
+        assert any(s["process"].startswith("worker") for s in spans)
+        # The phases explain (nearly) all of the job's wall time.
+        assert explain["coverage"] >= 0.95
+        assert explain["attribution"]["exec"] > 0
+
+        # And the timeline exports as a loadable Chrome trace.
+        from repro.observe.export import write_timeline_chrome
+
+        out = tmp_path / "job.json"
+        write_timeline_chrome(spans, out)
+        events = json.loads(out.read_text())["traceEvents"]
+        assert sum(e.get("ph") == "X" for e in events) == len(spans)
+
+    def test_handler_span_parents_under_exec_span(self, process_served):
+        svc, server = process_served
+        with SocketClient(server.endpoint) as client:
+            job = client.run("sleep", {"seconds": 0.01}, wait_timeout=30.0)
+            spans = client.explain_job(job["id"])["spans"]
+        by_name = {s["name"]: s for s in spans}
+        exec_span = by_name["serve.exec"]
+        handler = by_name["serve.handler"]
+        assert handler["parent_id"] == exec_span["span_id"]
+        assert exec_span["parent_id"] == by_name["serve.job"]["span_id"]
+
+    def test_transitions_carry_span_ids(self, process_served):
+        svc, server = process_served
+        with SocketClient(server.endpoint) as client:
+            job = client.run("sleep", {"seconds": 0.01}, wait_timeout=30.0)
+        statuses = [t["status"] for t in job["transitions"]]
+        assert statuses == ["queued", "running", "done"]
+        assert all(t["span_id"] for t in job["transitions"])
+        # queued/done anchor to the root span; running to the exec span.
+        assert job["transitions"][0]["span_id"] == job["root_span_id"]
+        assert job["transitions"][1]["span_id"] != job["root_span_id"]
+
+
+HEX32 = st.text("0123456789abcdef", min_size=32, max_size=32)
+# The all-zero span id is the W3C "no parent" sentinel, so it cannot
+# round-trip through a traceparent header (see test_all_zero_parent_
+# means_root); keep it out of the random parent pool.
+HEX16 = st.text("0123456789abcdef", min_size=16, max_size=16).filter(
+    lambda s: s != "0" * 16)
+
+
+class TestTraceContextRoundTrip:
+    @given(trace_id=HEX32, parent=st.none() | HEX16)
+    @settings(max_examples=60, deadline=None)
+    def test_wire_round_trip(self, trace_id, parent):
+        ctx = TraceContext(trace_id, parent)
+        assert TraceContext.from_wire(ctx.to_wire()) == ctx
+        assert TraceContext.from_traceparent(ctx.to_traceparent()) == \
+            TraceContext(trace_id, parent)
+
+    @given(trace_id=HEX32, parent=HEX16)
+    @settings(max_examples=20, deadline=None)
+    def test_traceparent_string_accepted_on_the_wire(self, trace_id,
+                                                     parent):
+        ctx = TraceContext.from_wire(f"00-{trace_id}-{parent}-01")
+        assert ctx.trace_id == trace_id
+        assert ctx.parent_span_id == parent
+
+    @given(st.text(max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_garbage_never_half_parses(self, text):
+        try:
+            ctx = TraceContext.from_traceparent(text)
+        except ValueError:
+            return
+        assert len(ctx.trace_id) == 32
+
+    def test_all_zero_parent_means_root(self):
+        ctx = TraceContext.from_traceparent(
+            "00-" + "ab" * 16 + "-" + "0" * 16 + "-01")
+        assert ctx.parent_span_id is None
+
+
+class TestClientTracePropagation:
+    def test_client_supplied_context_lands_on_the_job(self, process_served):
+        svc, server = process_served
+        ctx = TraceContext.mint()
+        with SocketClient(server.endpoint) as client:
+            job = client.run("sleep", {"seconds": 0}, wait_timeout=30.0,
+                             trace=ctx.to_traceparent())
+            spans = client.explain_job(job["id"])["spans"]
+        assert job["trace_id"] == ctx.trace_id
+        root = next(s for s in spans if s["name"] == "serve.job")
+        assert root["parent_id"] == ctx.parent_span_id
+
+    def test_submit_many_mints_one_trace_per_entry(self, process_served):
+        svc, server = process_served
+        with SocketClient(server.endpoint) as client:
+            jobs = client.submit_many(
+                [{"kind": "sleep", "params": {"seconds": 0}}
+                 for _ in range(3)])
+            for job in jobs:
+                client.wait(job["id"], timeout=30.0)
+        trace_ids = [j["trace_id"] for j in jobs]
+        assert len(set(trace_ids)) == 3
+
+    def test_tracing_off_leaves_jobs_untraced(self):
+        svc = AnalysisService(workers=1, tracing=False,
+                              default_timeout=10.0).start()
+        try:
+            client = Client(svc)
+            job = client.run("sleep", {"seconds": 0}, wait_timeout=10.0)
+            assert job["trace_id"] is None
+            explain = client.explain_job(job["id"])
+        finally:
+            svc.stop()
+        assert explain["traced"] is False
+        assert explain["spans"] == []
+
+
+class TestThreadVehicleSpans:
+    @staticmethod
+    def _runner(kind, params, attempt, worker):
+        return {"ok": True}
+
+    def test_span_sink_receives_handler_span(self):
+        vehicle = _ThreadVehicle(self._runner, "worker-0")
+        try:
+            sink = []
+            trace = {"trace_id": "ab" * 16, "parent_span_id": "cd" * 8}
+            out = vehicle.run("x", {}, 1, 5.0, trace=trace, span_sink=sink)
+            assert out == {"ok": True}
+        finally:
+            vehicle.close()
+        (span,) = [s for s in sink if s["name"] == "serve.handler"]
+        assert span["trace_id"] == trace["trace_id"]
+        assert span["parent_id"] == trace["parent_span_id"]
+        assert span["attrs"]["status"] == "ok"
+
+    def test_untraced_run_appends_nothing(self):
+        vehicle = _ThreadVehicle(self._runner, "worker-0")
+        try:
+            sink = []
+            vehicle.run("x", {}, 1, 5.0, span_sink=sink)
+        finally:
+            vehicle.close()
+        assert sink == []
+
+
+class TestSpanHelpers:
+    def test_coverage_merges_overlaps(self):
+        spans = [make_span("ab" * 16, "a", 0.0, 6.0),
+                 make_span("ab" * 16, "b", 4.0, 8.0)]
+        assert coverage(spans, 0.0, 10.0) == pytest.approx(0.8)
+
+    def test_orphans_detected(self):
+        root = make_span("ab" * 16, "root", 0.0, 1.0)
+        child = make_span("ab" * 16, "child", 0.0, 1.0,
+                          parent_id="f" * 16)
+        assert orphan_spans([root, child]) == [child]
+
+
+class TestObservabilityCli:
+    def _ep(self, served):
+        return served[1].endpoint
+
+    def test_explain_job_prints_attribution(self, process_served, capsys,
+                                            tmp_path):
+        with SocketClient(self._ep(process_served)) as client:
+            job = client.run("sleep", {"seconds": 0.01}, wait_timeout=30.0)
+        chrome = tmp_path / "job-trace.json"
+        rc = cli.main(["serve", "explain-job",
+                       "--endpoint", self._ep(process_served),
+                       str(job["id"]), "--chrome", str(chrome)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "exec" in out and "queue" in out
+        assert "coverage" in out
+        assert json.loads(chrome.read_text())["traceEvents"]
+
+    def test_metrics_verb_emits_prometheus_text(self, process_served,
+                                                capsys):
+        with SocketClient(self._ep(process_served)) as client:
+            client.run("sleep", {"seconds": 0}, wait_timeout=30.0)
+        rc = cli.main(["serve", "metrics",
+                       "--endpoint", self._ep(process_served)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "# TYPE repro_serve_uptime_seconds gauge" in out
+        assert "repro_serve_jobs_submitted_total" in out
+        assert "repro_serve_queue_wait_seconds_count" in out
+
+    def test_health_verb(self, process_served, capsys):
+        rc = cli.main(["serve", "health",
+                       "--endpoint", self._ep(process_served),
+                       "--compact"])
+        health = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert health["status"] == "ok"
+        assert health["workers_alive"] == 2
+        assert health["uptime_s"] > 0
+
+    def test_stats_watch_prints_bounded_frames(self, process_served,
+                                               capsys):
+        rc = cli.main(["serve", "stats",
+                       "--endpoint", self._ep(process_served),
+                       "--compact", "--watch", "0.01", "--iterations", "3"])
+        out = capsys.readouterr().out
+        frames = [json.loads(line) for line in out.splitlines() if line]
+        assert rc == 0
+        assert len(frames) == 3
+        assert all("uptime_s" in f for f in frames)
+
+    def test_top_once(self, process_served, capsys):
+        rc = cli.main(["serve", "top",
+                       "--endpoint", self._ep(process_served), "--once"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "repro-perf serve" in out
+        assert "queue" in out and "cache" in out
