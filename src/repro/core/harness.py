@@ -71,17 +71,21 @@ def _resolve_rules(source) -> list[Rule]:
 class RuleHarness:
     """Holds a rule engine plus the convenience entry points scripts use."""
 
-    def __init__(self, rules=None, *, echo: bool = False) -> None:
-        self.engine = RuleEngine(echo=echo)
+    def __init__(
+        self, rules=None, *, echo: bool = False, indexing: bool = True
+    ) -> None:
+        self.engine = RuleEngine(echo=echo, indexing=indexing)
         if rules is not None:
             self.engine.add_rules(_resolve_rules(rules))
 
     # -- the paper's API --------------------------------------------------
     @classmethod
-    def useGlobalRules(cls, rules, *, echo: bool = False) -> "RuleHarness":
+    def useGlobalRules(
+        cls, rules, *, echo: bool = False, indexing: bool = True
+    ) -> "RuleHarness":
         """Create and install the process-global harness (Fig. 1, line 1)."""
         global _global_harness
-        _global_harness = cls(rules, echo=echo)
+        _global_harness = cls(rules, echo=echo, indexing=indexing)
         return _global_harness
 
     @classmethod
@@ -106,8 +110,8 @@ class RuleHarness:
         return self.engine.assert_fact(fact)
 
     def assertObjects(self, facts: Iterable[Fact]) -> None:
-        for f in facts:
-            self.engine.assert_fact(f)
+        """Bulk assert (batched: one working-memory insert pass)."""
+        self.engine.assert_facts(facts)
 
     def processRules(self) -> int:
         """Fire until quiescent; returns number of firings."""

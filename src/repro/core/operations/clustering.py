@@ -57,8 +57,12 @@ def kmeans(
         closest_sq = np.minimum(closest_sq, dist_sq)
 
     labels = np.zeros(n, dtype=int)
+    # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2; the ||x||^2 term is constant
+    # per row so the argmin only needs the cross and centroid terms.  This
+    # keeps the iteration at an (n, k) matmul instead of materializing the
+    # (n, k, d) difference cube.
     for _ in range(max_iter):
-        dists = ((data[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        dists = (centroids**2).sum(axis=1) - 2.0 * (data @ centroids.T)
         new_labels = dists.argmin(axis=1)
         if (new_labels == labels).all() and _ > 0:
             break

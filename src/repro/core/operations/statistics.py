@@ -44,38 +44,42 @@ class BasicStatisticsOperation(PerformanceAnalysisOperation):
     """Reduce across threads; returns [mean, stddev, min, max, total]."""
 
     def process_data(self) -> list[PerformanceResult]:
+        self.outputs = [self._reduce(stat) for stat in STAT_ORDER]
+        return self.outputs
+
+    def _reduce(self, stat: str) -> PerformanceResult:
         src = self.inputs[0]
-        outputs = []
-        for stat in STAT_ORDER:
-            reduce = _REDUCERS[stat]
-            builder = PerformanceResult.like(
-                src, name=f"{src.name}:{stat}", n_threads=1
+        reduce = _REDUCERS[stat]
+        builder = PerformanceResult.like(
+            src, name=f"{src.name}:{stat}", n_threads=1
+        )
+        for metric in src.metrics:
+            builder.set_metric(
+                metric,
+                reduce(src.exclusive(metric)),
+                reduce(src.inclusive(metric)),
             )
-            for metric in src.metrics:
-                builder.set_metric(
-                    metric,
-                    reduce(src.exclusive(metric)),
-                    reduce(src.inclusive(metric)),
-                )
-            builder.set_calls(reduce(src.calls()))
-            outputs.append(builder.build())
-        self.outputs = outputs
-        return outputs
+        builder.set_calls(reduce(src.calls()))
+        return builder.build()
+
+    def _single(self, stat: str) -> PerformanceResult:
+        # Single-statistic accessors reduce just their own statistic: the
+        # mean of a 10k-thread trial shouldn't pay for stddev/min/max/total.
+        if self.outputs:
+            return self.outputs[STAT_ORDER.index(stat)]
+        cache = self.__dict__.setdefault("_single_cache", {})
+        if stat not in cache:
+            cache[stat] = self._reduce(stat)
+        return cache[stat]
 
     def mean(self) -> PerformanceResult:
-        if not self.outputs:
-            self.process_data()
-        return self.outputs[STAT_ORDER.index(STAT_MEAN)]
+        return self._single(STAT_MEAN)
 
     def stddev(self) -> PerformanceResult:
-        if not self.outputs:
-            self.process_data()
-        return self.outputs[STAT_ORDER.index(STAT_STDDEV)]
+        return self._single(STAT_STDDEV)
 
     def total(self) -> PerformanceResult:
-        if not self.outputs:
-            self.process_data()
-        return self.outputs[STAT_ORDER.index(STAT_TOTAL)]
+        return self._single(STAT_TOTAL)
 
 
 class RatioOperation(PerformanceAnalysisOperation):

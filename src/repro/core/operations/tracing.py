@@ -33,11 +33,11 @@ from typing import Sequence
 import numpy as np
 
 from ... import observe
-from ...machine import Machine
+from ...machine import CounterVector, Machine
 from ...machine import counters as C
 from ...perfdmf import Trial
 from ...runtime import trace as T
-from ...runtime.tau import Profiler
+from ...runtime.tau import Profiler, _CPUState
 from ..result import AnalysisError, PerformanceResult, trial_result
 from .base import _ResultList
 
@@ -67,7 +67,28 @@ def replay_trace(
     Only region events (enter/exit/charge/calls) drive the replay; MPI and
     OpenMP events are derived views of the same activity and are skipped.
     Requires the trace to have been recorded with ``record_charges=True``.
+
+    Flat (non-callpath) replay of a well-formed trace runs through a
+    columnar kernel that pairs region instances and folds charge vectors
+    straight out of the trace's struct-of-arrays storage; per-counter
+    summation order matches the event-by-event profiler exactly, so the
+    bitwise-reproduction guarantee is preserved (asserted by
+    ``tests/runtime/test_trace_consistency.py``).  Callpath mode and traces
+    the kernel cannot prove well-formed fall back to the event-by-event
+    replay, which also produces the exact diagnostic errors for malformed
+    input.
     """
+    if not callpaths and isinstance(trace, T.EventTrace):
+        prof = _replay_columnar(trace, machine)
+        if prof is not None:
+            return prof
+    return _replay_eventwise(trace, machine, callpaths=callpaths)
+
+
+def _replay_eventwise(
+    trace: T.EventTrace, machine: Machine, *, callpaths: bool = False
+) -> Profiler:
+    """Reference replay: drive a fresh profiler one event at a time."""
     prof = Profiler(machine, callpaths=callpaths)
     for ev in trace.events:
         if ev.kind == T.ENTER:
@@ -88,7 +109,327 @@ def replay_trace(
     return prof
 
 
+def _vec(values: dict[str, float]) -> CounterVector:
+    """CounterVector from an already-filtered {counter: nonzero} dict."""
+    v = CounterVector()
+    v._values = values
+    return v
+
+
+def _replay_columnar(trace: T.EventTrace, machine: Machine) -> Profiler | None:
+    """Vectorized flat replay over the trace's columnar storage.
+
+    Returns None whenever the trace is not provably well-formed (unbalanced
+    or misnamed regions, charges outside a region, missing charge vectors,
+    out-of-range CPUs, calls to unregistered events) — the caller then
+    re-runs the event-by-event replay, which either handles the case or
+    raises the canonical error.
+
+    Bitwise equivalence with the reference replay rests on two facts about
+    the profiler's accounting: (1) every accumulator is a left-fold of
+    Python-float additions in a fixed order (chronological per CPU for
+    exclusive/clock, per region instance then exit order for inclusive),
+    which CPython's ``sum`` over a list slice reproduces exactly (``0.0 +
+    x == x`` bit-for-bit because :class:`CounterVector` never stores
+    ``-0.0``); and (2) numpy is used only for *structure* — pairing,
+    depths, grouping — never for float accumulation, whose pairwise
+    reductions would reorder the fold.
+    """
+    cols = trace.columns()
+    kind_col = cols["kind"]
+    cpu_col = cols["cpu"]
+    nid_col = cols["name_id"]
+    attrs_col = trace.attrs_column()
+    names = trace.name_table()
+
+    K_ENTER = T.KIND_CODES[T.ENTER]
+    K_EXIT = T.KIND_CODES[T.EXIT]
+    K_CHARGE = T.KIND_CODES[T.CHARGE]
+    K_CALLS = T.KIND_CODES[T.CALLS]
+
+    region_mask = (
+        (kind_col == K_ENTER) | (kind_col == K_EXIT)
+        | (kind_col == K_CHARGE) | (kind_col == K_CALLS)
+    )
+    prof = Profiler(machine)
+    rows = np.nonzero(region_mask)[0]
+    if not len(rows):
+        return prof
+    rcpu = cpu_col[rows]
+    if int(rcpu.min()) < 0 or int(rcpu.max()) >= machine.n_cpus:
+        return None
+    if not trace.charges_fully_recorded:
+        return None  # record_charges=False → canonical AnalysisError
+    # Group rows by cpu once (stable sort keeps emit order within a cpu)
+    # so the per-cpu passes slice instead of re-masking the whole trace.
+    order_r = np.argsort(rcpu, kind="stable")
+    rows_sorted = rows[order_r]
+    rcpu_sorted = rcpu[order_r]
+    charge_by_cpu = {}
+    for m, (crows, cvarr) in trace.charge_columns().items():
+        corder = np.argsort(cpu_col[crows], kind="stable")
+        charge_by_cpu[m] = (
+            cpu_col[crows][corder], crows[corder], cvarr[corder]
+        )
+
+    # Global event registration order: first ENTER of each name, in trace
+    # order (what _register_event would have produced).
+    enter_rows = rows[kind_col[rows] == K_ENTER]
+    enter_nids = nid_col[enter_rows]
+    first_enter_row: dict[int, int] = {}
+    order_nids, first_pos = np.unique(enter_nids, return_index=True)
+    for nid, pos in zip(order_nids.tolist(), first_pos.tolist()):
+        first_enter_row[nid] = int(enter_rows[pos])
+    for nid, row in sorted(first_enter_row.items(), key=lambda kv: kv[1]):
+        a = attrs_col[row]
+        group = a.get("group", "TAU_DEFAULT") if a else "TAU_DEFAULT"
+        prof._register_event(names[nid], group)
+
+    # CALLS validation: the event must have been registered (first ENTER
+    # anywhere) before the CALLS event, and counts must be non-negative.
+    calls_rows = rows[kind_col[rows] == K_CALLS]
+    for row in calls_rows.tolist():
+        first = first_enter_row.get(int(nid_col[row]))
+        if first is None or first > row:
+            return None
+        a = attrs_col[row]
+        if a is not None and a.get("count", 0.0) < 0:
+            return None
+
+    exclusive: dict[tuple[str, int], CounterVector] = {}
+    inclusive: dict[tuple[str, int], CounterVector] = {}
+    calls: dict[tuple[str, int], float] = {}
+    subrs: dict[tuple[str, int], float] = {}
+    edges: set[tuple[str, str]] = set()
+    n_names = len(names)
+
+    for cpu in np.unique(rcpu_sorted).tolist():
+        r_lo = int(np.searchsorted(rcpu_sorted, cpu, side="left"))
+        r_hi = int(np.searchsorted(rcpu_sorted, cpu, side="right"))
+        gsel = rows_sorted[r_lo:r_hi]  # this CPU's region rows, trace order
+        k = kind_col[gsel]
+        n = nid_col[gsel]
+        delta = (k == K_ENTER).astype(np.int64) - (k == K_EXIT)
+        depth_after = np.cumsum(delta)
+        if int(depth_after.min()) < 0:
+            return None  # exit with empty stack somewhere
+        depth_before = depth_after - delta
+        enters = np.nonzero(k == K_ENTER)[0]
+        exits = np.nonzero(k == K_EXIT)[0]
+        charges = np.nonzero(k == K_CHARGE)[0]
+        if len(charges) and int(depth_before[charges].min()) == 0:
+            return None  # charge outside any region
+        if len(enters) != len(exits):
+            return None  # regions left open: to_trial must see the stacks
+
+        # Pair region instances per nesting level.  At one level, enters
+        # and exits strictly alternate (e1 x1 e2 x2 ...) in a well-formed
+        # trace, so pairing by order is exactly stack pairing.
+        enter_depth = depth_before[enters]
+        exit_depth = depth_before[exits]
+        e_parts: list[np.ndarray] = []
+        x_parts: list[np.ndarray] = []
+        enters_at: dict[int, np.ndarray] = {}
+        # nesting depths are contiguous: an enter at depth d needs an open
+        # region at depth d-1
+        depths = list(range(int(enter_depth.max()) + 1)) if len(enters) else []
+        for d in depths:
+            e_idx = enters[enter_depth == d]
+            x_idx = exits[exit_depth == d + 1]
+            enters_at[d] = e_idx
+            if len(e_idx) != len(x_idx):
+                return None
+            if not (e_idx < x_idx).all():
+                return None
+            if len(e_idx) > 1 and not (x_idx[:-1] < e_idx[1:]).all():
+                return None
+            if not (n[e_idx] == n[x_idx]).all():
+                return None  # exit name mismatch → unbalanced-regions error
+            e_parts.append(e_idx)
+            x_parts.append(x_idx)
+        if e_parts:
+            inst_e = np.concatenate(e_parts)
+            inst_x = np.concatenate(x_parts)
+            order = np.argsort(inst_x)  # process instances in exit order
+            inst_e = inst_e[order]
+            inst_x = inst_x[order]
+            inst_nid = n[inst_e]
+        else:
+            inst_e = inst_x = inst_nid = np.empty(0, dtype=np.int64)
+
+        # Parents: an enter at depth d>0 belongs to the latest enter at
+        # depth d-1 before it (callgraph edges + subroutine counts).
+        for d in depths[1:]:
+            child_idx = enters[enter_depth == d]
+            parent_pool = enters_at.get(d - 1)
+            if parent_pool is None or not len(parent_pool):
+                return None
+            ppos = np.searchsorted(parent_pool, child_idx, side="left") - 1
+            if int(ppos.min()) < 0:
+                return None
+            parents = n[parent_pool[ppos]]
+            for code in np.unique(parents * n_names + n[child_idx]).tolist():
+                edges.add((names[code // n_names], names[code % n_names]))
+            pcounts = np.bincount(parents, minlength=n_names)
+            for pnid in np.nonzero(pcounts)[0].tolist():
+                key = (names[pnid], cpu)
+                subrs[key] = subrs.get(key, 0.0) + float(pcounts[pnid])
+
+        # Flat call counts: +1.0 per enter, merged chronologically with
+        # CALLS bumps.  A pure int count of 1.0-adds folds exactly to
+        # float(count); only events that also have CALLS rows need the
+        # order-preserving fold.
+        local_calls = np.nonzero(k == K_CALLS)[0]
+        calls_nids = set(n[local_calls].tolist())
+        enter_counts = np.bincount(n[enters], minlength=n_names)
+        for nid in np.nonzero(enter_counts)[0].tolist():
+            if nid not in calls_nids:
+                calls[(names[nid], cpu)] = float(enter_counts[nid])
+        if len(local_calls):
+            merge_rows = np.sort(np.concatenate([
+                enters[np.isin(n[enters], list(calls_nids))], local_calls
+            ]))
+            folds: dict[int, float] = {}
+            for li in merge_rows.tolist():
+                nid = int(n[li])
+                if k[li] == K_ENTER:
+                    folds[nid] = folds.get(nid, 0.0) + 1.0
+                else:
+                    a = attrs_col[int(gsel[li])]
+                    count = a.get("count", 0.0) if a else 0.0
+                    folds[nid] = folds.get(nid, 0.0) + count
+            for nid, total in folds.items():
+                calls[(names[nid], cpu)] = total
+
+        # Charge payloads per counter, straight from the trace's columnar
+        # mirror: local charge-sequence positions + float64 values (exact
+        # IEEE doubles of the recorded Python floats).
+        gcharges = gsel[charges]  # global row ids of this cpu's charges
+        per_counter: dict[str, tuple] = {}
+        for m, (scpu, srows, svals) in charge_by_cpu.items():
+            c_lo = int(np.searchsorted(scpu, cpu, side="left"))
+            c_hi = int(np.searchsorted(scpu, cpu, side="right"))
+            if c_hi > c_lo:
+                if c_hi - c_lo == len(charges):
+                    loc = None  # counter on every charge: identity mapping
+                else:
+                    loc = np.searchsorted(
+                        gcharges, srows[c_lo:c_hi], side="left"
+                    )
+                per_counter[m] = (loc, svals[c_lo:c_hi])
+
+        # Innermost region per charge: the latest enter one level up.
+        if len(charges):
+            innermost = np.empty(len(charges), dtype=np.int64)
+            cdepth = depth_before[charges]
+            for d in np.unique(cdepth).tolist():
+                msk = cdepth == d
+                pool = enters_at.get(d - 1)
+                if pool is None or not len(pool):
+                    return None
+                pos = np.searchsorted(pool, charges[msk], side="left") - 1
+                if int(pos.min()) < 0:
+                    return None
+                innermost[msk] = pool[pos]
+            inner_nid = n[innermost]
+        else:
+            inner_nid = np.empty(0, dtype=np.int64)
+
+        # Exclusive: chronological per-counter fold over each innermost
+        # region's charges (sum over a list of Python floats is the same
+        # sequential left-fold the profiler's += chain performs).
+        for m, (loc, varr) in per_counter.items():
+            nids = inner_nid if loc is None else inner_nid[loc]
+            for nid in np.nonzero(np.bincount(nids, minlength=n_names))[0].tolist():
+                total = sum(varr[nids == nid].tolist())
+                if total:
+                    key = (names[nid], cpu)
+                    store = exclusive.get(key)
+                    if store is None:
+                        store = exclusive[key] = _vec({})
+                    store._values[m] = total
+
+        # Inclusive: each instance sums every charge inside its interval
+        # (any depth); per (event, counter) the instance subtotals fold in
+        # exit order, exactly like Profiler.exit's copy-then-+= sequence.
+        # Both folds stay sequential left-folds: same-length instance
+        # segments fold via elementwise numpy adds (each lane is its own
+        # left fold, bitwise-identical to the scalar chain), odd-size
+        # segments via CPython's sequential ``sum``.
+        inc_folds: dict[tuple[int, str], float] = {}
+        if len(inst_e) and per_counter:
+            ch_lo = np.searchsorted(charges, inst_e, side="left")
+            ch_hi = np.searchsorted(charges, inst_x, side="left")
+            for m, (loc, varr) in per_counter.items():
+                if loc is None:
+                    i0s, i1s = ch_lo, ch_hi
+                else:
+                    i0s = np.searchsorted(loc, ch_lo, side="left")
+                    i1s = np.searchsorted(loc, ch_hi, side="left")
+                counts = i1s - i0s
+                sub = np.zeros(len(counts), dtype=np.float64)
+                vlist = None
+                cnt_hist = np.bincount(counts)
+                for kcnt in np.nonzero(cnt_hist)[0].tolist():
+                    if kcnt == 0:
+                        continue
+                    sel2 = np.nonzero(counts == kcnt)[0]
+                    if kcnt <= 64:
+                        base = i0s[sel2]
+                        acc = varr[base]
+                        for j in range(1, kcnt):
+                            acc = acc + varr[base + j]
+                        sub[sel2] = acc
+                    else:
+                        if vlist is None:
+                            vlist = varr.tolist()
+                        for ii in sel2.tolist():
+                            sub[ii] = sum(vlist[i0s[ii]:i1s[ii]])
+                have = np.nonzero(counts > 0)[0]
+                nids_i = inst_nid[have]
+                subs_i = sub[have]
+                for nid in np.nonzero(
+                    np.bincount(nids_i, minlength=n_names)
+                )[0].tolist():
+                    inc_folds[(nid, m)] = sum(subs_i[nids_i == nid].tolist())
+        ev_metrics: dict[int, list[str]] = {}
+        for nid, m in inc_folds:
+            ev_metrics.setdefault(nid, []).append(m)
+        for nid, ms in ev_metrics.items():
+            inclusive[(names[nid], cpu)] = _vec(
+                {m: inc_folds[(nid, m)] for m in ms if inc_folds[(nid, m)]}
+            )
+
+        # Virtual clock: the sequential fold of TIME/1e6 over the charges.
+        # Only CPUs that opened/charged regions get a _CPUState — a CPU
+        # seen solely through CALLS events never touches _cpu() in the
+        # reference replay and must not become a thread in to_trial.
+        if len(enters) or len(exits) or len(charges):
+            state = _CPUState()
+            tpos = per_counter.get(C.TIME)
+            if tpos is not None:
+                # elementwise /1e6 matches the scalar divisions; the fold
+                # over the quotients stays CPython-sequential
+                state.clock_seconds = sum((tpos[1] / 1e6).tolist())
+            prof._cpus[cpu] = state
+
+    prof._exclusive = exclusive
+    prof._inclusive = inclusive
+    prof._calls = calls
+    prof._subrs = subrs
+    prof._edges = edges
+    return prof
+
+
 # -- wait-state detection --------------------------------------------------
+
+def _rows_of_kind(trace: T.EventTrace, *kinds: str) -> "np.ndarray":
+    """Row indices of the given event kinds, straight off the kind column —
+    scanning a million-event trace for its few hundred wait/collective rows
+    never materializes the enter/exit/charge records."""
+    want = np.asarray([T.KIND_CODES[k] for k in kinds], dtype=np.int16)
+    return np.nonzero(np.isin(trace.columns()["kind"], want))[0]
+
 
 @dataclass(frozen=True)
 class WaitState:
@@ -141,7 +482,8 @@ def detect_wait_states(
     states: list[WaitState] = []
     mpi_groups: dict = {}
     omp_groups: dict = {}
-    for ev in trace.events:
+    for i in _rows_of_kind(trace, T.WAIT, T.COLLECTIVE, T.BARRIER).tolist():
+        ev = trace.event_at(i)
         if ev.kind == T.WAIT:
             rank = ev.get("rank")
             start = ev.get("start", ev.ts)
@@ -266,7 +608,8 @@ def _blocking_intervals(trace: T.EventTrace) -> dict[int, list[_Blocking]]:
         out.setdefault(cpu, []).append(b)
 
     groups: dict = {}
-    for ev in trace.events:
+    for i in _rows_of_kind(trace, T.WAIT, T.COLLECTIVE, T.BARRIER).tolist():
+        ev = trace.event_at(i)
         if ev.kind == T.WAIT:
             start = ev.get("start", ev.ts)
             end = ev.get("end", ev.ts)
@@ -308,12 +651,17 @@ def critical_path(trace: T.EventTrace) -> CriticalPathResult:
     interval caused by a message or barrier dependency."""
     eps = 1e-12
     charges: dict[int, list[tuple[float, float, str, bool]]] = {}
-    for ev in trace.events:
-        if ev.kind == T.CHARGE:
-            sec = ev.get("seconds", 0.0)
-            charges.setdefault(ev.cpu, []).append(
-                (ev.ts, ev.ts + sec, ev.name, bool(ev.get("idle")))
-            )
+    cols = trace.columns()
+    ts_col, cpu_col, nid_col = cols["ts"], cols["cpu"], cols["name_id"]
+    names = trace.name_table()
+    attrs_col = trace.attrs_column()
+    for i in _rows_of_kind(trace, T.CHARGE).tolist():
+        a = attrs_col[i]
+        sec = a.get("seconds", 0.0) if a else 0.0
+        ts = float(ts_col[i])
+        charges.setdefault(int(cpu_col[i]), []).append(
+            (ts, ts + sec, names[nid_col[i]], bool(a.get("idle")) if a else False)
+        )
     if not charges:
         return CriticalPathResult([], 0.0)
     blocking = _blocking_intervals(trace)
@@ -452,13 +800,17 @@ def interval_imbalance(
         labels.append((trial.metadata.get("interval") or {}).get("label"))
         excl = trial.exclusive_array(metric)
         total = float(excl.sum())
+        # one vectorized pass per snapshot instead of three reductions per
+        # event row
+        means = excl.mean(axis=1)
+        stds = excl.std(axis=1)
+        sums = excl.sum(axis=1)
         for e, event in enumerate(trial.events):
             if event.is_callpath:
                 continue
-            row = excl[e]
-            mean = float(row.mean())
-            ratio = float(row.std() / mean) if mean > 0 else 0.0
-            share = float(row.sum() / total) if total > 0 else 0.0
+            mean = float(means[e])
+            ratio = float(stds[e]) / mean if mean > 0 else 0.0
+            share = float(sums[e]) / total if total > 0 else 0.0
             ratio_rows.setdefault(event.name, [0.0] * n)[i] = ratio
             share_rows.setdefault(event.name, [0.0] * n)[i] = share
     out = []

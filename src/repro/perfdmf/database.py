@@ -431,16 +431,14 @@ class PerfDMF:
             "SELECT id, name, grp FROM event WHERE trial_id = ? ORDER BY id",
             (trial_id,),
         ).fetchall()
-        for _, name, grp in events:
-            out.add_event(Event(name, grp))
+        out.add_events(Event(name, grp) for _, name, grp in events)
         event_pos = {row[0]: i for i, row in enumerate(events)}
 
         threads = conn.execute(
             "SELECT id, node, context, thread FROM thread WHERE trial_id = ? ORDER BY id",
             (trial_id,),
         ).fetchall()
-        for _, n, c, t in threads:
-            out.add_thread(ThreadId(n, c, t))
+        out.add_threads(ThreadId(n, c, t) for _, n, c, t in threads)
         thread_pos = {row[0]: i for i, row in enumerate(threads)}
 
         metrics = conn.execute(

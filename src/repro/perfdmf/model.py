@@ -200,6 +200,42 @@ class Trial:
         self._grow_threads()
         return idx
 
+    def add_events(self, events: Iterable[Event | str], group: str = "TAU_DEFAULT") -> list[int]:
+        """Bulk event registration: one array growth for the whole batch
+        (``add_event`` reallocates the value tables per call, which is
+        quadratic when loaders register thousands of events one by one)."""
+        indices = []
+        for event in events:
+            if isinstance(event, str):
+                event = Event(event, group)
+            idx = self._event_index.get(event.name)
+            if idx is None:
+                idx = len(self._events)
+                self._events.append(event)
+                self._event_index[event.name] = idx
+            indices.append(idx)
+        self._grow_events()
+        return indices
+
+    def add_threads(
+        self, threads: Iterable[ThreadId | tuple[int, int, int] | int]
+    ) -> list[int]:
+        """Bulk thread registration: one array growth for the whole batch."""
+        indices = []
+        for thread in threads:
+            if isinstance(thread, int):
+                thread = ThreadId(0, 0, thread)
+            elif isinstance(thread, tuple):
+                thread = ThreadId(*thread)
+            idx = self._thread_index.get(thread)
+            if idx is None:
+                idx = len(self._threads)
+                self._threads.append(thread)
+                self._thread_index[thread] = idx
+            indices.append(idx)
+        self._grow_threads()
+        return indices
+
     def _grow_events(self) -> None:
         n_e, n_t = len(self._events), len(self._threads)
         for store in (self._exclusive, self._inclusive):
@@ -433,14 +469,13 @@ class TrialBuilder:
 
     def with_threads(self, count: int, *, node_of=None) -> "TrialBuilder":
         """Register ``count`` threads. ``node_of(i)`` maps flat index → node."""
-        for i in range(count):
-            node = node_of(i) if node_of else 0
-            self._trial.add_thread(ThreadId(node, 0, i))
+        self._trial.add_threads(
+            ThreadId(node_of(i) if node_of else 0, 0, i) for i in range(count)
+        )
         return self
 
     def with_events(self, names: Iterable[str], group: str = "TAU_DEFAULT") -> "TrialBuilder":
-        for n in names:
-            self._trial.add_event(n, group)
+        self._trial.add_events(names, group)
         return self
 
     def with_metric(

@@ -19,7 +19,7 @@ retracted and re-asserted (new handle → new key).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 from .conditions import Bindings
 from .facts import FactHandle
@@ -46,10 +46,18 @@ class Activation:
 
     @property
     def specificity(self) -> int:
-        total = 0
-        for cond in self.rule.conditions:
-            total += len(getattr(cond, "constraints", ())) or 1
-        return total
+        """Sum of per-condition specificities.
+
+        Each condition scores itself (`Pattern`: constraint count + 1 so the
+        type test counts; `Test`: 1) — a bare ``Type()`` pattern no longer
+        ties with ``Type(f == x)``, and adding a test to a rule makes it
+        strictly more specific.
+        """
+        cached = self.rule.__dict__.get("_specificity")
+        if cached is None:
+            cached = sum(cond.specificity for cond in self.rule.conditions)
+            self.rule.__dict__["_specificity"] = cached
+        return cached
 
     def sort_key(self):
         return (
@@ -101,8 +109,17 @@ class Agenda:
     def offer_all(self, activations: Sequence[Activation]) -> int:
         return sum(1 for a in activations if self.offer(a))
 
-    def pop(self) -> Activation | None:
-        """Remove and return the highest-priority live activation."""
+    def pop(
+        self, validator: Callable[[Activation], bool] | None = None
+    ) -> Activation | None:
+        """Remove and return the highest-priority live activation.
+
+        ``validator`` is an extra pop-time check (the engine re-evaluates
+        negated conditions here, since :meth:`Activation.is_live` can only
+        see the positive facts).  An activation the validator rejects is
+        dropped **without** being marked fired — if its blocker is later
+        retracted, a refresh re-offers it.
+        """
         import heapq
 
         while self._heap:
@@ -110,11 +127,14 @@ class Agenda:
             activation = self._activations.pop(key, None)
             if activation is None:
                 continue  # stale heap entry (already fired/invalidated)
-            if activation.is_live():
-                self._fired.add(key)
-                return activation
-            # Dead activation (a participating fact was retracted): drop it
-            # silently and look for the next one.
+            if not activation.is_live():
+                # Dead activation (a participating fact was retracted): drop
+                # it silently and look for the next one.
+                continue
+            if validator is not None and not validator(activation):
+                continue
+            self._fired.add(key)
+            return activation
         return None
 
     def mark_fired(self, key: ActivationKey) -> None:

@@ -12,10 +12,13 @@ Patterns may *bind* the whole fact to a variable (``f : MeanEventFact(...)``)
 and may bind individual fields (``e := eventName``) for use in later patterns
 and in the rule action — the same dataflow Drools exposes.
 
-This is a deliberately *naive* matcher (no Rete network): the working sets in
-performance diagnosis are hundreds of facts, far below the scale where Rete
-pays off, and a naive matcher is simpler to verify.  The engine caps
-match-fire cycles instead.
+Matching itself lives in the engine.  By default the engine consults the
+working memory's alpha-memory hash indexes for equality-constrained fields
+(see :meth:`Pattern.index_plan`), falling back to the naive per-type scan;
+``RuleEngine(indexing=False)`` forces the naive matcher everywhere.  Both
+matchers verify every candidate through :meth:`Pattern.match_one`, so the
+index is purely an acceleration structure — the set of activations (and
+therefore the firing trace) is identical either way.
 """
 
 from __future__ import annotations
@@ -155,6 +158,11 @@ class Test:
     predicate: Callable[[Bindings], bool]
     description: str = "<test>"
 
+    #: A test contributes one condition's worth of specificity — it cannot
+    #: be more specific than that because the engine cannot see inside the
+    #: predicate (see :meth:`Activation.specificity <repro.rules.agenda.Activation>`).
+    specificity = 1
+
     def evaluate(self, bindings: Bindings) -> bool:
         return bool(self.predicate(dict(bindings)))
 
@@ -187,6 +195,39 @@ class Pattern:
             self.bind_as or any(c.bind for c in self.constraints)
         ):
             raise ConditionError("negated patterns cannot bind variables")
+        # Alpha-index plan: which equality constraints can be answered from
+        # a working-memory hash index.  Only *string* comparisons qualify —
+        # numeric "==" uses approximate float equality (`_approx_eq`), which
+        # a hash bucket cannot honor (1.0 and 1.0+1e-12 hash apart), so
+        # indexing numbers could drop matches the naive matcher finds.
+        self._eq_literal: tuple[tuple[str, str], ...] = tuple(
+            (c.fieldname, c.value)
+            for c in self.constraints
+            if c.op == "==" and not c.is_variable and isinstance(c.value, str)
+        )
+        self._eq_variable: tuple[tuple[str, str], ...] = tuple(
+            (c.fieldname, c.value)
+            for c in self.constraints
+            if c.op == "==" and c.is_variable
+        )
+
+    def index_plan(self) -> tuple[tuple[tuple[str, str], ...],
+                                  tuple[tuple[str, str], ...]]:
+        """(literal, variable) equality constraints usable as index probes.
+
+        ``literal`` entries are ``(field, value)`` pairs known at rule-build
+        time; ``variable`` entries are ``(field, variable-name)`` pairs whose
+        probe value only exists once earlier patterns have bound the
+        variable (a string-valued binding enables the probe, anything else
+        falls back to the type scan).
+        """
+        return self._eq_literal, self._eq_variable
+
+    @property
+    def specificity(self) -> int:
+        """Constraint count + 1: the fact-type test itself is a constraint,
+        so a bare ``Type()`` pattern (1) ranks below ``Type(f == x)`` (2)."""
+        return len(self.constraints) + 1
 
     def match_one(self, fact: Fact, bindings: Bindings) -> Bindings | None:
         """Try to match a single fact.

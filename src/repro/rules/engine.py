@@ -10,10 +10,24 @@ PerfExplorer 2.0.  Usage mirrors the paper's ``RuleHarness``::
     for line in engine.output:
         print(line)
 
-Matching is naive (cross-product join with early pruning) which is more than
-adequate for diagnosis working sets (10²–10³ facts) and keeps the semantics
-auditable.  The join order is the declaration order of the rule's patterns;
-constraints referencing earlier bindings prune the cross product.
+Matching is a cross-product join with early pruning; the join order is the
+declaration order of the rule's patterns, and constraints referencing earlier
+bindings prune the cross product.  With ``indexing=True`` (the default) the
+engine accelerates two layers of that loop without changing its semantics:
+
+* candidate selection consults the working memory's alpha-memory hash
+  indexes for equality-constrained string fields (literal values and
+  string-valued join variables), picking the smallest available bucket
+  instead of scanning the whole type, and
+* :meth:`_refresh_agenda` skips rules none of whose condition fact types
+  changed since the rule last matched (dirty-type tracking via
+  :meth:`WorkingMemory.type_version`).
+
+Every indexed candidate is still verified through ``Pattern.match_one`` and
+activation ordering is fully determined by the agenda's sort key, so the
+activation set, conflict-resolution order, and firing trace are identical to
+the naive matcher (``indexing=False``) — the test suite asserts this over
+randomized rulebases.
 """
 
 from __future__ import annotations
@@ -31,6 +45,16 @@ from .rule import Rule, RuleContext
 
 class RuleEngineError(Exception):
     """Raised for engine misuse or runaway rulebases."""
+
+
+class _Unprobeable:
+    """Sentinel for join variables that cannot drive an index probe."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<unprobeable>"
+
+
+_UNPROBEABLE = _Unprobeable()
 
 
 @dataclass
@@ -60,15 +84,32 @@ class RuleEngine:
     echo:
         When True, :meth:`emit` also prints to stdout (the paper's rules print
         their diagnoses; benchmarks capture them instead).
+    indexing:
+        When True (default), candidate facts are fetched from alpha-memory
+        hash indexes where a pattern's equality constraints allow it, and
+        agenda refresh skips rules whose condition types are unchanged.
+        Semantics are identical either way; ``indexing=False`` forces the
+        naive matcher (useful for differential testing and debugging).
     """
 
-    def __init__(self, *, max_firings: int = 100_000, echo: bool = False) -> None:
+    def __init__(
+        self,
+        *,
+        max_firings: int = 100_000,
+        echo: bool = False,
+        indexing: bool = True,
+    ) -> None:
         self.memory = WorkingMemory()
         self.agenda = Agenda()
         self.rules: list[Rule] = []
         self._rule_names: set[str] = set()
         self.max_firings = max_firings
         self.echo = echo
+        self.indexing = indexing
+        #: rule name → memory version when the rule last (re)matched; rules
+        #: whose condition types are all at or below this are skipped by
+        #: :meth:`_refresh_agenda` (only meaningful when ``indexing``).
+        self._matched_at: dict[str, int] = {}
         #: Diagnosis lines produced by rule actions via ``ctx.log``.
         self.output: list[str] = []
         #: Chronological firing trace.
@@ -94,6 +135,7 @@ class RuleEngine:
     def remove_rule(self, name: str) -> None:
         self.rules = [r for r in self.rules if r.name != name]
         self._rule_names.discard(name)
+        self._matched_at.pop(name, None)
 
     # -- working-memory operations ---------------------------------------
     def assert_fact(self, fact: Fact) -> FactHandle:
@@ -106,7 +148,12 @@ class RuleEngine:
         return self.assert_fact(Fact(fact_type, **fields))
 
     def assert_facts(self, facts: Iterable[Fact]) -> list[FactHandle]:
-        return [self.assert_fact(f) for f in facts]
+        """Bulk assertion: one working-memory batch insert (index
+        maintenance deferred until a rule probes the indexed field)."""
+        handles = self.memory.assert_facts(facts)
+        if self._asserting is not None:
+            self._asserting.extend(h.seq for h in handles)
+        return handles
 
     def retract(self, handle: FactHandle) -> None:
         self.memory.retract(handle)
@@ -143,8 +190,46 @@ class RuleEngine:
         self.trace.clear()
         self.truncated = False
         self._cycle = 0
+        self._matched_at.clear()
 
     # -- matching ----------------------------------------------------------
+    def _candidate_handles(
+        self, cond: Pattern, bindings: Bindings
+    ) -> list[FactHandle]:
+        """Candidate facts for ``cond`` given ``bindings``.
+
+        With indexing, probes the alpha memories for every string-equality
+        constraint (literal or string-bound join variable) and keeps the
+        smallest bucket; otherwise — and whenever no probe applies — falls
+        back to the per-type scan.  The bucket is a superset of the matches
+        among its type (never a false negative), and every candidate is
+        re-verified by ``match_one``, so both paths yield the same matches.
+        """
+        if not self.indexing:
+            return self.memory.of_type(cond.fact_type)
+        literal, variable = cond.index_plan()
+        best: list[FactHandle] | None = None
+        for fieldname, value in literal:
+            bucket = self.memory.lookup(cond.fact_type, fieldname, value)
+            if best is None or len(bucket) < len(best):
+                best = bucket
+                if not best:
+                    return best
+        for fieldname, varname in variable:
+            value = bindings.get(varname, _UNPROBEABLE)
+            # Only string joins are hash-exact; numeric "==" is approximate
+            # (see Pattern.index_plan), so anything else skips the probe.
+            if not isinstance(value, str):
+                continue
+            bucket = self.memory.lookup(cond.fact_type, fieldname, value)
+            if best is None or len(bucket) < len(best):
+                best = bucket
+                if not best:
+                    return best
+        if best is None:
+            return self.memory.of_type(cond.fact_type)
+        return best
+
     def _match_rule(self, rule: Rule) -> list[Activation]:
         """All activations of ``rule`` against current working memory."""
         # Each partial is (handles-so-far, bindings-so-far).
@@ -158,16 +243,17 @@ class RuleEngine:
                 ]
                 continue
             assert isinstance(cond, Pattern)
-            handles = self.memory.of_type(cond.fact_type)
             next_partials: list[tuple[tuple[FactHandle, ...], Bindings]] = []
             if cond.negated:
                 for hs, bs in partials:
+                    handles = self._candidate_handles(cond, bs)
                     if not any(
                         cond.match_one(h.fact, bs) is not None for h in handles
                     ):
                         next_partials.append((hs, bs))
             else:
                 for hs, bs in partials:
+                    handles = self._candidate_handles(cond, bs)
                     for h, ext in cond.candidates(handles, bs):
                         if h in hs:
                             continue  # one fact cannot fill two positions
@@ -175,13 +261,64 @@ class RuleEngine:
             partials = next_partials
         return [Activation(rule, hs, bs) for hs, bs in partials]
 
+    @staticmethod
+    def _condition_types(rule: Rule) -> frozenset[str]:
+        """Fact types appearing anywhere in the rule's LHS (cached)."""
+        types = rule.__dict__.get("_condition_types")
+        if types is None:
+            types = frozenset(
+                cond.fact_type
+                for cond in rule.conditions
+                if isinstance(cond, Pattern)
+            )
+            rule.__dict__["_condition_types"] = types
+        return types
+
     def _refresh_agenda(self) -> int:
         offered = 0
+        version = self.memory.version
         for rule in self.rules:
+            if self.indexing:
+                last = self._matched_at.get(rule.name)
+                if last is not None and all(
+                    self.memory.type_version(t) <= last
+                    for t in self._condition_types(rule)
+                ):
+                    # None of the rule's condition types changed since it
+                    # last matched: re-matching would reproduce activations
+                    # the agenda already saw (offered or refracted).
+                    continue
+                self._matched_at[rule.name] = version
             for activation in self._match_rule(rule):
                 if self.agenda.offer(activation):
                     offered += 1
         return offered
+
+    def _validate_negations(self, activation: Activation) -> bool:
+        """Pop-time truth maintenance for negated conditions.
+
+        ``Activation.is_live`` only sees positive handles; a fact asserted
+        *after* the activation was queued can satisfy a negated pattern and
+        must block the firing.  Negated patterns cannot bind, and only
+        reference variables bound before them, so re-evaluating against the
+        activation's final bindings is equivalent to the original check.
+        """
+        negated = activation.rule.__dict__.get("_negated_conditions")
+        if negated is None:
+            negated = tuple(
+                cond
+                for cond in activation.rule.conditions
+                if isinstance(cond, Pattern) and cond.negated
+            )
+            activation.rule.__dict__["_negated_conditions"] = negated
+        for cond in negated:
+            handles = self._candidate_handles(cond, activation.bindings)
+            if any(
+                cond.match_one(h.fact, activation.bindings) is not None
+                for h in handles
+            ):
+                return False
+        return True
 
     # -- execution ---------------------------------------------------------
     def run(self, *, max_cycles: int | None = None) -> int:
@@ -224,7 +361,7 @@ class RuleEngine:
                     cycle_span_id = observe.current_span_id()
                     fired_this_cycle = 0
                     while True:
-                        activation = self.agenda.pop()
+                        activation = self.agenda.pop(self._validate_negations)
                         if activation is None:
                             break
                         firings += 1

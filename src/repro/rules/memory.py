@@ -1,9 +1,19 @@
 """Working memory: the fact store the engine matches against.
 
-Facts are indexed by type name for fast candidate retrieval (the only index a
-naive matcher needs).  Retraction is tombstone-based: handles flip to
-``live=False`` and are swept lazily, so iteration during a match cycle is
-stable.
+Facts are indexed by type name for candidate retrieval, and — on demand —
+by *field value* through per-type alpha memories: ``lookup("MeanEventFact",
+"metric", "Inefficiency")`` answers an equality-constrained pattern from a
+hash bucket instead of a type scan.  Indexes are built lazily on first
+lookup and caught up with a cursor, so bulk assertion (:meth:`assert_facts`)
+is pure list appends — index maintenance is deferred until a rule actually
+probes the field.
+
+Retraction is tombstone-based: handles flip to ``live=False`` and are swept
+lazily, so iteration during a match cycle is stable.  Every mutation bumps a
+global version and the touched type's version; the engine's incremental
+refresh (:meth:`~repro.rules.engine.RuleEngine._refresh_agenda`) uses
+:meth:`type_version` to skip rules whose condition types have not changed
+since they last matched.
 """
 
 from __future__ import annotations
@@ -14,12 +24,51 @@ from typing import Iterable, Iterator
 from .facts import Fact, FactHandle
 
 
+class _FieldIndex:
+    """Hash buckets for one (fact type, field): value → handles.
+
+    ``cursor`` counts how many of the type's handles have been folded in;
+    :meth:`WorkingMemory.lookup` catches the index up before answering, so
+    assertion never pays per-index bookkeeping.  Values that cannot be
+    hashed go to ``overflow`` and are returned for every probe (they could
+    compare equal to anything through a custom ``__eq__``).
+    """
+
+    __slots__ = ("cursor", "buckets", "overflow")
+
+    def __init__(self) -> None:
+        self.cursor = 0
+        self.buckets: dict[object, list[FactHandle]] = {}
+        self.overflow: list[FactHandle] = []
+
+    def absorb(self, handles: list[FactHandle], fieldname: str) -> None:
+        for h in handles[self.cursor:]:
+            value = h.fact.get(fieldname, _MISSING)
+            if value is _MISSING:
+                continue  # absent field can never satisfy an == constraint
+            try:
+                self.buckets.setdefault(value, []).append(h)
+            except TypeError:
+                self.overflow.append(h)
+        self.cursor = len(handles)
+
+
 class WorkingMemory:
-    """Type-indexed fact store with tombstone retraction."""
+    """Type- and field-indexed fact store with tombstone retraction."""
 
     def __init__(self) -> None:
         self._by_type: dict[str, list[FactHandle]] = defaultdict(list)
         self._live_count = 0
+        #: Bumped on every assert/retract; the engine's dirty-type refresh
+        #: compares against per-type versions.
+        self._version = 0
+        self._type_versions: dict[str, int] = {}
+        #: fact_type → fieldname → _FieldIndex (built lazily by lookup()).
+        self._indexes: dict[str, dict[str, _FieldIndex]] = {}
+
+    def _touch(self, fact_type: str) -> None:
+        self._version += 1
+        self._type_versions[fact_type] = self._version
 
     # -- mutation -------------------------------------------------------------
     def assert_fact(self, fact: Fact) -> FactHandle:
@@ -27,20 +76,48 @@ class WorkingMemory:
         handle = FactHandle(fact)
         self._by_type[fact.fact_type].append(handle)
         self._live_count += 1
+        self._touch(fact.fact_type)
         return handle
+
+    def assert_facts(self, facts: Iterable[Fact]) -> list[FactHandle]:
+        """Bulk insert: one appends pass, one version bump per touched type.
+
+        Index maintenance is deferred entirely (indexes catch up from their
+        cursor on the next lookup), which makes asserting a fact-generator's
+        whole output O(n) appends.
+        """
+        handles = []
+        touched = set()
+        for fact in facts:
+            handle = FactHandle(fact)
+            self._by_type[fact.fact_type].append(handle)
+            handles.append(handle)
+            touched.add(fact.fact_type)
+        self._live_count += len(handles)
+        for fact_type in touched:
+            self._touch(fact_type)
+        return handles
 
     def retract(self, handle: FactHandle) -> None:
         """Remove the fact behind ``handle``. Idempotent."""
         if handle.live:
             handle.live = False
             self._live_count -= 1
+            self._touch(handle.fact.fact_type)
 
     def sweep(self) -> int:
-        """Physically remove tombstones; returns how many were swept."""
+        """Physically remove tombstones; returns how many were swept.
+
+        Materialized field indexes for compacted types are dropped (their
+        cursors would dangle); they rebuild on the next lookup.
+        """
         swept = 0
         for fact_type, handles in list(self._by_type.items()):
             keep = [h for h in handles if h.live]
             swept += len(handles) - len(keep)
+            if len(keep) == len(handles):
+                continue
+            self._indexes.pop(fact_type, None)
             if keep:
                 self._by_type[fact_type] = keep
             else:
@@ -52,6 +129,9 @@ class WorkingMemory:
             for h in handles:
                 h.live = False
         self._by_type.clear()
+        self._indexes.clear()
+        self._version += 1
+        self._type_versions.clear()
         self._live_count = 0
 
     # -- queries ----------------------------------------------------------
@@ -61,6 +141,34 @@ class WorkingMemory:
 
     def facts_of_type(self, fact_type: str) -> list[Fact]:
         return [h.fact for h in self.of_type(fact_type)]
+
+    def lookup(self, fact_type: str, fieldname: str, value) -> list[FactHandle]:
+        """Live handles of ``fact_type`` whose ``fieldname`` hash-equals
+        ``value`` (alpha-memory probe).
+
+        Callers are expected to re-verify candidates through
+        ``Pattern.match_one`` — the index guarantees no false negatives for
+        exact-equality (string) probes, nothing more.  Unhashable stored
+        values are always returned.
+        """
+        handles = self._by_type.get(fact_type)
+        if not handles:
+            return []
+        index = self._indexes.setdefault(fact_type, {}).get(fieldname)
+        if index is None:
+            index = _FieldIndex()
+            self._indexes[fact_type][fieldname] = index
+        index.absorb(handles, fieldname)
+        try:
+            bucket = index.buckets.get(value, ())
+        except TypeError:  # unhashable probe: no bucket can answer it
+            return self.of_type(fact_type)
+        if index.overflow:
+            out = [h for h in bucket if h.live]
+            out.extend(h for h in index.overflow if h.live)
+            out.sort(key=lambda h: h.seq)
+            return out
+        return [h for h in bucket if h.live]
 
     def __iter__(self) -> Iterator[FactHandle]:
         for handles in self._by_type.values():
@@ -72,6 +180,16 @@ class WorkingMemory:
     def types(self) -> list[str]:
         """Type names with at least one live fact."""
         return sorted(t for t, hs in self._by_type.items() if any(h.live for h in hs))
+
+    # -- change tracking ---------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotone counter; bumps on every assert/retract/clear."""
+        return self._version
+
+    def type_version(self, fact_type: str) -> int:
+        """Version at which ``fact_type`` was last mutated (0 = never)."""
+        return self._type_versions.get(fact_type, 0)
 
     def find(self, fact_type: str, **field_values) -> list[Fact]:
         """Live facts of ``fact_type`` whose fields equal ``field_values``.
@@ -86,12 +204,15 @@ class WorkingMemory:
         return out
 
     def extend(self, facts: Iterable[Fact]) -> list[FactHandle]:
-        return [self.assert_fact(f) for f in facts]
+        return self.assert_facts(facts)
 
 
 class _Missing:
     def __eq__(self, other: object) -> bool:
         return False
+
+    def __hash__(self) -> int:
+        return 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "<missing>"

@@ -323,10 +323,9 @@ class Profiler:
         builder = TrialBuilder(name, meta)
         for ev in events:
             builder._trial.add_event(ev, self._groups[ev])
-        for cpu in cpus:
-            builder._trial.add_thread(
-                (self.machine.node_of_cpu(cpu), 0, cpu)
-            )
+        builder._trial.add_threads(
+            (self.machine.node_of_cpu(cpu), 0, cpu) for cpu in cpus
+        )
         n_e, n_t = len(events), len(cpus)
         cpu_pos = {cpu: i for i, cpu in enumerate(cpus)}
         for metric in metrics:

@@ -5,7 +5,14 @@ region entry/exit and message event is logged with a timestamp, and tools
 downstream reduce the trace back to profiles, detect wait states, or render
 timelines.  This module is that mode for the simulated runtime.
 
-An :class:`EventTrace` is an append-only log of :class:`TraceEvent` records.
+An :class:`EventTrace` is an append-only log stored **columnar**
+(struct-of-arrays): parallel lists of kind codes, cpus, timestamps, interned
+name ids, and attribute payloads.  :meth:`EventTrace.columns` exposes the
+numeric columns as numpy arrays for the vectorized analysis kernels in
+:mod:`repro.core.operations.tracing`; the classic record view
+(``trace.events``, iteration, indexing) materializes :class:`TraceEvent`
+objects lazily, so existing per-event consumers keep working unchanged.
+
 The :class:`~repro.runtime.tau.Profiler` emits ``ENTER``/``EXIT``/``CHARGE``/
 ``CALLS`` events when a trace is attached (``Profiler(machine, trace=...)``);
 the MPI and OpenMP simulators add communication and fork/join/barrier events
@@ -24,7 +31,7 @@ off stays within noise of the untraced runtime (see
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Iterator, Mapping
+from typing import Any, Iterator
 
 __all__ = [
     "TraceEvent",
@@ -34,6 +41,7 @@ __all__ = [
     "SEND", "RECV", "WAIT", "COLLECTIVE",
     "FORK", "JOIN", "BARRIER", "PHASE",
     "REGION_KINDS", "MPI_KINDS", "OPENMP_KINDS",
+    "KIND_CODES", "KIND_NAMES",
 ]
 
 # -- event kinds -----------------------------------------------------------
@@ -70,6 +78,14 @@ PHASE = "phase"
 REGION_KINDS = frozenset({ENTER, EXIT, CHARGE, CALLS})
 MPI_KINDS = frozenset({SEND, RECV, WAIT, COLLECTIVE})
 OPENMP_KINDS = frozenset({FORK, JOIN, BARRIER})
+
+#: Columnar encoding of event kinds: ``KIND_NAMES[code]`` ↔ ``KIND_CODES[kind]``.
+KIND_NAMES: tuple[str, ...] = (
+    ENTER, EXIT, CHARGE, CALLS,
+    SEND, RECV, WAIT, COLLECTIVE,
+    FORK, JOIN, BARRIER, PHASE,
+)
+KIND_CODES: dict[str, int] = {k: i for i, k in enumerate(KIND_NAMES)}
 
 
 class TraceEvent:
@@ -121,8 +137,43 @@ class TraceEvent:
         )
 
 
+class _EventsView:
+    """Read-only sequence of :class:`TraceEvent`, materialized on access.
+
+    Keeps ``trace.events`` (iteration, ``len``, indexing, slicing) working
+    against the columnar store without holding a second copy of the trace.
+    """
+
+    __slots__ = ("_trace",)
+
+    def __init__(self, trace: "EventTrace") -> None:
+        self._trace = trace
+
+    def __len__(self) -> int:
+        return len(self._trace._kinds)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        t = self._trace
+        names = t._names
+        for kind, cpu, ts, nid, attrs in zip(
+            t._kinds, t._cpus, t._ts, t._name_ids, t._attrs
+        ):
+            yield TraceEvent(KIND_NAMES[kind], cpu, ts, names[nid], attrs)
+
+    def __getitem__(self, index):
+        t = self._trace
+        if isinstance(index, slice):
+            return [
+                t.event_at(i) for i in range(*index.indices(len(t._kinds)))
+            ]
+        return t.event_at(index)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<EventsView of {len(self)} events>"
+
+
 class EventTrace:
-    """Append-only timeline of :class:`TraceEvent` records.
+    """Append-only columnar timeline of trace events.
 
     Parameters
     ----------
@@ -135,7 +186,28 @@ class EventTrace:
 
     def __init__(self, *, record_charges: bool = True) -> None:
         self.record_charges = record_charges
-        self.events: list[TraceEvent] = []
+        # struct-of-arrays backing: one entry per event in each column
+        self._kinds: list[int] = []
+        self._cpus: list[int] = []
+        self._ts: list[float] = []
+        self._name_ids: list[int] = []
+        self._attrs: list[dict[str, Any] | None] = []
+        # interning table: name id → string, string → name id
+        self._names: list[str] = []
+        self._name_index: dict[str, int] = {}
+        # columnar mirror of charge payloads: counter → (row ids, values),
+        # maintained by emit() so the replay kernel never has to unpack the
+        # per-event attrs dicts.  Mutating a recorded charge vector in place
+        # would desync the mirror; attrs are documented as read-only.
+        self._charge_rows: dict[str, list[int]] = {}
+        self._charge_vals: dict[str, list[float]] = {}
+        self._charge_count = 0         # CHARGE events emitted
+        self._charge_vector_count = 0  # ...of which carried a vector
+        # cached numpy conversion of the numeric columns
+        self._columns: dict[str, Any] | None = None
+        self._columns_len = -1
+        self._charge_cols: dict[str, Any] | None = None
+        self._charge_cols_len = -1
 
     # -- recording ---------------------------------------------------------
     def emit(
@@ -146,44 +218,165 @@ class EventTrace:
         name: str,
         attrs: dict[str, Any] | None = None,
     ) -> None:
-        self.events.append(TraceEvent(kind, cpu, ts, name, attrs))
+        nid = self._name_index.get(name)
+        if nid is None:
+            nid = len(self._names)
+            self._name_index[name] = nid
+            self._names.append(name)
+        self._kinds.append(KIND_CODES[kind])
+        self._cpus.append(cpu)
+        self._ts.append(ts)
+        self._name_ids.append(nid)
+        self._attrs.append(attrs)
+        if kind == CHARGE:
+            self._charge_count += 1
+            vec = attrs.get("vector") if attrs else None
+            if vec is not None:
+                self._charge_vector_count += 1
+                row = len(self._kinds) - 1
+                rows, vals = self._charge_rows, self._charge_vals
+                for counter, value in vec.items():
+                    r = rows.get(counter)
+                    if r is None:
+                        r = rows[counter] = []
+                        vals[counter] = []
+                    r.append(row)
+                    vals[counter].append(value)
 
     def phase(self, label: str, ts: float, *, index: int | None = None) -> None:
         """Record a global phase mark (iteration/snapshot boundary)."""
         attrs = {"index": index} if index is not None else None
         self.emit(PHASE, -1, ts, label, attrs)
 
-    # -- access ------------------------------------------------------------
+    # -- columnar access ---------------------------------------------------
+    def columns(self) -> dict[str, Any]:
+        """Numeric columns as numpy arrays (cached until the next append).
+
+        Keys: ``kind`` (int16 codes per :data:`KIND_CODES`), ``cpu``
+        (int64), ``ts`` (float64), ``name_id`` (int64, decode via
+        :meth:`name_of`).  Attribute payloads stay in :meth:`attrs_column`
+        — they hold arbitrary objects (counter vectors, request lists).
+        """
+        n = len(self._kinds)
+        if self._columns is None or self._columns_len != n:
+            import numpy as np
+
+            self._columns = {
+                "kind": np.asarray(self._kinds, dtype=np.int16),
+                "cpu": np.asarray(self._cpus, dtype=np.int64),
+                "ts": np.asarray(self._ts, dtype=np.float64),
+                "name_id": np.asarray(self._name_ids, dtype=np.int64),
+            }
+            self._columns_len = n
+        return self._columns
+
+    def attrs_column(self) -> list[dict[str, Any] | None]:
+        """The attribute payload column (shared, do not mutate)."""
+        return self._attrs
+
+    def charge_columns(self) -> dict[str, Any]:
+        """Charge payloads per counter: ``{counter: (rows, values)}``.
+
+        ``rows`` is an int64 array of global row indices (ascending — emit
+        order) of the ``CHARGE`` events whose vector contained ``counter``;
+        ``values`` is the matching float64 array.  The conversion is exact
+        both ways — the stored Python floats *are* IEEE doubles — so kernels
+        may pull values back out (``.tolist()``) and fold them sequentially
+        without perturbing the bitwise replay guarantee.  Cached until the
+        next append.
+        """
+        n = len(self._kinds)
+        if self._charge_cols is None or self._charge_cols_len != n:
+            import numpy as np
+
+            self._charge_cols = {
+                counter: (
+                    np.asarray(rows, dtype=np.int64),
+                    np.asarray(self._charge_vals[counter], dtype=np.float64),
+                )
+                for counter, rows in self._charge_rows.items()
+            }
+            self._charge_cols_len = n
+        return self._charge_cols
+
+    @property
+    def charges_fully_recorded(self) -> bool:
+        """True when every ``CHARGE`` event carried its counter vector
+        (i.e. the trace is a complete replay log)."""
+        return self._charge_count == self._charge_vector_count
+
+    def name_of(self, name_id: int) -> str:
+        """Decode an interned name id (see ``columns()['name_id']``)."""
+        return self._names[name_id]
+
+    def name_table(self) -> list[str]:
+        """Interned names, indexed by name id (shared, do not mutate)."""
+        return self._names
+
+    def event_at(self, index: int) -> TraceEvent:
+        """Materialize one event record."""
+        return TraceEvent(
+            KIND_NAMES[self._kinds[index]],
+            self._cpus[index],
+            self._ts[index],
+            self._names[self._name_ids[index]],
+            self._attrs[index],
+        )
+
+    # -- record-oriented access --------------------------------------------
+    @property
+    def events(self) -> _EventsView:
+        """Lazy record view (`TraceEvent` objects built on demand)."""
+        return _EventsView(self)
+
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self._kinds)
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self.events)
 
     def of_kind(self, *kinds: str) -> list[TraceEvent]:
-        want = frozenset(kinds)
-        return [e for e in self.events if e.kind in want]
+        want = {KIND_CODES[k] for k in kinds}
+        return [
+            self.event_at(i)
+            for i, code in enumerate(self._kinds)
+            if code in want
+        ]
 
     def of_cpu(self, cpu: int) -> list[TraceEvent]:
-        return [e for e in self.events if e.cpu == cpu]
+        return [
+            self.event_at(i) for i, c in enumerate(self._cpus) if c == cpu
+        ]
 
     def cpu_ids(self) -> list[int]:
         """CPUs that appear in the trace, sorted (PHASE's -1 excluded)."""
-        return sorted({e.cpu for e in self.events if e.cpu >= 0})
+        return sorted(c for c in set(self._cpus) if c >= 0)
 
     def final_clocks(self) -> dict[int, float]:
         """Last observed timestamp per CPU — the virtual clock at the end
         of the run (CHARGE events carry pre-charge timestamps, so their
         ``ts + seconds`` end time counts too)."""
+        if not self._kinds:
+            return {}
+        import numpy as np
+
+        cols = self.columns()
+        end = cols["ts"]
+        charge_rows = np.nonzero(cols["kind"] == KIND_CODES[CHARGE])[0]
+        if len(charge_rows):
+            end = end.copy()
+            attrs = self._attrs
+            for i in charge_rows.tolist():
+                a = attrs[i]
+                if a:
+                    end[i] += a.get("seconds", 0.0)
         clocks: dict[int, float] = {}
-        for e in self.events:
-            if e.cpu < 0:
-                continue
-            t = e.ts
-            if e.kind == CHARGE:
-                t += e.get("seconds", 0.0)
-            if t > clocks.get(e.cpu, 0.0):
-                clocks[e.cpu] = t
+        cpus = cols["cpu"]
+        valid = cpus >= 0
+        for cpu in set(cpus[valid].tolist()):
+            t = float(np.max(end[cpus == cpu]))
+            if t > 0.0:
+                clocks[cpu] = t
         return clocks
 
     def duration(self) -> float:
@@ -193,10 +386,11 @@ class EventTrace:
 
     def rank_of_cpu(self) -> dict[int, int]:
         """cpu → MPI rank mapping recovered from communication events."""
+        mpi_codes = {KIND_CODES[k] for k in MPI_KINDS}
         mapping: dict[int, int] = {}
-        for e in self.events:
-            if e.kind in MPI_KINDS and e.attrs and "rank" in e.attrs:
-                mapping.setdefault(e.cpu, e.attrs["rank"])
+        for code, cpu, attrs in zip(self._kinds, self._cpus, self._attrs):
+            if code in mpi_codes and attrs and "rank" in attrs:
+                mapping.setdefault(cpu, attrs["rank"])
         return mapping
 
     def phase_marks(self) -> list[TraceEvent]:

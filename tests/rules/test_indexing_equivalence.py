@@ -1,0 +1,394 @@
+"""Indexed vs naive matching equivalence, plus the two truth-maintenance
+regressions this engine revision fixed.
+
+The indexed matcher (alpha-memory hash probes + dirty-type agenda refresh)
+must be a pure acceleration: the activation set, conflict-resolution order,
+firing trace, diagnosis output, and final working memory are asserted to be
+identical to the naive matcher over hand-built and randomized rulebases —
+including rulebases whose actions retract and modify facts mid-run.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rules import Fact, RuleBuilder, RuleEngine, WorkingMemory
+
+
+# --------------------------------------------------------------------------
+# regression: negation truth maintenance (blocker asserted mid-cycle)
+# --------------------------------------------------------------------------
+
+
+class TestNegationTruthMaintenance:
+    def _engine(self, **kw):
+        eng = RuleEngine(**kw)
+        eng.add_rule(
+            RuleBuilder("producer", salience=10)
+            .when("s", "Seed")
+            .then(lambda ctx: ctx.insert("Blocker", reason="produced"))
+            .build()
+        )
+        eng.add_rule(
+            RuleBuilder("guarded")
+            .when("s", "Seed")
+            .when_not("Blocker")
+            .then_log("fired without blocker")
+            .build()
+        )
+        return eng
+
+    @pytest.mark.parametrize("indexing", [True, False])
+    def test_blocker_asserted_mid_cycle_blocks_queued_activation(self, indexing):
+        """Both rules activate in cycle 1 (no Blocker yet); ``producer``
+        fires first on salience and asserts a Blocker — the already-queued
+        ``guarded`` activation must now be invalid and must NOT fire."""
+        eng = self._engine(indexing=indexing)
+        eng.insert("Seed")
+        eng.run()
+        assert [r.rule_name for r in eng.trace] == ["producer"]
+        assert eng.output == []
+
+    @pytest.mark.parametrize("indexing", [True, False])
+    def test_blocked_activation_fires_after_blocker_retracted(self, indexing):
+        """Dropping an invalidated activation must not refract it: once the
+        blocker goes away, the rule fires on the same fact tuple."""
+        eng = self._engine(indexing=indexing)
+        eng.insert("Seed")
+        eng.run()
+        assert eng.output == []
+        (blocker,) = [h for h in eng.memory if h.fact.fact_type == "Blocker"]
+        eng.retract(blocker)
+        eng.run()
+        assert eng.output == ["[guarded] fired without blocker"]
+
+    @pytest.mark.parametrize("indexing", [True, False])
+    def test_constrained_negation_revalidates_against_bindings(self, indexing):
+        """The pop-time check honors join variables inside the negation:
+        only the Seed whose name the new Blocker targets is suppressed."""
+        eng = RuleEngine(indexing=indexing)
+        eng.add_rule(
+            RuleBuilder("producer", salience=10)
+            .when("t", "Trigger", "n := target")
+            .then(lambda ctx: ctx.insert("Blocker", name=ctx["n"]))
+            .build()
+        )
+        eng.add_rule(
+            RuleBuilder("guarded")
+            .when("s", "Seed", "n := name")
+            .when_not("Blocker", ("name", "==", "$n"))
+            .then_log("ok {n}")
+            .build()
+        )
+        eng.insert("Seed", name="a")
+        eng.insert("Seed", name="b")
+        eng.insert("Trigger", target="a")
+        eng.run()
+        assert eng.output == ["[guarded] ok b"]
+
+
+# --------------------------------------------------------------------------
+# regression: specificity scoring in conflict resolution
+# --------------------------------------------------------------------------
+
+
+class TestSpecificityOrdering:
+    def test_constrained_pattern_beats_bare_pattern(self):
+        """A one-constraint pattern must outrank a bare ``Type()`` pattern.
+        Rule names are chosen so the buggy scoring (tie → alphabetical)
+        would fire ``a_bare`` first."""
+        eng = RuleEngine()
+        eng.add_rule(
+            RuleBuilder("a_bare").when("f", "E").then_log("bare").build()
+        )
+        eng.add_rule(
+            RuleBuilder("z_specific")
+            .when("f", "E", ("x", ">", -1))
+            .then_log("specific")
+            .build()
+        )
+        eng.insert("E", x=1)
+        eng.run()
+        assert [r.rule_name for r in eng.trace] == ["z_specific", "a_bare"]
+
+    def test_test_condition_adds_specificity(self):
+        """A rule with a ``Test`` must outrank a bare single-pattern rule
+        (the buggy scoring gave both a flat 1 per condition... except the
+        bare pattern also scored 1, producing a tie)."""
+        eng = RuleEngine()
+        eng.add_rule(
+            RuleBuilder("a_bare").when("f", "E").then_log("bare").build()
+        )
+        eng.add_rule(
+            RuleBuilder("z_tested")
+            .when("f", "E")
+            .test(lambda b: True, "always")
+            .then_log("tested")
+            .build()
+        )
+        eng.insert("E", x=1)
+        eng.run()
+        assert [r.rule_name for r in eng.trace] == ["z_tested", "a_bare"]
+
+    def test_more_constraints_rank_higher(self):
+        eng = RuleEngine()
+        eng.add_rule(
+            RuleBuilder("a_one").when("f", "E", ("x", ">", 0)).then_log("1").build()
+        )
+        eng.add_rule(
+            RuleBuilder("z_two")
+            .when("f", "E", ("x", ">", 0), ("y", ">", 0))
+            .then_log("2")
+            .build()
+        )
+        eng.insert("E", x=1, y=1)
+        eng.run()
+        assert [r.rule_name for r in eng.trace] == ["z_two", "a_one"]
+
+
+# --------------------------------------------------------------------------
+# working-memory alpha indexes and change tracking
+# --------------------------------------------------------------------------
+
+
+class TestAlphaMemory:
+    def test_lookup_matches_scan(self):
+        wm = WorkingMemory()
+        wm.assert_facts(
+            [Fact("E", name=n, sev=i / 10) for i, n in
+             enumerate(["a", "b", "a", "c"])]
+        )
+        hits = wm.lookup("E", "name", "a")
+        assert [h.fact["sev"] for h in hits] == [0.0, 0.2]
+        assert wm.lookup("E", "name", "zzz") == []
+        assert wm.lookup("Nope", "name", "a") == []
+
+    def test_lookup_catches_up_after_batch_assert(self):
+        wm = WorkingMemory()
+        wm.assert_fact(Fact("E", name="a"))
+        assert len(wm.lookup("E", "name", "a")) == 1  # index materialized
+        wm.assert_facts([Fact("E", name="a"), Fact("E", name="b")])
+        assert len(wm.lookup("E", "name", "a")) == 2  # cursor caught up
+
+    def test_lookup_hides_retracted_facts(self):
+        wm = WorkingMemory()
+        h = wm.assert_fact(Fact("E", name="a"))
+        wm.assert_fact(Fact("E", name="a"))
+        assert len(wm.lookup("E", "name", "a")) == 2
+        wm.retract(h)
+        assert len(wm.lookup("E", "name", "a")) == 1
+        wm.sweep()  # drops and rebuilds the index
+        assert len(wm.lookup("E", "name", "a")) == 1
+
+    def test_lookup_skips_facts_missing_the_field(self):
+        wm = WorkingMemory()
+        wm.assert_fact(Fact("E", other=1))
+        assert wm.lookup("E", "name", "a") == []
+
+    def test_unhashable_values_are_always_candidates(self):
+        wm = WorkingMemory()
+        wm.assert_fact(Fact("E", name=["un", "hashable"]))
+        wm.assert_fact(Fact("E", name="a"))
+        hits = wm.lookup("E", "name", "a")
+        assert len(hits) == 2  # the overflow fact rides along for re-verify
+
+    def test_type_versions_track_mutations(self):
+        wm = WorkingMemory()
+        assert wm.type_version("E") == 0
+        h = wm.assert_fact(Fact("E"))
+        v1 = wm.type_version("E")
+        assert v1 > 0
+        wm.assert_fact(Fact("F"))
+        assert wm.type_version("E") == v1  # untouched type is stable
+        wm.retract(h)
+        assert wm.type_version("E") > v1
+        assert wm.version >= wm.type_version("E")
+
+    def test_batch_assert_bumps_each_type_once(self):
+        wm = WorkingMemory()
+        before = wm.version
+        wm.assert_facts([Fact("E"), Fact("E"), Fact("F")])
+        assert wm.version == before + 2  # one bump per touched type
+
+
+# --------------------------------------------------------------------------
+# property: indexed and naive matching are observationally identical
+# --------------------------------------------------------------------------
+
+NAMES = ["alpha", "beta", "gamma", "delta"]
+TYPES = ["X", "Y", "Z"]
+
+names = st.sampled_from(NAMES)
+fact_types = st.sampled_from(TYPES)
+numbers = st.integers(min_value=0, max_value=4)
+
+
+@st.composite
+def fact_soups(draw):
+    """Facts mixing string fields (index-eligible) and small ints."""
+    n = draw(st.integers(2, 25))
+    out = []
+    for _ in range(n):
+        fields = {"name": draw(names)}
+        if draw(st.booleans()):
+            fields["link"] = draw(names)
+        if draw(st.booleans()):
+            fields["sev"] = draw(numbers)
+        out.append(Fact(draw(fact_types), **fields))
+    return out
+
+
+@st.composite
+def random_rules(draw, index):
+    """Rules exercising literal string equality (alpha probe), string joins
+    (variable probe), numeric comparisons (scan fallback), negation, tests,
+    salience ties, and retract/assert actions."""
+    builder = RuleBuilder(
+        f"r{index}", salience=draw(st.integers(-1, 1))
+    )
+    kind = draw(st.sampled_from(["literal", "join", "negated", "tested", "mutating"]))
+    first_type = draw(fact_types)
+    if kind == "literal":
+        builder.when("f", first_type, ("name", "==", draw(names)))
+        builder.then_log("literal hit")
+    elif kind == "join":
+        builder.when("f", first_type, "n := name")
+        builder.when("g", draw(fact_types), ("link", "==", "$n"))
+        builder.then_log("join hit {n}")
+    elif kind == "negated":
+        builder.when("f", first_type, "n := name")
+        builder.when_not(draw(fact_types), ("link", "==", "$n"))
+        builder.then_log("nothing links {n}")
+    elif kind == "tested":
+        builder.when("f", first_type, "s := sev")
+        builder.test(lambda b: b["s"] >= 2, "sev >= 2")
+        builder.then_log("severe")
+    else:  # mutating: retract the matched fact, sometimes assert a marker
+        builder.when("f", first_type, ("name", "==", draw(names)))
+        if draw(st.booleans()):
+            builder.then(
+                lambda ctx: (
+                    ctx.insert("Marker", name=ctx["f"]["name"]),
+                    ctx.retract(ctx.handles[0]),
+                )
+            )
+        else:
+            builder.then(lambda ctx: ctx.retract(ctx.handles[0]))
+    return builder.build()
+
+
+def _normalized_trace(engine, base_seq):
+    """Firing trace with global fact seqs rebased so two engines that saw
+    the same assertion sequence produce comparable traces."""
+    return [
+        (
+            rec.cycle,
+            rec.rule_name,
+            tuple(s - base_seq for s in rec.fact_seqs),
+            tuple(sorted(rec.bindings_summary.items())),
+            tuple(s - base_seq for s in rec.asserted_seqs),
+        )
+        for rec in engine.trace
+    ]
+
+
+def _final_memory(engine):
+    return sorted(
+        (h.fact.fact_type, tuple(sorted(h.fact.as_dict().items())))
+        for h in engine.memory
+    )
+
+
+def _run(rules, facts, *, indexing):
+    engine = RuleEngine(max_firings=50_000, indexing=indexing)
+    engine.add_rules(rules)
+    handles = engine.assert_facts([Fact(f.fact_type, **f.as_dict()) for f in facts])
+    base = handles[0].seq
+    engine.run()
+    return _normalized_trace(engine, base), _final_memory(engine), engine.output
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_indexed_matches_naive_exactly(data):
+    """Same rulebase + fact soup → identical firing trace (rules, fact
+    tuples, cycles, bindings), identical output, identical final working
+    memory, with and without indexing — including mid-run retractions."""
+    rules = [
+        data.draw(random_rules(index=i))
+        for i in range(data.draw(st.integers(1, 5)))
+    ]
+    facts = data.draw(fact_soups())
+    indexed = _run(rules, facts, indexing=True)
+    naive = _run(rules, facts, indexing=False)
+    assert indexed == naive
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_indexed_matches_naive_across_incremental_runs(data):
+    """Equivalence must also hold for a second run() after external
+    retract/modify between runs (dirty-type refresh vs full re-match)."""
+    rules = [
+        data.draw(random_rules(index=i))
+        for i in range(data.draw(st.integers(1, 4)))
+    ]
+    facts = data.draw(fact_soups())
+    extra = data.draw(fact_soups())
+    engines = []
+    for indexing in (True, False):
+        engine = RuleEngine(max_firings=50_000, indexing=indexing)
+        engine.add_rules(rules)
+        handles = engine.assert_facts(
+            [Fact(f.fact_type, **f.as_dict()) for f in facts]
+        )
+        base = handles[0].seq
+        engine.run()
+        live = [h for h in handles if h.live]
+        if live:
+            engine.retract(live[0])
+        if len(live) > 1:
+            engine.modify(live[1], name="delta")
+        engine.assert_facts([Fact(f.fact_type, **f.as_dict()) for f in extra])
+        engine.run()
+        engines.append(
+            (_normalized_trace(engine, base), _final_memory(engine), engine.output)
+        )
+    assert engines[0] == engines[1]
+
+
+def test_diagnosis_identical_with_and_without_indexing():
+    """End-to-end: the shipped rulebase over a synthetic trial produces the
+    same recommendations and firing trace either way."""
+    import numpy as np
+
+    from repro.knowledge.rulebase import diagnose_load_balance
+    from repro.perfdmf import TrialBuilder
+
+    n = 8
+    inner = np.linspace(10.0, 90.0, n)
+    outer = 100.0 - inner
+    trial = (
+        TrialBuilder(
+            "imb",
+            {
+                "schedule": "static",
+                "callgraph": [["main", "outer"], ["outer", "inner"]],
+            },
+        )
+        .with_events(["main", "outer", "inner"])
+        .with_threads(n)
+        .with_metric(
+            "TIME",
+            np.vstack([np.full(n, 5.0), outer, inner]),
+            np.vstack([np.full(n, 105.0), outer + inner, inner]),
+            units="usec",
+        )
+        .with_calls(np.ones((3, n)))
+        .build(validate=False)
+    )
+    a = diagnose_load_balance(trial, indexing=True)
+    b = diagnose_load_balance(trial, indexing=False)
+    assert a.output == b.output
+    assert [r.rule_name for r in a.engine.trace] == [
+        r.rule_name for r in b.engine.trace
+    ]
