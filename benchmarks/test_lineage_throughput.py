@@ -1,0 +1,92 @@
+"""Lineage layer overhead: history recording, scan rate, probe counts.
+
+Three costs gate the "explain performance history" workflow.  Recording
+must be cheap enough to run on every CI build (one transaction per
+version).  The degradation scan is the expensive sweep — a full
+paired/Welch comparison per adjacent pair — and must stay fast enough
+to re-run over a thousand stored versions interactively.  And bisect
+must honor its probe budget (``ceil(log2 n) + 1``) as history grows,
+because each probe can cost real reruns when samples are synthesized.
+"""
+
+import time
+
+from conftest import print_series
+from repro.experiments import run_synthetic_trial
+from repro.lineage import LineageStore, PerfBisector, probe_budget, scan_range
+from repro.perfdmf import PerfDMF
+
+SCAN_VERSIONS = 1000
+#: Distinct stored trials the versions share (round-robin) — the scan
+#: still walks every version and compares every adjacent pair.
+DISTINCT_TRIALS = 16
+
+
+def build_history(db, n, *, culprit=None, trials=DISTINCT_TRIALS):
+    """n versions over a pool of stored trials; from ``culprit`` on the
+    attached trial is 2x slower."""
+    store = LineageStore(db)
+    for name, scale in (("fast", 1.0), ("slow", 2.0)):
+        for i in range(trials):
+            trial = run_synthetic_trial(scale=scale, name=f"{name}_{i}")
+            db.save_trial("bench", "lineage", trial, replace=True)
+    parent = None
+    t0 = time.monotonic()
+    for i in range(n):
+        vid = f"v{i:04d}"
+        store.record(vid, parents=[parent] if parent else [])
+        pool = "slow" if culprit is not None and i >= culprit else "fast"
+        store.attach_trial(vid, "bench", "lineage",
+                           f"{pool}_{i % trials}")
+        parent = vid
+    return store, time.monotonic() - t0
+
+
+class TestLineageThroughput:
+    def test_scan_rate_over_1k_versions(self, run_once):
+        with PerfDMF() as db:
+            store, record_seconds = build_history(db, SCAN_VERSIONS)
+
+            def scan():
+                start = time.monotonic()
+                result = scan_range(store, application="bench",
+                                    experiment="lineage")
+                return result, time.monotonic() - start
+
+            result, seconds = run_once(scan)
+            assert len(result.comparisons) == SCAN_VERSIONS - 1
+            assert not result.regressions
+            record_rate = SCAN_VERSIONS / record_seconds
+            scan_rate = SCAN_VERSIONS / seconds
+            print_series(
+                f"Lineage over {SCAN_VERSIONS} versions",
+                [(SCAN_VERSIONS, record_rate, scan_rate,
+                  seconds / SCAN_VERSIONS * 1e3)],
+                ["versions", "record/s", "scan/s", "ms/version"],
+            )
+            # Recording is one small transaction per version; scanning
+            # pays two trial loads + a full detector pass per pair.
+            # Both must stay interactive at the 1k scale.
+            assert record_rate > 100
+            assert scan_rate > 20
+
+    def test_bisect_probe_count_tracks_budget(self, run_once):
+        def sweep():
+            rows = []
+            for n in (64, 256, 1024):
+                with PerfDMF() as db:
+                    culprit = (2 * n) // 3
+                    store, _ = build_history(db, n, culprit=culprit)
+                    result = PerfBisector(store).bisect(
+                        "v0000", f"v{n - 1:04d}")
+                    assert result.first_bad == f"v{culprit:04d}"
+                    rows.append((n, result.probe_count, probe_budget(n)))
+            return rows
+
+        rows = run_once(sweep)
+        print_series("Bisect probes vs budget", rows,
+                     ["versions", "probes", "budget"])
+        for n, probes, budget in rows:
+            assert probes <= budget
+        # doubling history four times adds only ~4 probes: logarithmic
+        assert rows[-1][1] - rows[0][1] <= 5

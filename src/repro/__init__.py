@@ -17,15 +17,18 @@ Subpackages (see README.md for the architecture):
 * :mod:`repro.observe`   — self-telemetry: spans, metrics, dogfood bridge
 * :mod:`repro.serve`     — concurrent analysis service over one repository
 * :mod:`repro.experiments` — declarative experiment orchestration
+* :mod:`repro.lineage`   — commit-anchored performance lineage + bisect
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
+    "VersionKey",
     "apps",
     "core",
     "experiments",
     "knowledge",
+    "lineage",
     "machine",
     "observe",
     "openuh",
@@ -35,5 +38,8 @@ __all__ = [
     "rules",
     "runtime",
     "serve",
+    "version_key",
     "workflows",
 ]
+
+from .version import VersionKey, version_key  # noqa: E402  (needs __version__)

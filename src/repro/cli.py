@@ -977,6 +977,169 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_kv(pairs: list[str] | None, *, what: str) -> dict:
+    """``key=value`` pairs with JSON-decoded values (bare strings pass
+    through), for annotation and factor options."""
+    import json as _json
+
+    out: dict = {}
+    for pair in pairs or []:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"error: {what} must be key=value, got {pair!r}")
+        try:
+            out[key] = _json.loads(value)
+        except ValueError:
+            out[key] = value
+    return out
+
+
+def _parse_trial_ref(ref: str) -> tuple[str, str, str]:
+    parts = ref.split("/")
+    if len(parts) != 3 or not all(parts):
+        raise SystemExit(
+            f"error: trial reference must be APP/EXP/TRIAL, got {ref!r}"
+        )
+    return parts[0], parts[1], parts[2]
+
+
+@_regress_errors
+def _cmd_lineage_record(args: argparse.Namespace) -> int:
+    from repro.lineage import LineageStore
+    from repro.perfdmf import PerfDMF
+
+    annotations = _parse_kv(args.annotate, what="--annotate")
+    factors = _parse_kv(args.factor, what="--factor")
+    if factors:
+        annotations["factors"] = factors
+    store = LineageStore(PerfDMF(args.db))
+    store.record(args.version, parents=args.parent or [],
+                 annotations=annotations)
+    for ref in args.trial or []:
+        app, exp, trial = _parse_trial_ref(ref)
+        store.attach_trial(args.version, app, exp, trial)
+    for ref in args.baseline or []:
+        app, exp, trial = _parse_trial_ref(ref)
+        store.attach_trial(args.version, app, exp, trial, role="baseline")
+    record = store.get(args.version)
+    parents = ", ".join(record.parents) or "(root)"
+    print(f"recorded {record.version_id} <- {parents} "
+          f"[code {record.code_version}, rulebase {record.rulebase_version}"
+          f", {len(record.trials)} trial(s)]")
+    return 0
+
+
+@_regress_errors
+def _cmd_lineage_log(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.lineage import LineageStore
+    from repro.perfdmf import PerfDMF
+
+    store = LineageStore(PerfDMF(args.db))
+    records = store.history(args.tip, limit=args.limit)
+    if args.json:
+        print(_json.dumps([r.to_dict() for r in records], indent=2))
+        return 0
+    if not records:
+        print("no versions recorded")
+        return 0
+    print(f"{'version':<20}{'parents':<24}{'code':<10}{'rulebase':<18}"
+          f"{'trials':>7}")
+    for r in records:
+        parents = ",".join(p[:12] for p in r.parents) or "(root)"
+        print(f"{r.short:<20}{parents:<24}{r.code_version:<10}"
+              f"{r.rulebase_version:<18}{len(r.trials):>7}")
+    return 0
+
+
+@_regress_errors
+def _cmd_lineage_scan(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.lineage import LineageStore, diagnose_lineage, scan_range
+    from repro.perfdmf import PerfDMF
+
+    store = LineageStore(PerfDMF(args.db))
+    scan = scan_range(store, args.start, args.end,
+                      application=args.application,
+                      experiment=args.experiment,
+                      policy=_regress_policy(args))
+    harness = diagnose_lineage(scan)
+    if args.json:
+        payload = scan.to_dict()
+        payload["recommendations"] = [
+            dict(r.items()) for r in harness.recommendations()
+        ]
+        print(_json.dumps(payload, indent=2))
+    else:
+        for cmp_ in scan.comparisons:
+            marker = {"regressed": "!", "improved": "+"}.get(cmp_.verdict,
+                                                             " ")
+            print(f" {marker} {cmp_.parent} -> {cmp_.version}: "
+                  f"{cmp_.verdict} "
+                  f"({cmp_.report.total_relative_change:+.1%})")
+        if scan.gaps:
+            print(f"   gaps (no trial): {', '.join(scan.gaps)}")
+        for rec in harness.recommendations():
+            print(f" * [{rec.get('category')}] {rec.get('message')}")
+    return 1 if scan.regressions else 0
+
+
+@_regress_errors
+def _cmd_lineage_bisect(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.experiments.rigor import RigorPolicy
+    from repro.lineage import LineageStore, PerfBisector
+    from repro.perfdmf import PerfDMF
+
+    client = None
+    if args.endpoint:
+        from repro.serve import SocketClient
+
+        client = SocketClient(args.endpoint, timeout=args.client_timeout)
+    store = LineageStore(PerfDMF(args.db))
+    rigor = RigorPolicy(min_runs=args.min_runs, max_runs=args.max_runs,
+                        relative_halfwidth=args.rel_halfwidth)
+    bisector = PerfBisector(
+        store, client=client,
+        application=args.application, experiment=args.experiment,
+        policy=_regress_policy(args), rigor=rigor,
+        wait_timeout=args.client_timeout,
+    )
+    try:
+        result = bisector.bisect(args.good, args.bad)
+    finally:
+        if client is not None:
+            client.close()
+    if args.out:
+        with open(args.out, "w") as fh:
+            _json.dump(result.to_dict(), fh, indent=2)
+    if args.json:
+        print(_json.dumps(result.to_dict(), indent=2))
+        return 0 if result.status == "found" else 1
+    if result.status == "no-regression":
+        print(f"no regression between {result.good} and {result.bad} "
+              f"({result.probe_count} probe(s))")
+        return 1
+    print(f"first bad version: {result.first_bad} "
+          f"(last good: {result.last_good})")
+    if result.offending:
+        off = result.offending
+        print(f"  offending: {off['event']} [{off['metric']}] "
+              f"{off['relative_change']:+.1%} "
+              f"({off['severity']:.1%} of runtime)")
+    sources = {p.version: p.source for p in result.probes}
+    synthesized = sum(1 for s in sources.values() if s == "synthesized")
+    print(f"  probes: {result.probe_count}/{result.budget} budget "
+          f"({synthesized} synthesized, "
+          f"{len(sources) - synthesized} banked)")
+    for rec in result.recommendations:
+        print(f"  * [{rec.get('category')}] {rec.get('message')}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-perf",
@@ -1298,6 +1461,90 @@ def build_parser() -> argparse.ArgumentParser:
     ep.add_argument("--no-diagnose", action="store_true",
                     help="skip the experiment-rules critique")
     ep.set_defaults(func=_cmd_exp_report)
+
+    p = sub.add_parser(
+        "lineage",
+        help="commit-anchored performance history: record/log/scan/bisect")
+    lsub = p.add_subparsers(dest="lineage_command", required=True)
+
+    lp = lsub.add_parser("record",
+                         help="record a code version (and attach trials)")
+    _add_db_arg(lp, required=True)
+    lp.add_argument("version", help="version id (commit sha, tag, ...)")
+    lp.add_argument("--parent", action="append", metavar="VERSION",
+                    help="parent version (repeat for merges)")
+    lp.add_argument("--annotate", action="append", metavar="KEY=VALUE",
+                    help="annotation (value parsed as JSON when possible)")
+    lp.add_argument("--factor", action="append", metavar="KEY=VALUE",
+                    help="experiment factor for later sample synthesis "
+                         "(collected under the 'factors' annotation)")
+    lp.add_argument("--trial", action="append", metavar="APP/EXP/TRIAL",
+                    help="attach a stored trial to this version")
+    lp.add_argument("--baseline", action="append", metavar="APP/EXP/TRIAL",
+                    help="attach a stored trial as this version's baseline")
+    lp.set_defaults(func=_cmd_lineage_record)
+
+    lp = lsub.add_parser("log",
+                         help="show version history (newest first)")
+    _add_db_arg(lp, required=True)
+    lp.add_argument("--tip", help="start from this version (default: "
+                                  "newest tip)")
+    lp.add_argument("--limit", type=int, help="show at most N versions")
+    lp.add_argument("--json", action="store_true")
+    lp.set_defaults(func=_cmd_lineage_log)
+
+    def _scan_policy_args(lp: argparse.ArgumentParser) -> None:
+        lp.add_argument("--application", help="restrict to one application")
+        lp.add_argument("--experiment", help="restrict to one experiment")
+        lp.add_argument("--metric", help="restrict detection to one metric")
+        lp.add_argument("--threshold", type=float,
+                        help="min relative change to flag (default 0.10)")
+        lp.add_argument("--alpha", type=float,
+                        help="significance level (default 0.05)")
+
+    lp = lsub.add_parser(
+        "scan",
+        help="sweep regression detectors along history (exit 1 if any "
+             "step regressed)")
+    _add_db_arg(lp, required=True)
+    lp.add_argument("--start", help="oldest version (default: root)")
+    lp.add_argument("--end", help="newest version (default: tip)")
+    _scan_policy_args(lp)
+    lp.add_argument("--json", action="store_true")
+    lp.set_defaults(func=_cmd_lineage_scan)
+
+    def _bisect_args(lp: argparse.ArgumentParser) -> None:
+        _add_db_arg(lp, required=True)
+        lp.add_argument("good", help="known-good version")
+        lp.add_argument("bad", nargs="?",
+                        help="known-bad version (default: newest tip)")
+        _scan_policy_args(lp)
+        lp.add_argument("--endpoint",
+                        help="serve endpoint (unix:PATH or tcp:HOST:PORT) "
+                             "for synthesizing missing samples")
+        lp.add_argument("--client-timeout", type=float, default=120.0,
+                        help="per-probe job timeout, seconds")
+        lp.add_argument("--min-runs", type=int, default=3,
+                        help="reruns per synthesized probe before assessing")
+        lp.add_argument("--max-runs", type=int, default=8,
+                        help="rerun ceiling per synthesized probe")
+        lp.add_argument("--rel-halfwidth", type=float, default=0.10,
+                        help="CI half-width convergence target")
+        lp.add_argument("--json", action="store_true",
+                        help="print the full JSON report")
+        lp.add_argument("--out", metavar="REPORT.json",
+                        help="also write the JSON report to a file")
+        lp.set_defaults(func=_cmd_lineage_bisect)
+
+    lp = lsub.add_parser(
+        "bisect",
+        help="binary-search history for the regression-introducing version")
+    _bisect_args(lp)
+
+    p = sub.add_parser(
+        "bisect",
+        help="binary-search performance history (alias for lineage bisect)")
+    _bisect_args(p)
 
     p = sub.add_parser("tune", help="run a closed tuning loop")
     p.add_argument("app", choices=["msa", "genidlest"])

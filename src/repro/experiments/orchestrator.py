@@ -35,6 +35,7 @@ from typing import Any, Callable
 from .. import observe
 from ..observe.context import TraceContext, make_span, new_span_id
 from ..rules import Fact
+from ..version import version_key
 from .rigor import Assessment, assess
 from .spec import Case, Plan
 from .state import ExperimentState, TERMINAL_CASE_STATUSES
@@ -345,6 +346,7 @@ class Orchestrator:
 
     def _submit_reruns(self, tracker: _Tracker, reruns) -> None:
         spec = self.plan.spec
+        versions = version_key()
         requests = [{
             "kind": "run-trial",
             "params": {
@@ -358,6 +360,8 @@ class Orchestrator:
                 "key_event": spec.key_event,
                 "noise": spec.rigor.noise,
                 "spec": spec.name,
+                "code_version": versions.code,
+                "rulebase_version": versions.rulebase,
             },
         } for rerun in reruns]
         if not requests:

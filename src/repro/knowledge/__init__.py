@@ -21,6 +21,13 @@ from .recommendations import (
     render_report,
     summarize_categories,
 )
+from .lineage_rules import (
+    CREEP_STEP_THRESHOLD,
+    CREEP_TOTAL_THRESHOLD,
+    DEGRADATION_SEVERITY_THRESHOLD,
+    lineage_rulebase,
+    lineage_rules,
+)
 from .regression_rules import (
     REGRESSION_SEVERITY_THRESHOLD,
     regression_rulebase,
@@ -55,6 +62,9 @@ from .rules_def import (
 
 __all__ = [
     "COLD_CACHE_HIT_RATE",
+    "CREEP_STEP_THRESHOLD",
+    "CREEP_TOTAL_THRESHOLD",
+    "DEGRADATION_SEVERITY_THRESHOLD",
     "IMBALANCE_RATIO_THRESHOLD",
     "RERUN_HEAVY_RATE",
     "experiment_rules",
@@ -74,6 +84,8 @@ __all__ = [
     "diagnose_timeline",
     "imbalance_facts",
     "inefficiency_facts",
+    "lineage_rulebase",
+    "lineage_rules",
     "locality_facts",
     "openuh_rules",
     "phase_imbalance_facts",

@@ -1,0 +1,204 @@
+"""Degradation scanner: change detection swept along version history.
+
+:func:`scan_range` walks a lineage version chain oldest-first and runs
+the sentinel's paired/Welch detectors (:func:`repro.regress.detect.
+compare_trials`) over every adjacent pair that has stored trials,
+producing one :class:`PairComparison` per step.  Versions without an
+attached trial for the scanned (application, experiment) are *gaps*:
+the scanner bridges them — comparing across the hole against the last
+measured version — and records which versions it had to skip, so a
+downstream bisect knows where banked history runs out and synthesis
+must take over.
+
+The output feeds :mod:`repro.lineage.facts`, which turns the sweep into
+working memory for the ``lineage-rules`` rulebase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .. import observe
+from ..perfdmf import ProfileError, Trial
+from ..regress.detect import RegressionReport, ThresholdPolicy, compare_trials
+from .store import LineageStore, TrialRef
+
+__all__ = ["PairComparison", "ScanResult", "scan_range"]
+
+
+@dataclass(frozen=True)
+class PairComparison:
+    """One adjacent-version comparison in a scan sweep."""
+
+    version: str
+    parent: str
+    #: Position of ``version`` in the walked chain (0 = range start).
+    index: int
+    application: str
+    experiment: str
+    baseline_trial: str
+    candidate_trial: str
+    #: Did the rulebase fingerprint change across this step?
+    rulebase_changed: bool
+    #: Versions between parent and version that had no trial to measure.
+    bridged_gaps: tuple[str, ...]
+    report: RegressionReport
+
+    @property
+    def verdict(self) -> str:
+        return self.report.verdict
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": self.version,
+            "parent": self.parent,
+            "index": self.index,
+            "application": self.application,
+            "experiment": self.experiment,
+            "baseline_trial": self.baseline_trial,
+            "candidate_trial": self.candidate_trial,
+            "rulebase_changed": self.rulebase_changed,
+            "bridged_gaps": list(self.bridged_gaps),
+            "verdict": self.verdict,
+            "total_relative_change": self.report.total_relative_change,
+        }
+
+
+@dataclass
+class ScanResult:
+    """A full sweep over one version range."""
+
+    start: str
+    end: str
+    versions: list[str]
+    application: str | None
+    experiment: str | None
+    comparisons: list[PairComparison] = field(default_factory=list)
+    #: Versions in the range with no usable trial (bridged over).
+    gaps: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[PairComparison]:
+        return [c for c in self.comparisons if c.verdict == "regressed"]
+
+    @property
+    def first_bad(self) -> PairComparison | None:
+        """The earliest step whose verdict flips to ``regressed`` after a
+        non-regressed step (or from the start of the range)."""
+        prev = "ok"
+        for cmp_ in self.comparisons:
+            if cmp_.verdict == "regressed" and prev != "regressed":
+                return cmp_
+            prev = cmp_.verdict
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        first_bad = self.first_bad
+        return {
+            "start": self.start,
+            "end": self.end,
+            "versions": list(self.versions),
+            "application": self.application,
+            "experiment": self.experiment,
+            "comparisons": [c.to_dict() for c in self.comparisons],
+            "gaps": list(self.gaps),
+            "regressed_steps": len(self.regressions),
+            "first_bad": first_bad.version if first_bad else None,
+        }
+
+
+def _representative(
+    store: LineageStore,
+    version_id: str,
+    application: str | None,
+    experiment: str | None,
+) -> TrialRef | None:
+    """The trial a version is measured by: the first attached ``trial``
+    matching the filters, falling back to a ``baseline``."""
+    trials = store.trials_for(
+        version_id, application=application, experiment=experiment
+    )
+    for ref in trials:
+        if ref.role == "trial":
+            return ref
+    return trials[0] if trials else None
+
+
+def _load(store: LineageStore, ref: TrialRef) -> Trial:
+    return store.db.load_trial(ref.application, ref.experiment, ref.trial)
+
+
+def scan_range(
+    store: LineageStore,
+    start: str | None = None,
+    end: str | None = None,
+    *,
+    application: str | None = None,
+    experiment: str | None = None,
+    policy: ThresholdPolicy | None = None,
+) -> ScanResult:
+    """Sweep the detectors across ``start..end`` (default: full history
+    of the newest tip), oldest-first."""
+    if end is None:
+        tips = store.tips()
+        if not tips:
+            raise ProfileError("lineage: no versions recorded; nothing to scan")
+        end = tips[-1]
+    if start is None:
+        chain = [r.version_id for r in reversed(store.history(end))]
+    else:
+        chain = store.path(start, end)
+    policy = policy or ThresholdPolicy()
+
+    with observe.span(
+        "lineage.scan", start=chain[0], end=end, versions=len(chain)
+    ):
+        result = ScanResult(
+            start=chain[0], end=end, versions=chain,
+            application=application, experiment=experiment,
+        )
+        last_measured: tuple[str, TrialRef] | None = None
+        pending_gaps: list[str] = []
+        for index, version_id in enumerate(chain):
+            ref = _representative(store, version_id, application, experiment)
+            if ref is None:
+                if last_measured is not None:
+                    pending_gaps.append(version_id)
+                result.gaps.append(version_id)
+                continue
+            if last_measured is None:
+                last_measured = (version_id, ref)
+                continue
+            parent_id, parent_ref = last_measured
+            report = compare_trials(
+                _load(store, parent_ref),
+                _load(store, ref),
+                policy=policy,
+                application=ref.application,
+                experiment=ref.experiment,
+            )
+            rulebase_changed = (
+                store.get(version_id).rulebase_version
+                != store.get(parent_id).rulebase_version
+            )
+            result.comparisons.append(PairComparison(
+                version=version_id,
+                parent=parent_id,
+                index=index,
+                application=ref.application,
+                experiment=ref.experiment,
+                baseline_trial=parent_ref.trial,
+                candidate_trial=ref.trial,
+                rulebase_changed=rulebase_changed,
+                bridged_gaps=tuple(pending_gaps),
+                report=report,
+            ))
+            observe.event(
+                "lineage.scan.step", version=version_id, parent=parent_id,
+                verdict=report.verdict,
+                total_change=report.total_relative_change,
+            )
+            last_measured = (version_id, ref)
+            pending_gaps = []
+        return result

@@ -25,35 +25,9 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
-from .. import __version__ as CODE_VERSION
+from ..version import CODE_VERSION, rulebase_fingerprint, version_key
 
 __all__ = ["CacheStats", "ResultCache", "cache_key", "rulebase_fingerprint"]
-
-_fingerprint_lock = threading.Lock()
-_fingerprint: str | None = None
-
-
-def rulebase_fingerprint() -> str:
-    """Digest of the shipped knowledge layer's sources (.py and .prl).
-
-    Any edit to the rulebase — new rule, changed threshold, different
-    fact generator — changes this fingerprint and therefore every cache
-    key derived from it.  Computed once per process.
-    """
-    global _fingerprint
-    with _fingerprint_lock:
-        if _fingerprint is None:
-            from pathlib import Path
-
-            import repro.knowledge as knowledge
-
-            root = Path(knowledge.__file__).parent
-            h = hashlib.sha256()
-            for path in sorted(root.glob("*.py")) + sorted(root.glob("*.prl")):
-                h.update(path.name.encode())
-                h.update(path.read_bytes())
-            _fingerprint = h.hexdigest()[:16]
-        return _fingerprint
 
 
 def _canonical(value: Any) -> str:
@@ -70,6 +44,7 @@ def cache_key(
     rulebase_version: str | None = None,
 ) -> str:
     """The content address of one job's result."""
+    versions = version_key(code_version, rulebase_version)
     h = hashlib.sha256()
     h.update(kind.encode())
     h.update(b"\x1f")
@@ -78,9 +53,9 @@ def cache_key(
         h.update(b"\x1f")
         h.update(trial_hash.encode())
     h.update(b"\x1f")
-    h.update((code_version or CODE_VERSION).encode())
+    h.update(versions.code.encode())
     h.update(b"\x1f")
-    h.update((rulebase_version or rulebase_fingerprint()).encode())
+    h.update(versions.rulebase.encode())
     return h.hexdigest()
 
 

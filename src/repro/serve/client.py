@@ -107,6 +107,23 @@ class Client:
         :meth:`AnalysisService.explain_job`.)"""
         return self.service.explain_job(job_id)
 
+    def lineage_scan(self, start: str | None = None,
+                     end: str | None = None, *,
+                     application: str | None = None,
+                     experiment: str | None = None,
+                     diagnose: bool = True,
+                     wait_timeout: float | None = 60.0) -> dict[str, Any]:
+        """Run a ``lineage-scan`` job and return its payload."""
+        record = self.run("lineage-scan", {
+            "start": start, "end": end, "application": application,
+            "experiment": experiment, "diagnose": diagnose,
+        }, wait_timeout=wait_timeout)
+        if record["status"] != "done":
+            raise AnalysisError(
+                f"lineage-scan {record['status']}: {record.get('error')}"
+            )
+        return record["result"]
+
     def close(self) -> None:
         """The service is not ours to stop; nothing to release."""
 
@@ -196,6 +213,23 @@ class SocketClient:
 
     def explain_job(self, job_id: int) -> dict[str, Any]:
         return self.request("explain_job", id=job_id)["explain"]
+
+    def lineage_scan(self, start: str | None = None,
+                     end: str | None = None, *,
+                     application: str | None = None,
+                     experiment: str | None = None,
+                     diagnose: bool = True,
+                     wait_timeout: float | None = 60.0) -> dict[str, Any]:
+        """Run a ``lineage-scan`` job and return its payload."""
+        record = self.run("lineage-scan", {
+            "start": start, "end": end, "application": application,
+            "experiment": experiment, "diagnose": diagnose,
+        }, wait_timeout=wait_timeout)
+        if record["status"] != "done":
+            raise AnalysisError(
+                f"lineage-scan {record['status']}: {record.get('error')}"
+            )
+        return record["result"]
 
     def diagnose(self) -> dict[str, Any]:
         return self.request("diagnose")

@@ -340,6 +340,8 @@ def run_trial_job(
     key_event: str = "main",
     noise: float = 0.0,
     spec: str | None = None,
+    code_version: str | None = None,
+    rulebase_version: str | None = None,
 ) -> dict[str, Any]:
     """Execute one case rerun and store its trial.
 
@@ -406,6 +408,9 @@ def run_trial_job(
         "spec": spec or "",
         "factors": dict(factors),
     })
+    from ..version import version_key
+
+    version_key(code_version, rulebase_version).stamp(trial.metadata)
     import sqlite3
 
     try:
@@ -475,6 +480,38 @@ def analyze_case_job(
         "recommendations": _recommendations_payload(harness),
         "worker": ctx.worker,
     }
+
+
+# -- lineage kinds (performance history over the same repository) ----------
+
+@job_kind("lineage-scan", writes=True)
+def lineage_scan_job(
+    ctx: JobContext,
+    *,
+    start: str | None = None,
+    end: str | None = None,
+    application: str | None = None,
+    experiment: str | None = None,
+    diagnose: bool = True,
+) -> dict[str, Any]:
+    """Sweep the regression detectors along stored version history.
+
+    Conceptually read-only, but declared ``writes=True``: the lineage
+    side tables are ensured on open (a no-op write once they exist) and
+    live outside the trial content hashes the cache keys on, so results
+    must not be cached either.
+    """
+    from ..lineage import LineageStore, scan_range
+    from ..lineage.facts import diagnose_lineage
+
+    store = LineageStore(ctx.db)
+    scan = scan_range(store, start, end,
+                      application=application, experiment=experiment)
+    payload: dict[str, Any] = {"scan": scan.to_dict(), "worker": ctx.worker}
+    if diagnose:
+        harness = diagnose_lineage(scan)
+        payload["recommendations"] = _recommendations_payload(harness)
+    return payload
 
 
 # -- synthetic kinds (load generation, fault injection, tests) -------------

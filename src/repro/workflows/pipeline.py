@@ -30,6 +30,7 @@ from ..openuh import (
 )
 from ..perfdmf import PerfDMF, Trial, store_interval_trials
 from ..runtime import EventTrace, Profiler, SnapshotProfiler
+from ..version import version_key
 
 
 @dataclass
@@ -62,6 +63,7 @@ def automated_analysis(
         trial_id = None
         if repository is not None:
             with observe.span("pipeline.store"):
+                version_key().stamp(trial.metadata)
                 trial_id = repository.save_trial(application, experiment,
                                                  trial, replace=True)
         with observe.span("pipeline.diagnose"):
@@ -117,6 +119,7 @@ def regression_gate(
 
     with observe.span("pipeline.regression_gate", application=application,
                       experiment=experiment, trial=trial.name) as sp:
+        version_key().stamp(trial.metadata)
         repository.save_trial(application, experiment, trial, replace=True)
         registry = BaselineRegistry(repository)
         if registry.baseline_name(application, experiment) is None:
@@ -274,6 +277,7 @@ def trace_application(
         interval_ids: list[int] = []
         if repository is not None:
             with observe.span("pipeline.trace_store"):
+                version_key().stamp(trial.metadata)
                 trial_id = repository.save_trial(
                     application, experiment, trial, replace=True
                 )

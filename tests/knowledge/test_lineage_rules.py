@@ -1,0 +1,124 @@
+"""lineage-rules: the history-level diagnoses, fact-level."""
+
+from repro.core.harness import RuleHarness
+from repro.knowledge.lineage_rules import lineage_rules
+from repro.rules import Fact
+
+
+def comparison(version, parent, *, verdict="ok", prev="ok", total=0.0,
+               rulebase_changed=False, index=1):
+    return Fact("VersionComparisonFact", version=version,
+                parentVersion=parent, index=index, verdict=verdict,
+                prevVerdict=prev, totalChange=total,
+                rulebaseChanged=rulebase_changed, bridgedGaps=0)
+
+
+def degradation(version, parent, *, event="loop", severity=0.5, change=0.3):
+    return Fact("DegradationFact", version=version, parentVersion=parent,
+                eventName=event, metric="TIME", relativeChange=change,
+                severity=severity, pValue=0.001)
+
+
+def fire(*facts):
+    h = RuleHarness(lineage_rules())
+    h.assertObjects(list(facts))
+    h.processRules()
+    return h
+
+
+class TestFirstBadVersion:
+    def test_fires_on_flip_with_locus(self):
+        h = fire(
+            comparison("v2", "v1", verdict="regressed", prev="ok",
+                       total=0.4),
+            degradation("v2", "v1", event="hot_loop"),
+        )
+        recs = [r for r in h.recommendations()
+                if r["category"] == "first-bad-version"]
+        assert len(recs) == 1
+        assert recs[0]["version"] == "v2"
+        assert recs[0]["event"] == "hot_loop"
+
+    def test_quiet_without_degradation_locus(self):
+        # generator/rule split: the comparison alone has no event to
+        # blame, so the rule stays quiet rather than hand-waving
+        h = fire(comparison("v2", "v1", verdict="regressed", prev="ok"))
+        assert not any(r["category"] == "first-bad-version"
+                       for r in h.recommendations())
+
+    def test_quiet_when_already_regressed(self):
+        # mid-plateau steps are not "first": prevVerdict is regressed
+        h = fire(
+            comparison("v3", "v2", verdict="regressed", prev="regressed"),
+            degradation("v3", "v2"),
+        )
+        assert not any(r["category"] == "first-bad-version"
+                       for r in h.recommendations())
+
+    def test_quiet_below_severity_threshold(self):
+        h = fire(
+            comparison("v2", "v1", verdict="regressed", prev="ok"),
+            degradation("v2", "v1", severity=0.001),
+        )
+        assert not any(r["category"] == "first-bad-version"
+                       for r in h.recommendations())
+
+
+class TestSlowCreep:
+    def drift(self, *, total=0.2, max_step=0.03, versions=5):
+        return Fact("DriftFact", startVersion="v0", endVersion="v5",
+                    versions=versions, totalChange=total,
+                    maxStepChange=max_step)
+
+    def test_fires_on_large_total_small_steps(self):
+        h = fire(self.drift())
+        creep = [r for r in h.recommendations()
+                 if r["category"] == "slow-creep"]
+        assert len(creep) == 1
+        assert creep[0]["start_version"] == "v0"
+        assert creep[0]["end_version"] == "v5"
+
+    def test_quiet_on_small_total(self):
+        h = fire(self.drift(total=0.05))
+        assert not any(r["category"] == "slow-creep"
+                       for r in h.recommendations())
+
+    def test_quiet_when_one_big_step_dominates(self):
+        # a big single step is a bisect target, not creep
+        h = fire(self.drift(total=0.3, max_step=0.25))
+        assert not any(r["category"] == "slow-creep"
+                       for r in h.recommendations())
+
+
+class TestRulebaseBump:
+    def test_fires_on_coincident_change(self):
+        h = fire(comparison("v2", "v1", verdict="regressed", prev="ok",
+                            rulebase_changed=True))
+        recs = [r for r in h.recommendations()
+                if r["category"] == "rulebase-coincident-regression"]
+        assert len(recs) == 1
+        assert recs[0]["version"] == "v2"
+
+    def test_quiet_without_regression(self):
+        h = fire(comparison("v2", "v1", verdict="ok",
+                            rulebase_changed=True))
+        assert h.recommendations() == []
+
+    def test_quiet_without_rulebase_change(self):
+        h = fire(comparison("v2", "v1", verdict="regressed", prev="ok"))
+        assert not any(
+            r["category"] == "rulebase-coincident-regression"
+            for r in h.recommendations()
+        )
+
+
+class TestRegistration:
+    def test_named_rulebase_resolves(self):
+        h = RuleHarness("lineage-rules")
+        h.assertObjects([
+            comparison("v2", "v1", verdict="regressed", prev="ok"),
+            degradation("v2", "v1"),
+        ])
+        h.processRules()
+        assert any(r["category"] == "first-bad-version"
+                   for r in h.recommendations())

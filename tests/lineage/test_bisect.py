@@ -1,0 +1,175 @@
+"""PerfBisector: convergence, probe budgets, banked vs. synthesized."""
+
+import math
+
+import pytest
+
+from repro.experiments import run_synthetic_trial
+from repro.experiments.rigor import RigorPolicy
+from repro.lineage import LineageStore, PerfBisector, probe_budget
+from repro.perfdmf import PerfDMF, ProfileError
+
+
+def banked_history(db, n, culprit, *, app="lineage", exp="bisect"):
+    """A linear n-version history with one banked trial per version and
+    a 2x slowdown from ``culprit`` on."""
+    store = LineageStore(db)
+    parent = None
+    for i in range(n):
+        vid = f"v{i:02d}"
+        store.record(vid, parents=[parent] if parent else [])
+        trial = run_synthetic_trial(scale=2.0 if i >= culprit else 1.0,
+                                    name=f"t_{vid}")
+        db.save_trial(app, exp, trial, replace=True)
+        store.attach_trial(vid, app, exp, f"t_{vid}")
+        parent = vid
+    return store
+
+
+def annotated_history(db, n, culprit, *, noise=0.02):
+    """A history with factors annotations only — no banked trials, so
+    every probe must synthesize through a service."""
+    store = LineageStore(db)
+    parent = None
+    for i in range(n):
+        vid = f"v{i:02d}"
+        store.record(vid, parents=[parent] if parent else [], annotations={
+            "factors": {"scale": 2.0 if i >= culprit else 1.0},
+            "noise": noise,
+        })
+        parent = vid
+    return store
+
+
+class TestProbeBudget:
+    def test_formula(self):
+        assert probe_budget(1) == 1
+        assert probe_budget(2) == 2
+        assert probe_budget(32) == 6
+        assert probe_budget(64) == 7
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 13, 33, 64])
+    def test_search_never_exceeds_budget(self, n):
+        # exhaustive over every culprit position in an n-version chain
+        for culprit in range(1, n):
+            with PerfDMF() as db:
+                store = banked_history(db, n, culprit)
+                result = PerfBisector(store).bisect("v00", f"v{n - 1:02d}")
+                assert result.status == "found"
+                assert result.first_bad == f"v{culprit:02d}"
+                assert result.probe_count <= probe_budget(n), (
+                    f"n={n} culprit={culprit}: {result.probe_count} probes"
+                )
+
+
+class TestBankedBisect:
+    def test_64_version_convergence(self):
+        # the acceptance case: 64 monotone versions, <= ceil(log2 64)+1
+        with PerfDMF() as db:
+            store = banked_history(db, 64, 41)
+            result = PerfBisector(store).bisect("v00", "v63")
+            assert result.status == "found"
+            assert result.first_bad == "v41"
+            assert result.last_good == "v40"
+            assert result.probe_count <= math.ceil(math.log2(64)) + 1
+            assert result.within_budget
+            assert all(p.source == "banked" for p in result.probes)
+
+    def test_report_names_metric_region_and_facts(self):
+        import json
+
+        with PerfDMF() as db:
+            store = banked_history(db, 8, 5)
+            result = PerfBisector(store).bisect("v00", "v07")
+            assert result.offending is not None
+            assert result.offending["event"]
+            assert result.offending["metric"]
+            assert result.offending["relative_change"] > 0
+            categories = {r["category"] for r in result.recommendations}
+            assert "first-bad-version" in categories
+            assert any(f["type"] == "DegradationFact" for f in result.facts)
+            json.dumps(result.to_dict())
+
+    def test_no_regression_short_circuits(self):
+        with PerfDMF() as db:
+            store = banked_history(db, 16, 99)  # never slows down
+            result = PerfBisector(store).bisect("v00", "v15")
+            assert result.status == "no-regression"
+            assert result.first_bad is None
+            assert result.probe_count == 1  # endpoint confirmation only
+
+    def test_trivial_range_rejected(self):
+        with PerfDMF() as db:
+            store = banked_history(db, 2, 1)
+            with pytest.raises(ProfileError, match="nothing to bisect"):
+                PerfBisector(store).bisect("v01", "v01")
+
+    def test_defaults_to_tip(self):
+        with PerfDMF() as db:
+            store = banked_history(db, 8, 3)
+            result = PerfBisector(store).bisect("v00")
+            assert result.bad == "v07"
+            assert result.first_bad == "v03"
+
+
+class TestSynthesis:
+    def test_no_client_and_no_trials_errors(self):
+        with PerfDMF() as db:
+            store = annotated_history(db, 4, 2)
+            with pytest.raises(ProfileError, match="no service client"):
+                PerfBisector(store).bisect("v00", "v03")
+
+    def test_no_factors_errors(self):
+        with PerfDMF() as db:
+            store = LineageStore(db)
+            store.record("a")
+            store.record("b", parents=["a"])
+
+            class FakeClient:  # never reached: annotation check first
+                pass
+
+            with pytest.raises(ProfileError, match="factors"):
+                PerfBisector(store, client=FakeClient()).bisect("a", "b")
+
+    def test_synthesized_bisect_and_banked_rebisect_agree(self, tmp_path):
+        # The acceptance identity: bisect with synthesis, then re-bisect
+        # the same range clientless — banked trials only — and the
+        # verdicts, culprit, and offending report must be identical.
+        from repro.serve import AnalysisService
+        from repro.serve.client import Client
+
+        db_path = str(tmp_path / "perf.db")
+        store = annotated_history(PerfDMF(db_path), 16, 11)
+        rigor = RigorPolicy(min_runs=2, max_runs=4, relative_halfwidth=0.2)
+        with AnalysisService(db_path=db_path, workers=2) as svc:
+            bisector = PerfBisector(store, client=Client(svc), rigor=rigor)
+            synthesized = bisector.bisect("v00", "v15")
+        assert synthesized.status == "found"
+        assert synthesized.first_bad == "v11"
+        assert all(p.source == "synthesized" for p in synthesized.probes)
+        assert all(p.runs >= rigor.min_runs for p in synthesized.probes)
+
+        rebisect = PerfBisector(LineageStore(PerfDMF(db_path)))
+        banked = rebisect.bisect("v00", "v15")
+        assert all(p.source == "banked" for p in banked.probes)
+        assert banked.first_bad == synthesized.first_bad
+        assert banked.offending == synthesized.offending
+        assert [(p.version, p.verdict) for p in banked.probes] == \
+            [(p.version, p.verdict) for p in synthesized.probes]
+
+    def test_synthesis_converges_to_rigor(self, tmp_path):
+        # High noise forces reruns beyond min_runs before the CI narrows.
+        from repro.experiments.rigor import assess
+        from repro.serve import AnalysisService
+        from repro.serve.client import Client
+
+        db_path = str(tmp_path / "perf.db")
+        store = annotated_history(PerfDMF(db_path), 4, 2, noise=0.3)
+        rigor = RigorPolicy(min_runs=2, max_runs=6, relative_halfwidth=0.15)
+        with AnalysisService(db_path=db_path, workers=2) as svc:
+            bisector = PerfBisector(store, client=Client(svc), rigor=rigor)
+            result = bisector.bisect("v00", "v03")
+        assert result.status in ("found", "no-regression")
+        # every synthesized probe either converged or hit the ceiling
+        for probe in result.probes:
+            assert probe.runs <= rigor.max_runs

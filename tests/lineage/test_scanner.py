@@ -1,0 +1,161 @@
+"""Degradation scanner: sweeps, gaps, and the lineage fact vocabulary."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_synthetic_trial
+from repro.lineage import (
+    LineageStore,
+    degradation_facts,
+    diagnose_lineage,
+    drift_facts,
+    lineage_facts,
+    scan_range,
+)
+from repro.perfdmf import PerfDMF, ProfileError
+
+
+def build_history(db, scales, *, skip=(), rulebases=None):
+    """A linear history with one synthetic trial per version (except
+    indices in ``skip``)."""
+    store = LineageStore(db)
+    parent = None
+    for i, scale in enumerate(scales):
+        vid = f"v{i:02d}"
+        rulebase = rulebases[i] if rulebases else None
+        store.record(vid, parents=[parent] if parent else [],
+                     rulebase_version=rulebase)
+        if i not in skip:
+            trial = run_synthetic_trial(scale=scale, name=f"t_{vid}")
+            db.save_trial("app", "exp", trial, replace=True)
+            store.attach_trial(vid, "app", "exp", f"t_{vid}")
+        parent = vid
+    return store
+
+
+@pytest.fixture
+def db():
+    with PerfDMF() as repo:
+        yield repo
+
+
+class TestScan:
+    def test_flat_history_is_clean(self, db):
+        store = build_history(db, [1.0] * 5)
+        scan = scan_range(store, application="app", experiment="exp")
+        assert len(scan.comparisons) == 4
+        assert all(c.verdict == "ok" for c in scan.comparisons)
+        assert scan.first_bad is None
+        assert scan.regressions == []
+
+    def test_injected_step_found(self, db):
+        store = build_history(db, [1.0, 1.0, 1.0, 2.0, 2.0])
+        scan = scan_range(store)
+        assert scan.first_bad is not None
+        assert scan.first_bad.version == "v03"
+        assert [c.verdict for c in scan.comparisons] == \
+            ["ok", "ok", "regressed", "ok"]
+
+    def test_explicit_range(self, db):
+        store = build_history(db, [1.0] * 6)
+        scan = scan_range(store, "v02", "v04")
+        assert scan.versions == ["v02", "v03", "v04"]
+        assert len(scan.comparisons) == 2
+
+    def test_gaps_are_bridged_and_reported(self, db):
+        # v02 has no trial: the scan compares v01 -> v03 across it.
+        store = build_history(db, [1.0, 1.0, 1.0, 2.0], skip=[2])
+        scan = scan_range(store)
+        assert scan.gaps == ["v02"]
+        step = next(c for c in scan.comparisons if c.version == "v03")
+        assert step.parent == "v01"
+        assert step.bridged_gaps == ("v02",)
+        assert step.verdict == "regressed"
+
+    def test_rulebase_change_flagged(self, db):
+        store = build_history(db, [1.0, 1.0, 2.0],
+                              rulebases=["aa", "aa", "bb"])
+        scan = scan_range(store)
+        flags = {c.version: c.rulebase_changed for c in scan.comparisons}
+        assert flags == {"v01": False, "v02": True}
+
+    def test_empty_store_errors(self, db):
+        store = LineageStore(db)
+        with pytest.raises(ProfileError, match="nothing to scan"):
+            scan_range(store)
+
+    def test_to_dict_is_jsonable(self, db):
+        import json
+
+        store = build_history(db, [1.0, 2.0])
+        json.dumps(scan_range(store).to_dict())
+
+
+class TestFacts:
+    def test_comparison_and_degradation_facts(self, db):
+        store = build_history(db, [1.0, 1.0, 2.0])
+        scan = scan_range(store)
+        facts = degradation_facts(scan)
+        comparisons = [f for f in facts
+                       if f.fact_type == "VersionComparisonFact"]
+        degradations = [f for f in facts if f.fact_type == "DegradationFact"]
+        assert len(comparisons) == 2
+        assert comparisons[0]["prevVerdict"] == "ok"
+        assert comparisons[1]["verdict"] == "regressed"
+        assert degradations
+        assert all(f["version"] == "v02" for f in degradations)
+        # one fact per event, not per metric cell
+        events = [f["eventName"] for f in degradations]
+        assert len(events) == len(set(events))
+
+    def test_drift_facts_compound_runs(self, db):
+        # four consecutive small worsening steps -> one drift fact
+        store = build_history(db, [1.08 ** i for i in range(5)])
+        scan = scan_range(store)
+        drifts = drift_facts(scan)
+        assert len(drifts) == 1
+        fact = drifts[0]
+        assert fact["versions"] == 4
+        assert fact["totalChange"] > 0.10
+        assert fact["maxStepChange"] < 0.08
+
+    def test_no_drift_on_flat_history(self, db):
+        store = build_history(db, [1.0] * 4)
+        assert drift_facts(scan_range(store)) == []
+
+    def test_lineage_facts_combines_both(self, db):
+        store = build_history(db, [1.0, 1.05, 1.10])
+        facts = lineage_facts(scan_range(store))
+        types = {f.fact_type for f in facts}
+        assert "VersionComparisonFact" in types
+        assert "DriftFact" in types
+
+
+class TestDiagnose:
+    def test_first_bad_version_recommendation(self, db):
+        store = build_history(db, [1.0, 1.0, 2.0, 2.0])
+        harness = diagnose_lineage(scan_range(store))
+        recs = harness.recommendations()
+        first_bad = [r for r in recs if r["category"] == "first-bad-version"]
+        assert first_bad
+        assert first_bad[0]["version"] == "v02"
+        assert first_bad[0]["parent"] == "v01"
+
+    def test_slow_creep_recommendation(self, db):
+        store = build_history(db, [1.08 ** i for i in range(5)])
+        harness = diagnose_lineage(scan_range(store))
+        creep = [r for r in harness.recommendations()
+                 if r["category"] == "slow-creep"]
+        assert creep
+        assert creep[0]["versions"] == 4
+
+    def test_rulebase_bump_recommendation(self, db):
+        store = build_history(db, [1.0, 2.0], rulebases=["aa", "bb"])
+        harness = diagnose_lineage(scan_range(store))
+        assert any(r["category"] == "rulebase-coincident-regression"
+                   for r in harness.recommendations())
+
+    def test_clean_history_yields_no_recommendations(self, db):
+        store = build_history(db, [1.0, 1.0, 1.0])
+        harness = diagnose_lineage(scan_range(store))
+        assert harness.recommendations() == []

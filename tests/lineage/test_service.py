@@ -1,0 +1,94 @@
+"""The serve surface of lineage: the lineage-scan job and clients."""
+
+import pytest
+
+from repro.experiments import run_synthetic_trial
+from repro.lineage import LineageStore
+from repro.perfdmf import PerfDMF
+from repro.serve import AnalysisService
+from repro.serve.client import Client
+
+
+@pytest.fixture
+def history_db(tmp_path):
+    db_path = str(tmp_path / "perf.db")
+    db = PerfDMF(db_path)
+    store = LineageStore(db)
+    parent = None
+    for i in range(6):
+        vid = f"v{i}"
+        store.record(vid, parents=[parent] if parent else [])
+        trial = run_synthetic_trial(scale=2.0 if i >= 4 else 1.0,
+                                    name=f"t_{vid}")
+        db.save_trial("app", "exp", trial, replace=True)
+        store.attach_trial(vid, "app", "exp", f"t_{vid}")
+        parent = vid
+    db.close()
+    return db_path
+
+
+class TestLineageScanJob:
+    def test_scan_job_returns_sweep_and_recommendations(self, history_db):
+        with AnalysisService(db_path=history_db, workers=2) as svc:
+            job = svc.submit("lineage-scan", {"application": "app",
+                                              "experiment": "exp"})
+            assert job.wait(30.0) and job.status == "done", job.error
+            scan = job.result["scan"]
+            assert scan["first_bad"] == "v4"
+            assert scan["regressed_steps"] == 1
+            assert len(scan["comparisons"]) == 5
+            recs = job.result["recommendations"]
+            assert any(r["category"] == "first-bad-version" for r in recs)
+
+    def test_scan_job_range_and_no_diagnose(self, history_db):
+        with AnalysisService(db_path=history_db, workers=1) as svc:
+            job = svc.submit("lineage-scan", {
+                "start": "v0", "end": "v3", "diagnose": False,
+            })
+            assert job.wait(30.0) and job.status == "done", job.error
+            assert job.result["scan"]["first_bad"] is None
+            assert "recommendations" not in job.result
+
+    def test_client_wrapper(self, history_db):
+        with AnalysisService(db_path=history_db, workers=1) as svc:
+            payload = Client(svc).lineage_scan(application="app",
+                                               experiment="exp")
+            assert payload["scan"]["first_bad"] == "v4"
+            assert payload["recommendations"]
+
+    def test_process_mode_workers(self, history_db):
+        # the CI shape: lineage-scan executed by process-vehicle workers
+        with AnalysisService(db_path=history_db, workers=2,
+                             mode="process") as svc:
+            job = svc.submit("lineage-scan", {})
+            assert job.wait(60.0) and job.status == "done", job.error
+            assert job.result["scan"]["first_bad"] == "v4"
+
+
+class TestRunTrialStamping:
+    def test_run_trial_stamps_versions(self, tmp_path):
+        db_path = str(tmp_path / "perf.db")
+        with AnalysisService(db_path=db_path, workers=1) as svc:
+            job = svc.submit("run-trial", {
+                "app": "synthetic", "application": "a", "experiment": "e",
+                "case_key": "deadbeef" * 8, "factors": {"scale": 1.0},
+            })
+            assert job.wait(30.0) and job.status == "done", job.error
+            trial_name = job.result["trial"]
+        meta = PerfDMF(db_path).trial_metadata("a", "e", trial_name)
+        assert meta["code_version"]
+        assert meta["rulebase_version"]
+
+    def test_run_trial_honors_version_overrides(self, tmp_path):
+        db_path = str(tmp_path / "perf.db")
+        with AnalysisService(db_path=db_path, workers=1) as svc:
+            job = svc.submit("run-trial", {
+                "app": "synthetic", "application": "a", "experiment": "e",
+                "case_key": "feedface" * 8, "factors": {"scale": 1.0},
+                "code_version": "5.5.5", "rulebase_version": "abcd",
+            })
+            assert job.wait(30.0) and job.status == "done", job.error
+            trial_name = job.result["trial"]
+        meta = PerfDMF(db_path).trial_metadata("a", "e", trial_name)
+        assert meta["code_version"] == "5.5.5"
+        assert meta["rulebase_version"] == "abcd"

@@ -1,0 +1,51 @@
+"""The shared version identity used by cache keys and lineage."""
+
+import pytest
+
+from repro.serve.cache import cache_key
+from repro.version import CODE_VERSION, VersionKey, version_key
+
+
+class TestVersionKey:
+    def test_defaults_to_current_build(self):
+        vk = version_key()
+        assert vk.code == CODE_VERSION
+        assert len(vk.rulebase) == 16
+
+    def test_overrides(self):
+        vk = version_key("9.9.9", "cafebabe")
+        assert vk.code == "9.9.9"
+        assert vk.rulebase == "cafebabe"
+
+    def test_key_parse_round_trip(self):
+        vk = version_key("1.2.3", "abcd")
+        assert VersionKey.parse(vk.key) == vk
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            VersionKey.parse("no-separator")
+
+    def test_stamp_sets_both_fields(self):
+        meta = {}
+        version_key("1.0", "aa").stamp(meta)
+        assert meta == {"code_version": "1.0", "rulebase_version": "aa"}
+
+    def test_stamp_is_idempotent_earlier_wins(self):
+        # A re-stored trial keeps the provenance of its first save.
+        meta = {"code_version": "0.9", "rulebase_version": "old"}
+        version_key("1.0", "new").stamp(meta)
+        assert meta["code_version"] == "0.9"
+        assert meta["rulebase_version"] == "old"
+
+    def test_fingerprint_is_stable_within_process(self):
+        assert version_key().rulebase == version_key().rulebase
+
+
+class TestCacheKeyIntegration:
+    def test_cache_key_folds_version_key(self):
+        base = cache_key("diagnose", {"a": 1})
+        assert cache_key("diagnose", {"a": 1}) == base
+        assert cache_key("diagnose", {"a": 1},
+                         code_version="other") != base
+        assert cache_key("diagnose", {"a": 1},
+                         rulebase_version="other") != base

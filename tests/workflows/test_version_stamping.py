@@ -1,0 +1,61 @@
+"""Every pipeline save site stamps the analyzer's version identity."""
+
+from repro.experiments import run_synthetic_trial
+from repro.perfdmf import PerfDMF
+from repro.version import CODE_VERSION, rulebase_fingerprint
+from repro.workflows import automated_analysis, regression_gate
+
+
+class TestPipelineStamping:
+    def test_automated_analysis_stamps(self):
+        with PerfDMF() as db:
+            trial = run_synthetic_trial(name="t1")
+            automated_analysis(trial, repository=db, application="a",
+                               experiment="e")
+            meta = db.trial_metadata("a", "e", "t1")
+            assert meta["code_version"] == CODE_VERSION
+            assert meta["rulebase_version"] == rulebase_fingerprint()
+
+    def test_regression_gate_stamps(self):
+        with PerfDMF() as db:
+            regression_gate(run_synthetic_trial(name="base"),
+                            repository=db, application="a", experiment="e")
+            meta = db.trial_metadata("a", "e", "base")
+            assert meta["code_version"] == CODE_VERSION
+            assert meta["rulebase_version"] == rulebase_fingerprint()
+
+    def test_earlier_stamp_survives_restore(self):
+        # Provenance: a trial measured under an older build keeps its
+        # original stamp when re-analyzed and re-stored today.
+        with PerfDMF() as db:
+            trial = run_synthetic_trial(name="old")
+            trial.metadata["code_version"] = "0.1.0"
+            trial.metadata["rulebase_version"] = "ancient"
+            automated_analysis(trial, repository=db, application="a",
+                               experiment="e")
+            meta = db.trial_metadata("a", "e", "old")
+            assert meta["code_version"] == "0.1.0"
+            assert meta["rulebase_version"] == "ancient"
+
+
+class TestOrchestratorStamping:
+    def test_orchestrated_trials_carry_versions(self, tmp_path):
+        from repro.experiments import ExperimentSpec, RigorPolicy
+        from repro.workflows import run_experiment
+
+        spec = ExperimentSpec(
+            name="stamp", app="synthetic", factors={"scale": [1.0]},
+            rigor=RigorPolicy(min_runs=1, max_runs=2,
+                              relative_halfwidth=0.5),
+        )
+        db_path = str(tmp_path / "perf.db")
+        result = run_experiment(spec, db_path=db_path, workers=1)
+        assert result.summary()["failed"] == 0
+        with PerfDMF(db_path) as db:
+            app, exp = spec.application, spec.experiment_name
+            trials = db.trials(app, exp)
+            assert trials
+            for name in trials:
+                meta = db.trial_metadata(app, exp, name)
+                assert meta["code_version"] == CODE_VERSION
+                assert meta["rulebase_version"] == rulebase_fingerprint()
